@@ -1,0 +1,30 @@
+//! Blossom matching scaling: minimum-weight perfect matching on random
+//! dense graphs of increasing size (the inner engine of every gadget
+//! reduction).
+
+use aapsm_matching::min_weight_perfect_matching;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::{Rng, SeedableRng};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matching_scale");
+    group.sample_size(10);
+    for n in [40usize, 80, 160] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(n as u64);
+        let mut edges = Vec::new();
+        for u in 0..n {
+            for v in u + 1..n {
+                if rng.gen_bool(0.4) {
+                    edges.push((u, v, rng.gen_range(1..10_000)));
+                }
+            }
+        }
+        group.bench_function(format!("n{n}"), |b| {
+            b.iter(|| min_weight_perfect_matching(n, std::hint::black_box(&edges)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

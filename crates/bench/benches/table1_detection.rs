@@ -1,0 +1,34 @@
+//! Table 1 end-to-end detection scaling: full pipeline (PCG vs FG) across
+//! increasing design sizes.
+
+use aapsm_bench::prepare;
+use aapsm_core::{detect_conflicts, DetectConfig, GraphKind};
+use aapsm_layout::synth::standard_suite;
+use aapsm_layout::DesignRules;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let rules = DesignRules::default();
+    let mut group = c.benchmark_group("table1_detection");
+    group.sample_size(10);
+    for design in standard_suite().into_iter().take(3) {
+        let p = prepare(&design, &rules);
+        for (tag, kind) in [("pcg", GraphKind::PhaseConflict), ("fg", GraphKind::Feature)] {
+            group.bench_function(format!("{}_{}", p.name, tag), |b| {
+                b.iter(|| {
+                    detect_conflicts(
+                        std::hint::black_box(&p.geom),
+                        &DetectConfig {
+                            graph: kind,
+                            ..DetectConfig::default()
+                        },
+                    )
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Table 2 runtime: the layout-modification planner (intervals → grid →
+//! set cover) and the insertion itself.
+
+use aapsm_bench::prepare;
+use aapsm_core::{
+    apply_correction, detect_conflicts, plan_correction, CorrectionOptions, DetectConfig,
+};
+use aapsm_layout::synth::modification_suite;
+use aapsm_layout::DesignRules;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let rules = DesignRules::default();
+    let mut group = c.benchmark_group("table2_modification");
+    group.sample_size(10);
+    for design in modification_suite().into_iter().take(3) {
+        let p = prepare(&design, &rules);
+        let report = detect_conflicts(&p.geom, &DetectConfig::default());
+        group.bench_function(format!("plan_{}", p.name), |b| {
+            b.iter(|| {
+                plan_correction(
+                    std::hint::black_box(&p.geom),
+                    &report.conflicts,
+                    &rules,
+                    &CorrectionOptions::default(),
+                )
+            })
+        });
+        let plan = plan_correction(&p.geom, &report.conflicts, &rules, &CorrectionOptions::default());
+        group.bench_function(format!("apply_{}", p.name), |b| {
+            b.iter(|| apply_correction(std::hint::black_box(&p.layout), &plan, &rules))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Regenerates the Figure 2 comparison: phase conflict graph vs feature
+//! graph for the same layouts — node, edge and crossing counts, plus SVG
+//! drawings of both graphs on a small fixture.
+//!
+//! Usage: `cargo run -p aapsm-bench --bin fig2 --release [-- out_dir]`
+
+use aapsm_bench::prepare;
+use aapsm_core::{build_feature_graph, build_phase_conflict_graph};
+use aapsm_layout::synth::standard_suite;
+use aapsm_layout::{extract_phase_geometry, fixtures, DesignRules};
+use aapsm_render::{render_graph, RenderOptions};
+
+fn main() {
+    let out_dir = std::env::args().nth(1).unwrap_or_else(|| "target/figures".into());
+    let rules = DesignRules::default();
+    println!(
+        "{:<9} | {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8}",
+        "design", "PCG n", "PCG e", "PCG x", "FG n", "FG e", "FG x"
+    );
+    println!("{}", "-".repeat(68));
+    for d in standard_suite().into_iter().take(4) {
+        let p = prepare(&d, &rules);
+        let pcg = build_phase_conflict_graph(&p.geom).stats();
+        let fg = build_feature_graph(&p.geom).stats();
+        println!(
+            "{:<9} | {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8}",
+            p.name, pcg.nodes, pcg.edges, pcg.crossings, fg.nodes, fg.edges, fg.crossings
+        );
+    }
+    println!("(n = nodes, e = edges, x = straight-line crossings; the paper's Figure 2 point\n is that the PCG avoids the feature graph's detours and crossings)");
+
+    // Figure 2 drawings on the bus fixture.
+    let layout = fixtures::strap_under_bus(4, &rules);
+    let geom = extract_phase_geometry(&layout, &rules);
+    let pcg = build_phase_conflict_graph(&geom);
+    let fg = build_feature_graph(&geom);
+    std::fs::create_dir_all(&out_dir).expect("create output dir");
+    let opts = RenderOptions::default();
+    for (name, cg) in [("fig2_pcg.svg", &pcg), ("fig2_fg.svg", &fg)] {
+        let path = format!("{out_dir}/{name}");
+        std::fs::write(&path, render_graph(&layout, &geom, cg, &opts)).expect("write svg");
+        println!("wrote {path}");
+    }
+}

@@ -1,0 +1,372 @@
+//! Minimum-weight graph bipartization.
+//!
+//! The optimal method is the paper's: per component of the plane drawing,
+//! trace faces, build the geometric dual, and solve the T-join with
+//! T = odd faces — which is exact for embedded planar graphs (Hadlock /
+//! Kahng et al.). Greedy baselines (the paper's GB column and its
+//! parity-aware strengthening) and a brute-force reference are included.
+
+use aapsm_graph::{
+    biconnected_components, build_dual, connected_components, greedy_parity_subgraph,
+    max_weight_spanning_forest, trace_faces, two_color_excluding, EdgeId, EmbeddedGraph,
+};
+use aapsm_tjoin::{solve, TJoinInstance, TJoinMethod};
+
+/// Bipartization algorithm selection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BipartizeMethod {
+    /// Optimal planar bipartization via the dual T-join; the inner
+    /// T-join/matching machinery is pluggable (O-gadget, G-gadget,
+    /// shortest path).
+    OptimalDual {
+        /// How to solve the dual T-joins.
+        tjoin: TJoinMethod,
+        /// Decompose per biconnected block instead of per connected
+        /// component (ablation; identical results, different runtime).
+        blocks: bool,
+    },
+    /// Maximum-weight spanning forest; all leftover edges deleted (the
+    /// paper's literal GB baseline).
+    GreedySpanning,
+    /// Greedy with parity union-find: delete only edges that close odd
+    /// cycles.
+    GreedyParity,
+}
+
+impl Default for BipartizeMethod {
+    fn default() -> Self {
+        BipartizeMethod::OptimalDual {
+            tjoin: TJoinMethod::default(),
+            blocks: false,
+        }
+    }
+}
+
+/// Result of bipartization.
+#[derive(Clone, Debug)]
+pub struct BipartizeOutcome {
+    /// Deleted edges (ascending id).
+    pub deleted: Vec<EdgeId>,
+    /// Their total weight.
+    pub weight: i64,
+}
+
+/// Computes an edge set whose removal makes the alive subgraph bipartite.
+///
+/// For [`BipartizeMethod::OptimalDual`] the graph must be a plane drawing
+/// (planarize first); the result is then a *minimum-weight* such set.
+/// Edges are **not** killed in `g`.
+///
+/// # Panics
+///
+/// Panics if the optimal method is used on a drawing with crossings
+/// (debug builds), or if an internal T-join turns out infeasible — which
+/// cannot happen for duals of plane graphs.
+pub fn bipartize(g: &EmbeddedGraph, method: BipartizeMethod) -> BipartizeOutcome {
+    match method {
+        BipartizeMethod::GreedySpanning => {
+            let f = max_weight_spanning_forest(g);
+            finish(g, f.leftover)
+        }
+        BipartizeMethod::GreedyParity => {
+            let f = greedy_parity_subgraph(g);
+            finish(g, f.leftover)
+        }
+        BipartizeMethod::OptimalDual { tjoin, blocks } => {
+            if blocks {
+                bipartize_blocks(g, tjoin)
+            } else {
+                bipartize_components(g, tjoin)
+            }
+        }
+    }
+}
+
+fn finish(g: &EmbeddedGraph, mut deleted: Vec<EdgeId>) -> BipartizeOutcome {
+    deleted.sort_unstable();
+    let weight = g.total_weight(deleted.iter().copied());
+    debug_assert!(
+        two_color_excluding(g, &deleted).is_ok(),
+        "bipartization result must be bipartite"
+    );
+    BipartizeOutcome { deleted, weight }
+}
+
+/// Optimal bipartization, one dual T-join per connected component. Faces
+/// are traced once globally; each component's faces are disjoint, so the
+/// dual decomposes for free.
+fn bipartize_components(g: &EmbeddedGraph, tjoin: TJoinMethod) -> BipartizeOutcome {
+    debug_assert!(aapsm_graph::crossing_pairs(g).is_planar());
+    let faces = trace_faces(g);
+    let dual = build_dual(g, &faces);
+    if dual.t_set().is_empty() {
+        return finish(g, Vec::new());
+    }
+    let comps = connected_components(g);
+    // Group dual edges (and odd-face T flags) by primal component.
+    let mut comp_of_face = vec![u32::MAX; dual.face_count];
+    for de in &dual.edges {
+        let (u, _) = g.endpoints(de.primal);
+        let c = comps.component(u);
+        comp_of_face[de.a as usize] = c;
+        comp_of_face[de.b as usize] = c;
+    }
+    for &b in &dual.bridges {
+        let (u, _) = g.endpoints(b);
+        let c = comps.component(u);
+        let f = faces.left_face(b);
+        comp_of_face[f as usize] = c;
+    }
+    let mut deleted = Vec::new();
+    for c in 0..comps.count as u32 {
+        // Local face renumbering.
+        let local_faces: Vec<u32> = (0..dual.face_count as u32)
+            .filter(|&f| comp_of_face[f as usize] == c)
+            .collect();
+        if local_faces.is_empty() {
+            continue;
+        }
+        let t: Vec<bool> = local_faces
+            .iter()
+            .map(|&f| dual.odd_face[f as usize])
+            .collect();
+        if t.iter().all(|&b| !b) {
+            continue; // component already bipartite
+        }
+        let index_of: std::collections::HashMap<u32, usize> = local_faces
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| (f, i))
+            .collect();
+        let mut primal_of_edge = Vec::new();
+        let mut edges = Vec::new();
+        for de in &dual.edges {
+            if comp_of_face[de.a as usize] == c {
+                edges.push((index_of[&de.a], index_of[&de.b], de.weight));
+                primal_of_edge.push(de.primal);
+            }
+        }
+        let inst = TJoinInstance::new(local_faces.len(), edges, t)
+            .expect("dual T-join instance is well-formed");
+        let join = solve(&inst, tjoin)
+            .expect("odd faces come in even numbers per component, so the T-join is feasible");
+        deleted.extend(join.edges.iter().map(|&ei| primal_of_edge[ei]));
+    }
+    finish(g, deleted)
+}
+
+/// Optimal bipartization decomposed per biconnected block: each block's
+/// drawing is traced and dualized in isolation. Same optimum as the
+/// component decomposition (odd cycles never span blocks).
+fn bipartize_blocks(g: &EmbeddedGraph, tjoin: TJoinMethod) -> BipartizeOutcome {
+    let blocks = biconnected_components(g);
+    let mut deleted = Vec::new();
+    let mut scratch = g.clone();
+    for block in &blocks {
+        if block.len() < 3 {
+            continue; // a block with < 3 edges has no cycles... except parallel pairs
+        }
+        // Restrict the scratch graph to this block.
+        for e in g.alive_edges() {
+            scratch.kill_edge(e);
+        }
+        for &e in block {
+            scratch.revive_edge(e);
+        }
+        let outcome = bipartize_components(&scratch, tjoin);
+        deleted.extend(outcome.deleted);
+    }
+    // Parallel-pair blocks (2 edges between the same nodes) form even
+    // cycles: never deleted. Blocks of size 2 that are not parallel are
+    // trees: no cycles. So the skip above is safe — but parallel pairs
+    // *are* cycles of length 2 (even), still safe.
+    finish(g, deleted)
+}
+
+/// Brute-force minimum-weight bipartization by subset enumeration (test
+/// oracle; ≤ 20 alive edges).
+///
+/// # Panics
+///
+/// Panics if the graph has more than 20 alive edges.
+pub fn brute_force_bipartize(g: &EmbeddedGraph) -> BipartizeOutcome {
+    let alive: Vec<EdgeId> = g.alive_edges().collect();
+    assert!(alive.len() <= 20, "brute force limited to 20 edges");
+    let mut best: Option<(i64, Vec<EdgeId>)> = None;
+    for mask in 0u32..(1 << alive.len()) {
+        let subset: Vec<EdgeId> = (0..alive.len())
+            .filter(|i| mask & (1 << i) != 0)
+            .map(|i| alive[i])
+            .collect();
+        let weight = g.total_weight(subset.iter().copied());
+        if best.as_ref().is_some_and(|(bw, _)| weight >= *bw) {
+            continue;
+        }
+        if two_color_excluding(g, &subset).is_ok() {
+            best = Some((weight, subset));
+        }
+    }
+    let (weight, deleted) = best.expect("deleting all edges is always bipartite");
+    BipartizeOutcome { deleted, weight }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aapsm_geom::Point;
+    use aapsm_graph::{planarize, PlanarizeOrder};
+    use aapsm_tjoin::GadgetKind;
+    use rand::{Rng, SeedableRng};
+
+    fn methods() -> Vec<BipartizeMethod> {
+        vec![
+            BipartizeMethod::OptimalDual {
+                tjoin: TJoinMethod::Gadget(GadgetKind::Complete),
+                blocks: false,
+            },
+            BipartizeMethod::OptimalDual {
+                tjoin: TJoinMethod::Gadget(GadgetKind::Optimized),
+                blocks: false,
+            },
+            BipartizeMethod::OptimalDual {
+                tjoin: TJoinMethod::Gadget(GadgetKind::default()),
+                blocks: true,
+            },
+            BipartizeMethod::OptimalDual {
+                tjoin: TJoinMethod::ShortestPath,
+                blocks: false,
+            },
+        ]
+    }
+
+    #[test]
+    fn triangle_deletes_cheapest_edge() {
+        let mut g = EmbeddedGraph::new();
+        let a = g.add_node(Point::new(0, 0));
+        let b = g.add_node(Point::new(100, 0));
+        let c = g.add_node(Point::new(50, 80));
+        g.add_edge(a, b, 5);
+        g.add_edge(b, c, 3);
+        let cheap = g.add_edge(c, a, 2);
+        for m in methods() {
+            let out = bipartize(&g, m);
+            assert_eq!(out.deleted, vec![cheap], "{m:?}");
+            assert_eq!(out.weight, 2);
+        }
+    }
+
+    #[test]
+    fn bipartite_graph_deletes_nothing() {
+        let mut g = EmbeddedGraph::new();
+        let n: Vec<_> = (0..4)
+            .map(|i| g.add_node(Point::new([0, 100, 100, 0][i], [0, 0, 100, 100][i])))
+            .collect();
+        for i in 0..4 {
+            g.add_edge(n[i], n[(i + 1) % 4], 1);
+        }
+        for m in methods() {
+            assert!(bipartize(&g, m).deleted.is_empty(), "{m:?}");
+        }
+    }
+
+    #[test]
+    fn two_fused_triangles_share_one_deletion() {
+        // Two triangles sharing an edge: deleting the shared edge fixes
+        // both odd cycles at once — optimal must find that.
+        let mut g = EmbeddedGraph::new();
+        let a = g.add_node(Point::new(0, 0));
+        let b = g.add_node(Point::new(100, 0));
+        let top = g.add_node(Point::new(50, 80));
+        let bot = g.add_node(Point::new(50, -80));
+        g.add_edge(a, top, 10);
+        g.add_edge(top, b, 10);
+        g.add_edge(a, bot, 10);
+        g.add_edge(bot, b, 10);
+        let shared = g.add_edge(a, b, 15);
+        for m in methods() {
+            let out = bipartize(&g, m);
+            assert_eq!(out.deleted, vec![shared], "{m:?}");
+            assert_eq!(out.weight, 15);
+        }
+        // Greedy parity deletes one edge too (any closing edge).
+        let gp = bipartize(&g, BipartizeMethod::GreedyParity);
+        assert!(gp.weight >= 15 || gp.deleted.len() >= 1);
+        // Literal spanning-forest GB deletes |E| - (V-1) = 2 edges.
+        let gb = bipartize(&g, BipartizeMethod::GreedySpanning);
+        assert_eq!(gb.deleted.len(), 2);
+    }
+
+    #[test]
+    fn optimal_matches_brute_force_on_random_plane_graphs() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(321);
+        for trial in 0..40 {
+            let n = rng.gen_range(4..12);
+            let mut g = EmbeddedGraph::new();
+            let nodes: Vec<_> = (0..n)
+                .map(|_| g.add_node(Point::new(rng.gen_range(-300..300), rng.gen_range(-300..300))))
+                .collect();
+            g.nudge_duplicate_positions();
+            for _ in 0..rng.gen_range(3..18) {
+                let u = rng.gen_range(0..n);
+                let v = rng.gen_range(0..n);
+                if u != v {
+                    g.add_edge(nodes[u], nodes[v], rng.gen_range(1..40));
+                }
+            }
+            planarize(&mut g, PlanarizeOrder::MinWeightFirst);
+            if g.alive_edge_count() > 20 {
+                continue;
+            }
+            let brute = brute_force_bipartize(&g);
+            for m in methods() {
+                let out = bipartize(&g, m);
+                assert_eq!(
+                    out.weight, brute.weight,
+                    "trial {trial} {m:?}: optimal must match brute force"
+                );
+                assert!(two_color_excluding(&g, &out.deleted).is_ok());
+            }
+            // Greedy baselines are valid but possibly heavier.
+            for m in [BipartizeMethod::GreedyParity, BipartizeMethod::GreedySpanning] {
+                let out = bipartize(&g, m);
+                assert!(out.weight >= brute.weight, "trial {trial} {m:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn blocks_and_components_agree() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        for _ in 0..15 {
+            let n = rng.gen_range(6..25);
+            let mut g = EmbeddedGraph::new();
+            let nodes: Vec<_> = (0..n)
+                .map(|_| g.add_node(Point::new(rng.gen_range(-500..500), rng.gen_range(-500..500))))
+                .collect();
+            g.nudge_duplicate_positions();
+            for _ in 0..rng.gen_range(5..40) {
+                let u = rng.gen_range(0..n);
+                let v = rng.gen_range(0..n);
+                if u != v {
+                    g.add_edge(nodes[u], nodes[v], rng.gen_range(1..40));
+                }
+            }
+            planarize(&mut g, PlanarizeOrder::MinWeightFirst);
+            let a = bipartize(
+                &g,
+                BipartizeMethod::OptimalDual {
+                    tjoin: TJoinMethod::default(),
+                    blocks: false,
+                },
+            );
+            let b = bipartize(
+                &g,
+                BipartizeMethod::OptimalDual {
+                    tjoin: TJoinMethod::default(),
+                    blocks: true,
+                },
+            );
+            assert_eq!(a.weight, b.weight);
+        }
+    }
+}

@@ -1,0 +1,476 @@
+//! Layout modification by end-to-end space insertion (Section 3.2).
+//!
+//! Each correctable conflict yields one or two *correction intervals* (the
+//! projections of its shifter gap); interval endpoints define candidate
+//! grid lines; a weighted set cover picks the lines; the chosen lines
+//! become [`SpaceCut`]s. Cut positions are *legal* only where they do not
+//! widen any feature (a vertical cut must not pass through the interior of
+//! a vertical feature's x-span) — this is how the scheme guarantees that
+//! "only the lengths of features are increased but the widths remain the
+//! same".
+
+use crate::{Conflict, ConstraintKind};
+use aapsm_cover::{solve_auto, CoverInstance};
+use aapsm_geom::{Axis, Interval};
+use aapsm_layout::{
+    apply_cuts, check_assignable, extract_phase_geometry, DesignRules, FeatureOrientation,
+    Layout, PhaseGeometry, SpaceCut,
+};
+
+/// Options of the correction planner.
+#[derive(Clone, Copy, Debug)]
+pub struct CorrectionOptions {
+    /// Above this many candidate sets the cover falls back from exact
+    /// branch-and-bound to greedy.
+    pub exact_cover_limit: usize,
+}
+
+impl Default for CorrectionOptions {
+    fn default() -> Self {
+        CorrectionOptions {
+            exact_cover_limit: 48,
+        }
+    }
+}
+
+/// A planned correction.
+#[derive(Clone, Debug)]
+pub struct CorrectionPlan {
+    /// The end-to-end spaces to insert.
+    pub cuts: Vec<SpaceCut>,
+    /// Conflict indices (into the input slice) corrected by the plan.
+    pub corrected: Vec<usize>,
+    /// Conflict indices with no legal correction interval — the paper's
+    /// mask-splitting bucket.
+    pub uncorrectable: Vec<usize>,
+    /// The largest number of conflicts corrected by a single grid line
+    /// (Table 2, column Max).
+    pub max_conflicts_single_line: usize,
+    /// Whether the set cover was solved to proven optimality.
+    pub cover_optimal: bool,
+}
+
+impl CorrectionPlan {
+    /// Number of grid lines where spaces are inserted (Table 2, column
+    /// Grid).
+    pub fn grid_line_count(&self) -> usize {
+        self.cuts.len()
+    }
+
+    /// Total inserted width along an axis.
+    pub fn inserted_width(&self, axis: Axis) -> i64 {
+        self.cuts
+            .iter()
+            .filter(|c| c.axis == axis)
+            .map(|c| c.width)
+            .sum()
+    }
+}
+
+/// Result of applying a correction plan.
+#[derive(Clone, Debug)]
+pub struct CorrectionReport {
+    /// The modified layout.
+    pub modified: Layout,
+    /// Bounding-box area before modification (dbu²).
+    pub area_before: i128,
+    /// Bounding-box area after modification.
+    pub area_after: i128,
+    /// Percentage area increase (the paper's 0.7–11.8% metric).
+    pub area_increase_pct: f64,
+    /// Whether the modified layout re-extracts as phase-assignable
+    /// (always true when `uncorrectable` was empty).
+    pub verified: bool,
+}
+
+/// One candidate grid line.
+#[derive(Clone, Debug)]
+struct Candidate {
+    axis: Axis,
+    position: i64,
+    covered: Vec<usize>, // indices into `correctable`
+    width: i64,          // max needed space among covered conflicts
+}
+
+/// Plans end-to-end space insertions correcting the given conflicts.
+///
+/// Only [`ConstraintKind::Overlap`] conflicts are correctable by spacing;
+/// flank and direct conflicts land in
+/// [`CorrectionPlan::uncorrectable`], as do overlaps whose shifters
+/// interpenetrate on both axes or whose every candidate line would widen a
+/// feature.
+pub fn plan_correction(
+    geom: &PhaseGeometry,
+    conflicts: &[Conflict],
+    rules: &DesignRules,
+    options: &CorrectionOptions,
+) -> CorrectionPlan {
+    // Forbidden spans per axis: a cut may not pass through the interior of
+    // a feature's *width* span (a vertical cut through a vertical feature
+    // would widen it). Merged and sorted for binary search.
+    let forbidden = |axis: Axis| -> Vec<(i64, i64)> {
+        let mut spans: Vec<(i64, i64)> = geom
+            .features
+            .iter()
+            .filter(|f| match f.orientation {
+                FeatureOrientation::Vertical => axis == Axis::X,
+                FeatureOrientation::Horizontal => axis == Axis::Y,
+            })
+            .map(|f| {
+                let s = f.rect.span(axis);
+                (s.lo(), s.hi())
+            })
+            .collect();
+        spans.sort_unstable();
+        let mut merged: Vec<(i64, i64)> = Vec::with_capacity(spans.len());
+        for (lo, hi) in spans {
+            match merged.last_mut() {
+                // Open interiors: spans touching only at endpoints do not
+                // merge (a cut exactly at the contact point is legal).
+                Some(last) if lo < last.1 => last.1 = last.1.max(hi),
+                _ => merged.push((lo, hi)),
+            }
+        }
+        merged
+    };
+    let forbidden_x = forbidden(Axis::X);
+    let forbidden_y = forbidden(Axis::Y);
+    let spans_for = |axis: Axis| -> &Vec<(i64, i64)> {
+        match axis {
+            Axis::X => &forbidden_x,
+            Axis::Y => &forbidden_y,
+        }
+    };
+    let legal = |axis: Axis, pos: i64| -> bool {
+        let spans = spans_for(axis);
+        let i = spans.partition_point(|&(lo, _)| lo < pos);
+        i == 0 || spans[i - 1].1 <= pos
+    };
+
+    // Correction intervals per conflict. A conflict between shifters of
+    // features Fa and Fb can be corrected along an axis iff the *features*
+    // are separable along it: any cut strictly between them moves Fb (and
+    // its regenerated shifters) away from Fa, growing the shifter gap by
+    // the cut width.
+    struct Item {
+        conflict_index: usize,
+        intervals: Vec<(Axis, Interval, i64)>, // (axis, cut positions, needed width)
+    }
+    let mut correctable: Vec<Item> = Vec::new();
+    let mut uncorrectable = Vec::new();
+    for (ci, c) in conflicts.iter().enumerate() {
+        let ConstraintKind::Overlap(oi) = c.constraint else {
+            uncorrectable.push(ci);
+            continue;
+        };
+        let o = &geom.overlaps[oi];
+        let fa = geom.features[geom.shifters[o.a].feature].rect;
+        let fb = geom.features[geom.shifters[o.b].feature].rect;
+        let shifter_gap = |axis: Axis| match axis {
+            Axis::X => o.gap_x,
+            Axis::Y => o.gap_y,
+        };
+        let mut intervals = Vec::new();
+        for axis in [Axis::X, Axis::Y] {
+            if fa.gap(&fb, axis) < 0 {
+                continue; // features not separable along this axis
+            }
+            let (lo, hi) = if fa.span(axis).lo() <= fb.span(axis).lo() {
+                (fa.span(axis).hi(), fb.span(axis).lo())
+            } else {
+                (fb.span(axis).hi(), fa.span(axis).lo())
+            };
+            let needed = rules.shifter_spacing - shifter_gap(axis);
+            debug_assert!(needed > 0, "an overlap pair always needs positive space");
+            intervals.push((axis, Interval::new(lo, hi), needed));
+        }
+        if intervals.is_empty() {
+            uncorrectable.push(ci);
+        } else {
+            correctable.push(Item {
+                conflict_index: ci,
+                intervals,
+            });
+        }
+    }
+
+    // Candidate grid lines: interval endpoints plus legality boundaries
+    // inside the intervals (a cut anywhere in an interval corrects its
+    // conflict, so the optimum can always be normalized to one of these).
+    use std::collections::HashSet;
+    let mut positions: HashSet<(u8, i64)> = HashSet::new();
+    for item in &correctable {
+        for &(axis, iv, _) in &item.intervals {
+            for pos in [iv.lo(), iv.hi()] {
+                if legal(axis, pos) {
+                    positions.insert((axis_tag(axis), pos));
+                }
+            }
+            // Boundaries of forbidden spans inside the interval are the
+            // other normalization points.
+            let spans = spans_for(axis);
+            let start = spans.partition_point(|&(_, hi)| hi < iv.lo());
+            for &(lo, hi) in &spans[start..] {
+                if lo > iv.hi() {
+                    break;
+                }
+                for pos in [lo, hi] {
+                    if iv.contains(pos) && legal(axis, pos) {
+                        positions.insert((axis_tag(axis), pos));
+                    }
+                }
+            }
+        }
+    }
+    // A candidate covers every conflict whose (same-axis) interval
+    // contains its position.
+    let mut candidates: Vec<Candidate> = Vec::new();
+    for &(tag, pos) in &positions {
+        let axis = tag_axis(tag);
+        let mut covered = Vec::new();
+        let mut width = 0i64;
+        for (item_idx, item) in correctable.iter().enumerate() {
+            for &(a, iv, needed) in &item.intervals {
+                if a == axis && iv.contains(pos) {
+                    covered.push(item_idx);
+                    width = width.max(needed);
+                    break;
+                }
+            }
+        }
+        if !covered.is_empty() {
+            candidates.push(Candidate {
+                axis,
+                position: pos,
+                covered,
+                width,
+            });
+        }
+    }
+    candidates.sort_by_key(|c| (axis_tag(c.axis), c.position));
+
+    // Items whose every endpoint was illegal are uncorrectable.
+    let mut coverable = vec![false; correctable.len()];
+    for c in &candidates {
+        for &i in &c.covered {
+            coverable[i] = true;
+        }
+    }
+    for (item_idx, item) in correctable.iter().enumerate() {
+        if !coverable[item_idx] {
+            uncorrectable.push(item.conflict_index);
+        }
+    }
+
+    // Weighted set cover over the coverable items.
+    let element_of: Vec<Option<usize>> = {
+        let mut next = 0usize;
+        coverable
+            .iter()
+            .map(|&c| {
+                c.then(|| {
+                    let e = next;
+                    next += 1;
+                    e
+                })
+            })
+            .collect()
+    };
+    let universe = element_of.iter().flatten().count();
+    let sets: Vec<(i64, Vec<usize>)> = candidates
+        .iter()
+        .map(|c| {
+            (
+                c.width.max(1),
+                c.covered
+                    .iter()
+                    .filter_map(|&i| element_of[i])
+                    .collect(),
+            )
+        })
+        .collect();
+    let inst = CoverInstance::new(universe, sets);
+    let (solution, cover_optimal) = solve_auto(&inst, options.exact_cover_limit);
+
+    let mut cuts = Vec::new();
+    let mut corrected_items = std::collections::HashSet::new();
+    let mut max_single = 0usize;
+    for &s in &solution.chosen {
+        let c = &candidates[s];
+        cuts.push(SpaceCut {
+            axis: c.axis,
+            position: c.position,
+            width: c.width,
+        });
+        max_single = max_single.max(c.covered.len());
+        corrected_items.extend(c.covered.iter().copied());
+    }
+    let corrected: Vec<usize> = {
+        let mut v: Vec<usize> = corrected_items
+            .into_iter()
+            .map(|i| correctable[i].conflict_index)
+            .collect();
+        v.sort_unstable();
+        v
+    };
+    uncorrectable.sort_unstable();
+    uncorrectable.dedup();
+    CorrectionPlan {
+        cuts,
+        corrected,
+        uncorrectable,
+        max_conflicts_single_line: max_single,
+        cover_optimal,
+    }
+}
+
+fn axis_tag(a: Axis) -> u8 {
+    match a {
+        Axis::X => 0,
+        Axis::Y => 1,
+    }
+}
+
+fn tag_axis(t: u8) -> Axis {
+    if t == 0 {
+        Axis::X
+    } else {
+        Axis::Y
+    }
+}
+
+/// Applies a correction plan and verifies the result by re-extraction.
+pub fn apply_correction(
+    layout: &Layout,
+    plan: &CorrectionPlan,
+    rules: &DesignRules,
+) -> CorrectionReport {
+    let area_before = layout.stats().bbox_area;
+    let modified = apply_cuts(layout, &plan.cuts);
+    let area_after = modified.stats().bbox_area;
+    let verified = plan.uncorrectable.is_empty()
+        && check_assignable(&extract_phase_geometry(&modified, rules)).is_ok();
+    let area_increase_pct = if area_before > 0 {
+        (area_after - area_before) as f64 / area_before as f64 * 100.0
+    } else {
+        0.0
+    };
+    CorrectionReport {
+        modified,
+        area_before,
+        area_after,
+        area_increase_pct,
+        verified,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{detect_conflicts, DetectConfig};
+    use aapsm_layout::fixtures;
+
+    fn correct_layout(l: &Layout) -> (CorrectionPlan, CorrectionReport) {
+        let rules = DesignRules::default();
+        let geom = extract_phase_geometry(l, &rules);
+        let report = detect_conflicts(&geom, &DetectConfig::default());
+        let plan = plan_correction(&geom, &report.conflicts, &rules, &CorrectionOptions::default());
+        let outcome = apply_correction(l, &plan, &rules);
+        (plan, outcome)
+    }
+
+    #[test]
+    fn gate_over_strap_corrected_by_one_space() {
+        let rules = DesignRules::default();
+        let (plan, outcome) = correct_layout(&fixtures::gate_over_strap(&rules));
+        assert_eq!(plan.grid_line_count(), 1);
+        assert!(plan.uncorrectable.is_empty());
+        assert!(outcome.verified, "modified layout must be assignable");
+        assert!(outcome.area_after > outcome.area_before);
+    }
+
+    #[test]
+    fn jog_corrected_and_verified() {
+        let rules = DesignRules::default();
+        let (plan, outcome) = correct_layout(&fixtures::stacked_jog(&rules));
+        assert!(plan.uncorrectable.is_empty());
+        assert!(outcome.verified);
+    }
+
+    #[test]
+    fn short_middle_corrected_by_vertical_space() {
+        let rules = DesignRules::default();
+        let (plan, outcome) = correct_layout(&fixtures::short_middle_wire(&rules));
+        assert!(plan.uncorrectable.is_empty());
+        assert!(plan.cuts.iter().any(|c| c.axis == Axis::X));
+        assert!(outcome.verified);
+    }
+
+    #[test]
+    fn bus_conflicts_share_one_horizontal_space() {
+        // The Figure 5 scenario: many conflicts corrected by one
+        // end-to-end space.
+        let rules = DesignRules::default();
+        let (plan, outcome) = correct_layout(&fixtures::strap_under_bus(6, &rules));
+        assert!(outcome.verified);
+        assert!(
+            plan.max_conflicts_single_line >= 6,
+            "one line should clear the whole bus: {plan:?}"
+        );
+        assert_eq!(plan.grid_line_count(), 1);
+    }
+
+    #[test]
+    fn no_conflicts_means_no_cuts() {
+        let _rules = DesignRules::default();
+        let (plan, outcome) = correct_layout(&fixtures::wire_row(5, 600));
+        assert!(plan.cuts.is_empty());
+        assert_eq!(outcome.area_increase_pct, 0.0);
+        assert!(outcome.verified);
+    }
+
+    #[test]
+    fn synthetic_design_end_to_end() {
+        let rules = DesignRules::default();
+        let l = aapsm_layout::synth::generate(
+            &aapsm_layout::synth::SynthParams {
+                rows: 3,
+                gates_per_row: 50,
+                strap_frac: 0.6,
+                jog_frac: 0.05,
+                short_mid_frac: 0.05,
+                ..Default::default()
+            },
+            &rules,
+        );
+        let (plan, outcome) = correct_layout(&l);
+        assert!(
+            plan.uncorrectable.is_empty(),
+            "synthetic conflicts are spacing-correctable: {:?}",
+            plan.uncorrectable
+        );
+        assert!(outcome.verified);
+        // The paper's area increases range 0.7%..11.8%; stay in a sane band.
+        assert!(
+            outcome.area_increase_pct < 25.0,
+            "area increase {:.2}% looks wrong",
+            outcome.area_increase_pct
+        );
+    }
+
+    #[test]
+    fn cut_widths_meet_spacing_needs() {
+        let rules = DesignRules::default();
+        let l = fixtures::gate_over_strap(&rules);
+        let geom = extract_phase_geometry(&l, &rules);
+        let report = detect_conflicts(&geom, &DetectConfig::default());
+        let plan =
+            plan_correction(&geom, &report.conflicts, &rules, &CorrectionOptions::default());
+        // A cut never needs more than the full spacing rule plus the
+        // deepest possible shifter interpenetration.
+        let bound = rules.shifter_spacing + 2 * (rules.shifter_width + rules.shifter_overhang);
+        for cut in &plan.cuts {
+            assert!(cut.width > 0 && cut.width <= bound);
+        }
+    }
+}

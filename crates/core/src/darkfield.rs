@@ -1,0 +1,192 @@
+//! Dark-field AAPSM extension.
+//!
+//! The paper's Section 2 reviews the dark-field formulation of Kahng et
+//! al. \[5\]: in dark-field AAPSM the *features themselves* are phase
+//! shifted, so two critical features closer than the minimum opposite-phase
+//! spacing `b` must receive opposite phases, and the layout is assignable
+//! iff the **conflict graph** (features = nodes, close pairs = edges) is
+//! bipartite. The same optimal machinery applies: planarize the straight
+//! line drawing, bipartize via the dual T-join, and the deleted edges are
+//! the conflicts to fix by spacing.
+//!
+//! This module reuses the whole pipeline for that setting — the paper's
+//! lineage in ~100 lines, and a useful second consumer of the graph stack.
+
+use crate::{bipartize, BipartizeMethod};
+use aapsm_geom::GridIndex;
+use aapsm_graph::{planarize, EmbeddedGraph, ParityUnionFind, PlanarizeOrder};
+use aapsm_layout::{DesignRules, Layout};
+use aapsm_tjoin::TJoinMethod;
+
+/// A dark-field conflict: a pair of feature indices that must be separated
+/// to at least the opposite-phase spacing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DarkFieldConflict {
+    /// First feature index.
+    pub a: usize,
+    /// Second feature index.
+    pub b: usize,
+    /// Spacing deficit.
+    pub weight: i64,
+}
+
+/// Dark-field analysis result.
+#[derive(Clone, Debug)]
+pub struct DarkFieldReport {
+    /// Number of opposite-phase constraint edges found.
+    pub constraint_count: usize,
+    /// The minimal conflict set.
+    pub conflicts: Vec<DarkFieldConflict>,
+    /// A satisfying feature phase assignment after voiding the conflicts
+    /// (0/1 per feature; non-critical features get 0).
+    pub phases: Vec<u8>,
+}
+
+/// Runs dark-field AAPSM conflict detection on a layout: critical features
+/// closer than `rules.shifter_spacing` must alternate phases; returns the
+/// minimum-weight constraint set to void (by respacing or mask splitting).
+pub fn detect_dark_field(layout: &Layout, rules: &DesignRules) -> DarkFieldReport {
+    let mut g = EmbeddedGraph::new();
+    let mut critical = Vec::new();
+    for (i, r) in layout.rects().iter().enumerate() {
+        if r.min_dim() <= rules.critical_width {
+            critical.push((i, *r, g.add_node(r.center())));
+        }
+    }
+    // Close critical pairs -> opposite-phase edges.
+    let spacing = rules.shifter_spacing;
+    let mut grid = GridIndex::new((2 * spacing).max(64));
+    for (k, (_, r, _)) in critical.iter().enumerate() {
+        let probe = r.inflate(spacing);
+        grid.insert(k as u32, (probe.x_lo(), probe.y_lo(), probe.x_hi(), probe.y_hi()));
+    }
+    let mut pairs = Vec::new();
+    let s2 = (spacing as i128) * (spacing as i128);
+    for (ka, kb) in grid.candidate_pairs() {
+        let (ia, ra, na) = critical[ka as usize];
+        let (ib, rb, nb) = critical[kb as usize];
+        let gap = ra.euclid_gap_sq(&rb);
+        if gap < s2 {
+            let deficit = spacing - ra.x_gap(&rb).max(ra.y_gap(&rb));
+            g.add_edge(na, nb, deficit.max(1));
+            pairs.push((ia, ib, deficit.max(1)));
+        }
+    }
+    g.nudge_duplicate_positions();
+    let constraint_count = pairs.len();
+
+    // Planarize + optimal bipartization + recheck, exactly as bright field.
+    let removed = planarize(&mut g, PlanarizeOrder::MinWeightFirst).removed;
+    let outcome = bipartize(
+        &g,
+        BipartizeMethod::OptimalDual {
+            tjoin: TJoinMethod::default(),
+            blocks: false,
+        },
+    );
+    let mut conflicts = Vec::new();
+    let deleted: std::collections::HashSet<_> = outcome.deleted.iter().copied().collect();
+    let mut uf = ParityUnionFind::new(g.node_count());
+    for e in g.alive_edges() {
+        if !deleted.contains(&e) {
+            let (u, v) = g.endpoints(e);
+            uf.union(u.index(), v.index(), 1)
+                .expect("bipartization leaves the graph bipartite");
+        }
+    }
+    let mut edge_conflicts: Vec<_> = outcome.deleted.clone();
+    for e in removed {
+        let (u, v) = g.endpoints(e);
+        if uf.union(u.index(), v.index(), 1).is_err() {
+            edge_conflicts.push(e);
+        }
+    }
+    for e in &edge_conflicts {
+        let idx = e.index();
+        let (a, b, weight) = pairs[idx];
+        conflicts.push(DarkFieldConflict { a, b, weight });
+    }
+
+    // Feature phases from the surviving constraints.
+    let mut phases = vec![0u8; layout.len()];
+    for (k, (i, _, _)) in critical.iter().enumerate() {
+        let (_, parity) = uf.find(k);
+        phases[*i] = parity;
+    }
+    DarkFieldReport {
+        constraint_count,
+        conflicts,
+        phases,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aapsm_geom::Rect;
+
+    fn rules() -> DesignRules {
+        DesignRules::default()
+    }
+
+    #[test]
+    fn far_features_have_no_constraints() {
+        let l = Layout::from_rects(vec![
+            Rect::new(0, 0, 100, 1000),
+            Rect::new(5000, 0, 5100, 1000),
+        ]);
+        let r = detect_dark_field(&l, &rules());
+        assert_eq!(r.constraint_count, 0);
+        assert!(r.conflicts.is_empty());
+    }
+
+    #[test]
+    fn close_pair_alternates() {
+        let l = Layout::from_rects(vec![
+            Rect::new(0, 0, 100, 1000),
+            Rect::new(250, 0, 350, 1000), // 150 < 280 apart
+        ]);
+        let r = detect_dark_field(&l, &rules());
+        assert_eq!(r.constraint_count, 1);
+        assert!(r.conflicts.is_empty());
+        assert_ne!(r.phases[0], r.phases[1]);
+    }
+
+    #[test]
+    fn odd_triangle_yields_one_conflict() {
+        // Three mutually-close features: an odd cycle in the dark-field
+        // conflict graph; one edge must be voided.
+        let l = Layout::from_rects(vec![
+            Rect::new(0, 0, 100, 100),
+            Rect::new(250, 0, 350, 100),
+            Rect::new(120, 250, 220, 350),
+        ]);
+        let r = detect_dark_field(&l, &rules());
+        assert_eq!(r.constraint_count, 3);
+        assert_eq!(r.conflicts.len(), 1);
+    }
+
+    #[test]
+    fn even_chain_is_fine() {
+        let rects: Vec<Rect> = (0..6)
+            .map(|i| Rect::new(i * 350, 0, i * 350 + 100, 800))
+            .collect();
+        let r = detect_dark_field(&Layout::from_rects(rects), &rules());
+        assert_eq!(r.constraint_count, 5);
+        assert!(r.conflicts.is_empty());
+        // Alternating phases along the chain.
+        for w in (0..6).collect::<Vec<_>>().windows(2) {
+            assert_ne!(r.phases[w[0]], r.phases[w[1]]);
+        }
+    }
+
+    #[test]
+    fn wide_features_ignored() {
+        let l = Layout::from_rects(vec![
+            Rect::new(0, 0, 500, 1000),
+            Rect::new(600, 0, 1100, 1000),
+        ]);
+        let r = detect_dark_field(&l, &rules());
+        assert_eq!(r.constraint_count, 0);
+    }
+}

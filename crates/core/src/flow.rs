@@ -1,0 +1,161 @@
+//! The one-call end-to-end flow: extract → detect → correct → assign.
+
+use crate::{
+    apply_correction, detect_conflicts, plan_correction, CorrectionOptions, CorrectionPlan,
+    CorrectionReport, DetectConfig, DetectReport,
+};
+use aapsm_layout::{
+    check_assignable, extract_phase_geometry, DesignRules, Layout, PhaseAssignment,
+    PhaseGeometry,
+};
+use std::fmt;
+
+/// Configuration of [`run_flow`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FlowConfig {
+    /// Detection pipeline configuration.
+    pub detect: DetectConfig,
+    /// Correction planner options.
+    pub correct: CorrectionOptions,
+}
+
+/// Errors of the end-to-end flow.
+#[derive(Clone, Debug)]
+pub enum FlowError {
+    /// The design rules are inconsistent.
+    BadRules(String),
+    /// Some conflicts could not be corrected by space insertion (indices
+    /// into the detection report's conflicts); the caller should route
+    /// them to feature widening / mask splitting.
+    Uncorrectable(Vec<usize>),
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::BadRules(msg) => write!(f, "invalid design rules: {msg}"),
+            FlowError::Uncorrectable(v) => {
+                write!(f, "{} conflicts not correctable by space insertion", v.len())
+            }
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}
+
+/// Everything the flow produced.
+#[derive(Clone, Debug)]
+pub struct FlowResult {
+    /// Extracted phase geometry of the input layout.
+    pub geometry: PhaseGeometry,
+    /// Conflict detection report.
+    pub detection: DetectReport,
+    /// Correction plan (empty when the layout was already assignable).
+    pub plan: CorrectionPlan,
+    /// Correction application report (the modified layout and areas).
+    pub correction: CorrectionReport,
+    /// Phase assignment of the corrected layout.
+    pub assignment: PhaseAssignment,
+    /// Whether the corrected layout verifies as phase-assignable.
+    pub verified: bool,
+}
+
+/// Runs the full bright-field AAPSM flow on a layout:
+///
+/// 1. extract features/shifters/overlaps,
+/// 2. detect the minimal conflict set (phase conflict graph →
+///    planarization → dual-T-join bipartization → recheck),
+/// 3. plan and apply end-to-end space insertion,
+/// 4. phase-assign the corrected layout.
+///
+/// # Errors
+///
+/// * [`FlowError::BadRules`] for inconsistent design rules;
+/// * [`FlowError::Uncorrectable`] when some conflicts cannot be fixed by
+///   spacing (T-shape-like cases the paper routes to feature widening or
+///   mask splitting).
+pub fn run_flow(
+    layout: &Layout,
+    rules: &DesignRules,
+    config: &FlowConfig,
+) -> Result<FlowResult, FlowError> {
+    rules.validate().map_err(FlowError::BadRules)?;
+    let geometry = extract_phase_geometry(layout, rules);
+    let detection = detect_conflicts(&geometry, &config.detect);
+    let plan = plan_correction(&geometry, &detection.conflicts, rules, &config.correct);
+    if !plan.uncorrectable.is_empty() {
+        return Err(FlowError::Uncorrectable(plan.uncorrectable));
+    }
+    let correction = apply_correction(layout, &plan, rules);
+    let corrected_geom = extract_phase_geometry(&correction.modified, rules);
+    let assignment = match check_assignable(&corrected_geom) {
+        Ok(a) => a,
+        Err(_) => {
+            // Correction failed verification; return the trivial
+            // assignment with verified = false so callers can inspect.
+            PhaseAssignment {
+                phase: vec![0; corrected_geom.shifters.len()],
+            }
+        }
+    };
+    let verified = correction.verified;
+    Ok(FlowResult {
+        geometry,
+        detection,
+        plan,
+        correction,
+        assignment,
+        verified,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aapsm_layout::fixtures;
+
+    #[test]
+    fn flow_on_clean_layout_is_identity() {
+        let rules = DesignRules::default();
+        let layout = fixtures::wire_row(6, 600);
+        let res = run_flow(&layout, &rules, &FlowConfig::default()).unwrap();
+        assert_eq!(res.detection.conflict_count(), 0);
+        assert!(res.plan.cuts.is_empty());
+        assert_eq!(res.correction.modified, layout);
+        assert!(res.verified);
+    }
+
+    #[test]
+    fn flow_fixes_conflicting_fixture() {
+        let rules = DesignRules::default();
+        let layout = fixtures::strap_under_bus(5, &rules);
+        let res = run_flow(&layout, &rules, &FlowConfig::default()).unwrap();
+        assert!(res.detection.conflict_count() > 0);
+        assert!(res.verified);
+        // The assignment satisfies the corrected geometry.
+        let geom = extract_phase_geometry(&res.correction.modified, &rules);
+        assert!(res.assignment.satisfies(&geom));
+    }
+
+    #[test]
+    fn bad_rules_rejected() {
+        let mut rules = DesignRules::default();
+        rules.shifter_width = -1;
+        assert!(matches!(
+            run_flow(&fixtures::wire_row(2, 600), &rules, &FlowConfig::default()),
+            Err(FlowError::BadRules(_))
+        ));
+    }
+
+    #[test]
+    fn flow_on_synthetic_design() {
+        let rules = DesignRules::default();
+        let layout = aapsm_layout::synth::generate(
+            &aapsm_layout::synth::SynthParams::default(),
+            &rules,
+        );
+        let res = run_flow(&layout, &rules, &FlowConfig::default()).unwrap();
+        assert!(res.verified);
+        assert!(res.correction.area_increase_pct >= 0.0);
+    }
+}

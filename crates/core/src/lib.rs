@@ -1,0 +1,63 @@
+//! Bright-field AAPSM conflict detection and correction.
+//!
+//! This crate is the primary contribution of the DATE 2005 paper by
+//! Chiang, Kahng, Sinha, Xu and Zelikovsky, rebuilt end to end:
+//!
+//! 1. **Phase conflict graph** ([`build_phase_conflict_graph`]): one edge
+//!    shifter node per shifter, an overlap node on the straight segment
+//!    between merged shifters, and one direct edge per critical feature.
+//!    Bipartite ⇔ phase-assignable (Theorem 1). The prior-art **feature
+//!    graph** ([`build_feature_graph`]) is provided as the FG baseline.
+//! 2. **Planarization** ([`planarize_graph`]): greedy removal of
+//!    minimum-weight crossing edges; removed edges form the potential
+//!    conflict set *P*.
+//! 3. **Optimal bipartization** ([`bipartize`]): per component, trace the
+//!    faces of the plane drawing, build the geometric dual, solve the
+//!    minimum-weight T-join with T = odd faces through the pluggable
+//!    gadget/matching machinery of [`aapsm_tjoin`].
+//! 4. **Final conflict set** ([`detect_conflicts`]): the paper's Step 3 —
+//!    re-check the planarization victims against the bipartization
+//!    coloring; only those that would close odd cycles become conflicts.
+//! 5. **Layout modification** ([`plan_correction`], [`apply_correction`]):
+//!    correction intervals, legal grid lines, weighted set cover, and
+//!    end-to-end space insertion, with re-extraction-based verification.
+//!
+//! The one-call entry point is [`run_flow`].
+//!
+//! # Example
+//!
+//! ```
+//! use aapsm_core::{run_flow, FlowConfig};
+//! use aapsm_layout::{fixtures, DesignRules};
+//!
+//! let rules = DesignRules::default();
+//! let layout = fixtures::gate_over_strap(&rules);
+//! let result = run_flow(&layout, &rules, &FlowConfig::default())?;
+//! assert_eq!(result.detection.conflicts.len(), 1);
+//! assert!(result.verified, "corrected layout must be phase-assignable");
+//! # Ok::<(), aapsm_core::FlowError>(())
+//! ```
+
+mod bipartize;
+mod correct;
+pub mod darkfield;
+mod detect;
+mod flow;
+mod graphs;
+
+pub use bipartize::{bipartize, brute_force_bipartize, BipartizeMethod, BipartizeOutcome};
+pub use correct::{
+    apply_correction, plan_correction, CorrectionOptions, CorrectionPlan, CorrectionReport,
+};
+pub use detect::{
+    detect_conflicts, detect_greedy, Conflict, ConflictSource, ConstraintKind, DetectConfig,
+    DetectReport, DetectStats, GreedyKind,
+};
+pub use flow::{run_flow, FlowConfig, FlowError, FlowResult};
+pub use graphs::{
+    build_conflict_graph, build_feature_graph, build_phase_conflict_graph, planarize_graph,
+    ConflictGraph, GraphKind, GraphStats,
+};
+
+pub use aapsm_graph::PlanarizeOrder;
+pub use aapsm_tjoin::{GadgetKind, TJoinMethod};

@@ -1,0 +1,224 @@
+use crate::{solve_greedy, CoverInstance, CoverSolution};
+
+/// Tuning knobs for the exact branch-and-bound solver.
+#[derive(Clone, Debug)]
+pub struct ExactOptions {
+    /// Give up (return the incumbent, still optimal only if search
+    /// finished) after this many search nodes. The default is generous for
+    /// the grid-line instances produced by the correction planner.
+    pub node_limit: u64,
+}
+
+impl Default for ExactOptions {
+    fn default() -> Self {
+        ExactOptions {
+            node_limit: 2_000_000,
+        }
+    }
+}
+
+struct Search<'a> {
+    inst: &'a CoverInstance,
+    best: Option<Vec<usize>>,
+    best_weight: i64,
+    nodes: u64,
+    node_limit: u64,
+    truncated: bool,
+}
+
+impl Search<'_> {
+    /// Lower bound on the weight needed to cover `uncovered`: greedily pick
+    /// "independent" uncovered elements whose covering sets are disjoint
+    /// from those of previously picked elements; their cheapest covering
+    /// sets are pairwise distinct, so the bound is the sum of the minima.
+    fn lower_bound(&self, covered: &[bool], banned: &[bool]) -> i64 {
+        let mut used_set = vec![false; self.inst.set_count()];
+        let mut bound = 0i64;
+        for e in 0..self.inst.universe_size() {
+            if covered[e] {
+                continue;
+            }
+            let sets = self.inst.covering_sets(e);
+            if sets.iter().any(|&s| !banned[s] && used_set[s]) {
+                continue;
+            }
+            let mut min_w = i64::MAX;
+            for &s in sets {
+                if !banned[s] {
+                    min_w = min_w.min(self.inst.weight(s));
+                    used_set[s] = true;
+                }
+            }
+            if min_w < i64::MAX {
+                bound += min_w;
+            }
+        }
+        bound
+    }
+
+    fn dfs(&mut self, covered: &mut [bool], banned: &mut [bool], chosen: &mut Vec<usize>, weight: i64) {
+        self.nodes += 1;
+        if self.nodes > self.node_limit {
+            self.truncated = true;
+            return;
+        }
+        if weight >= self.best_weight {
+            return;
+        }
+        // Find the uncovered element with the fewest available covering
+        // sets (fail-first).
+        let mut pivot: Option<(usize, usize)> = None;
+        for e in 0..self.inst.universe_size() {
+            if covered[e] {
+                continue;
+            }
+            let avail = self
+                .inst
+                .covering_sets(e)
+                .iter()
+                .filter(|&&s| !banned[s])
+                .count();
+            if avail == 0 {
+                return; // infeasible branch
+            }
+            if pivot.map_or(true, |(_, a)| avail < a) {
+                pivot = Some((e, avail));
+                if avail == 1 {
+                    break;
+                }
+            }
+        }
+        let Some((pivot_elem, _)) = pivot else {
+            // Everything covered: record incumbent.
+            self.best_weight = weight;
+            self.best = Some(chosen.clone());
+            return;
+        };
+        if weight + self.lower_bound(covered, banned) >= self.best_weight {
+            return;
+        }
+        // Branch on the sets covering the pivot element, cheapest first.
+        let mut candidates: Vec<usize> = self
+            .inst
+            .covering_sets(pivot_elem)
+            .iter()
+            .copied()
+            .filter(|&s| !banned[s])
+            .collect();
+        candidates.sort_by_key(|&s| (self.inst.weight(s), s));
+        let mut newly_banned = Vec::new();
+        for &s in &candidates {
+            // Include s.
+            let newly_covered: Vec<usize> = self
+                .inst
+                .elements(s)
+                .iter()
+                .copied()
+                .filter(|&e| !covered[e])
+                .collect();
+            for &e in &newly_covered {
+                covered[e] = true;
+            }
+            chosen.push(s);
+            self.dfs(covered, banned, chosen, weight + self.inst.weight(s));
+            chosen.pop();
+            for &e in &newly_covered {
+                covered[e] = false;
+            }
+            if self.truncated {
+                break;
+            }
+            // Exclude s in all later branches (standard pivot branching).
+            banned[s] = true;
+            newly_banned.push(s);
+        }
+        for s in newly_banned {
+            banned[s] = false;
+        }
+    }
+}
+
+/// Exact minimum-weight set cover by branch-and-bound (mincov-style:
+/// fail-first pivot selection, essential sets implicit via unit pivots, an
+/// independent-element lower bound, greedy incumbent warm start).
+///
+/// Returns `None` when the instance is not coverable, or when the node
+/// limit was hit before proving optimality *and* no feasible incumbent was
+/// found (with the greedy warm start this only happens for uncoverable
+/// instances).
+pub fn solve_exact(inst: &CoverInstance, options: &ExactOptions) -> Option<CoverSolution> {
+    if !inst.is_coverable() {
+        return None;
+    }
+    let warm = solve_greedy(inst);
+    let mut search = Search {
+        inst,
+        best_weight: warm.weight,
+        best: Some(warm.chosen),
+        nodes: 0,
+        node_limit: options.node_limit,
+        truncated: false,
+    };
+    let mut covered = vec![false; inst.universe_size()];
+    let mut banned = vec![false; inst.set_count()];
+    let mut chosen = Vec::new();
+    search.dfs(&mut covered, &mut banned, &mut chosen, 0);
+    search
+        .best
+        .map(|chosen| CoverSolution::from_sets(inst, chosen))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn beats_greedy_on_the_disjoint_pair_trap() {
+        // Greedy would take the ratio-attractive big set when it is
+        // slightly cheaper per element; exact must find the disjoint pair.
+        let inst = CoverInstance::new(
+            4,
+            vec![
+                (5, vec![0, 1, 2, 3]), // ratio 1.25
+                (2, vec![0, 1]),       // ratio 1.0
+                (2, vec![2, 3]),       // ratio 1.0
+            ],
+        );
+        let sol = solve_exact(&inst, &ExactOptions::default()).unwrap();
+        assert_eq!(sol.weight, 4);
+        assert_eq!(sol.chosen, vec![1, 2]);
+    }
+
+    #[test]
+    fn uncoverable_returns_none() {
+        let inst = CoverInstance::new(2, vec![(1, vec![0])]);
+        assert!(solve_exact(&inst, &ExactOptions::default()).is_none());
+    }
+
+    #[test]
+    fn essential_sets_are_forced() {
+        let inst = CoverInstance::new(
+            3,
+            vec![(100, vec![0]), (1, vec![1, 2])], // set 0 essential
+        );
+        let sol = solve_exact(&inst, &ExactOptions::default()).unwrap();
+        assert_eq!(sol.chosen, vec![0, 1]);
+        assert_eq!(sol.weight, 101);
+    }
+
+    #[test]
+    fn node_limit_still_returns_feasible() {
+        let inst = CoverInstance::new(
+            6,
+            vec![
+                (3, vec![0, 1, 2]),
+                (3, vec![3, 4, 5]),
+                (2, vec![0, 3]),
+                (2, vec![1, 4]),
+                (2, vec![2, 5]),
+            ],
+        );
+        let sol = solve_exact(&inst, &ExactOptions { node_limit: 1 }).unwrap();
+        assert!(sol.is_feasible(&inst));
+    }
+}

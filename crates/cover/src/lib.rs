@@ -1,0 +1,149 @@
+//! Weighted set cover solvers.
+//!
+//! The layout-modification step of the DATE 2005 bright-field AAPSM paper
+//! formulates the choice of end-to-end space-insertion grid lines as a
+//! weighted set cover: the universe is the set of correctable AAPSM
+//! conflicts, every candidate grid line is a set (the conflicts it can
+//! correct), and a line's weight is the largest space needed by any
+//! conflict intersecting it. The paper uses "a covering solver from
+//! Berkeley" (espresso/mincov); this crate supplies the equivalents:
+//!
+//! * [`solve_greedy`] — the classic ln(n)-approximate greedy (weight per
+//!   newly covered element),
+//! * [`solve_exact`] — a mincov-style branch-and-bound with essential-set
+//!   propagation and an independent-set lower bound,
+//! * [`solve_auto`] — exact when the instance is small enough, greedy
+//!   otherwise.
+//!
+//! # Example
+//!
+//! ```
+//! use aapsm_cover::{CoverInstance, solve_greedy};
+//!
+//! let inst = CoverInstance::new(3, vec![
+//!     (5, vec![0, 1]),    // set 0: weight 5 covers {0, 1}
+//!     (5, vec![1, 2]),    // set 1
+//!     (12, vec![0, 1, 2]) // set 2: covers everything but is expensive
+//! ]);
+//! let sol = solve_greedy(&inst);
+//! assert!(sol.is_feasible(&inst));
+//! assert_eq!(sol.chosen, vec![0, 1]);
+//! assert_eq!(sol.weight, 10);
+//! ```
+
+mod branch;
+mod greedy;
+mod instance;
+
+pub use branch::{solve_exact, ExactOptions};
+pub use greedy::solve_greedy;
+pub use instance::{CoverInstance, CoverSolution};
+
+/// Solves exactly when the instance is small (≤ `exact_limit` sets and
+/// elements), greedily otherwise.
+///
+/// Returns the solution and whether it is provably optimal.
+pub fn solve_auto(inst: &CoverInstance, exact_limit: usize) -> (CoverSolution, bool) {
+    if inst.set_count() <= exact_limit && inst.universe_size() <= 4 * exact_limit {
+        if let Some(sol) = solve_exact(inst, &ExactOptions::default()) {
+            return (sol, true);
+        }
+    }
+    (solve_greedy(inst), false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    /// Exhaustive optimum for tiny instances.
+    fn brute_optimum(inst: &CoverInstance) -> Option<i64> {
+        let k = inst.set_count();
+        assert!(k <= 20);
+        let mut best: Option<i64> = None;
+        'outer: for mask in 0u32..(1 << k) {
+            let mut covered = vec![false; inst.universe_size()];
+            let mut w = 0i64;
+            for s in 0..k {
+                if mask & (1 << s) != 0 {
+                    w += inst.weight(s);
+                    for &e in inst.elements(s) {
+                        covered[e] = true;
+                    }
+                }
+            }
+            for c in covered {
+                if !c {
+                    continue 'outer;
+                }
+            }
+            best = Some(best.map_or(w, |b: i64| b.min(w)));
+        }
+        best
+    }
+
+    fn random_instance(rng: &mut impl Rng, max_elems: usize, max_sets: usize) -> CoverInstance {
+        let n = rng.gen_range(1..=max_elems);
+        let k = rng.gen_range(1..=max_sets);
+        let mut sets = Vec::new();
+        for _ in 0..k {
+            let size = rng.gen_range(1..=n);
+            let mut elems: Vec<usize> = (0..n).collect();
+            // Random subset of `size` elements.
+            for i in 0..size {
+                let j = rng.gen_range(i..n);
+                elems.swap(i, j);
+            }
+            elems.truncate(size);
+            sets.push((rng.gen_range(1..50), elems));
+        }
+        CoverInstance::new(n, sets)
+    }
+
+    #[test]
+    fn exact_matches_brute_force() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for trial in 0..150 {
+            let inst = random_instance(&mut rng, 10, 8);
+            let brute = brute_optimum(&inst);
+            let exact = solve_exact(&inst, &ExactOptions::default());
+            match (brute, exact) {
+                (None, None) => {}
+                (Some(b), Some(sol)) => {
+                    assert!(sol.is_feasible(&inst), "trial {trial}");
+                    assert_eq!(sol.weight, b, "trial {trial}");
+                }
+                (b, e) => panic!("trial {trial}: feasibility disagrees {b:?} vs {}", e.is_some()),
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_is_feasible_and_bounded() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        for _ in 0..150 {
+            let inst = random_instance(&mut rng, 12, 10);
+            if brute_optimum(&inst).is_none() {
+                continue;
+            }
+            let sol = solve_greedy(&inst);
+            assert!(sol.is_feasible(&inst));
+            let opt = brute_optimum(&inst).unwrap();
+            assert!(sol.weight >= opt);
+            // ln(12) < 2.5; greedy is within the classical H_n bound.
+            assert!(sol.weight <= opt * 4, "greedy too far from optimum");
+        }
+    }
+
+    #[test]
+    fn auto_prefers_exact_on_small_instances() {
+        let inst = CoverInstance::new(
+            2,
+            vec![(10, vec![0]), (10, vec![1]), (11, vec![0, 1])],
+        );
+        let (sol, optimal) = solve_auto(&inst, 64);
+        assert!(optimal);
+        assert_eq!(sol.weight, 11);
+    }
+}

@@ -1,0 +1,63 @@
+//! Property-based tests of the set-cover solvers.
+
+use aapsm_cover::{solve_exact, solve_greedy, CoverInstance, ExactOptions};
+use proptest::prelude::*;
+
+fn instance() -> impl Strategy<Value = CoverInstance> {
+    (1usize..10).prop_flat_map(|n| {
+        proptest::collection::vec(
+            (1i64..50, proptest::collection::vec(0..n, 1..=n)),
+            1..9,
+        )
+        .prop_map(move |sets| CoverInstance::new(n, sets))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Exact never exceeds greedy; both feasible when the instance is
+    /// coverable.
+    #[test]
+    fn exact_at_most_greedy(inst in instance()) {
+        let greedy = solve_greedy(&inst);
+        match solve_exact(&inst, &ExactOptions::default()) {
+            Some(exact) => {
+                prop_assert!(inst.is_coverable());
+                prop_assert!(exact.is_feasible(&inst));
+                prop_assert!(greedy.is_feasible(&inst));
+                prop_assert!(exact.weight <= greedy.weight);
+            }
+            None => prop_assert!(!inst.is_coverable()),
+        }
+    }
+
+    /// Adding a set never worsens the exact optimum.
+    #[test]
+    fn monotone_in_sets(inst in instance(), w in 1i64..50) {
+        let Some(base) = solve_exact(&inst, &ExactOptions::default()) else {
+            return Ok(());
+        };
+        let mut sets: Vec<(i64, Vec<usize>)> = (0..inst.set_count())
+            .map(|s| (inst.weight(s), inst.elements(s).to_vec()))
+            .collect();
+        sets.push((w, (0..inst.universe_size()).collect()));
+        let bigger = CoverInstance::new(inst.universe_size(), sets);
+        let better = solve_exact(&bigger, &ExactOptions::default()).unwrap();
+        prop_assert!(better.weight <= base.weight.min(w));
+    }
+
+    /// Doubling every weight doubles the exact optimum.
+    #[test]
+    fn weight_scaling(inst in instance()) {
+        let Some(base) = solve_exact(&inst, &ExactOptions::default()) else {
+            return Ok(());
+        };
+        let sets: Vec<(i64, Vec<usize>)> = (0..inst.set_count())
+            .map(|s| (inst.weight(s) * 2, inst.elements(s).to_vec()))
+            .collect();
+        let doubled = CoverInstance::new(inst.universe_size(), sets);
+        let solved = solve_exact(&doubled, &ExactOptions::default()).unwrap();
+        prop_assert_eq!(solved.weight, base.weight * 2);
+    }
+}

@@ -1,0 +1,346 @@
+//! Minimal GDSII stream-format reader/writer for rectangle layouts.
+//!
+//! The paper's benchmarks are industrial GDSII layouts; this crate gives
+//! the workspace a real interchange path: a [`Layout`] can be written as a
+//! GDSII stream (one `BOUNDARY` per rectangle) and read back, including
+//! from files produced by standard EDA tools as long as the boundaries are
+//! axis-aligned rectangles.
+//!
+//! Only the records needed for rectangle data are implemented: `HEADER`,
+//! `BGNLIB`, `LIBNAME`, `UNITS`, `BGNSTR`, `STRNAME`, `BOUNDARY`, `LAYER`,
+//! `DATATYPE`, `XY`, `ENDEL`, `ENDSTR`, `ENDLIB`. Unknown records are
+//! skipped on read (so real-world files with `TEXT`/`SREF` elements still
+//! load their rectangles).
+//!
+//! # Example
+//!
+//! ```
+//! use aapsm_gds::{read_gds, write_gds};
+//! use aapsm_layout::Layout;
+//! use aapsm_geom::Rect;
+//!
+//! let layout = Layout::from_rects(vec![Rect::new(0, 0, 100, 400)]);
+//! let bytes = write_gds(&layout, "POLY");
+//! let back = read_gds(&bytes)?;
+//! assert_eq!(back, layout);
+//! # Ok::<(), aapsm_gds::GdsError>(())
+//! ```
+
+use aapsm_geom::Rect;
+use aapsm_layout::Layout;
+use std::fmt;
+
+/// Record type bytes (record type, data type).
+mod rt {
+    pub const HEADER: (u8, u8) = (0x00, 0x02);
+    pub const BGNLIB: (u8, u8) = (0x01, 0x02);
+    pub const LIBNAME: (u8, u8) = (0x02, 0x06);
+    pub const UNITS: (u8, u8) = (0x03, 0x05);
+    pub const ENDLIB: (u8, u8) = (0x04, 0x00);
+    pub const BGNSTR: (u8, u8) = (0x05, 0x02);
+    pub const STRNAME: (u8, u8) = (0x06, 0x06);
+    pub const ENDSTR: (u8, u8) = (0x07, 0x00);
+    pub const BOUNDARY: (u8, u8) = (0x08, 0x00);
+    pub const LAYER: (u8, u8) = (0x0d, 0x02);
+    pub const DATATYPE: (u8, u8) = (0x0e, 0x02);
+    pub const XY: (u8, u8) = (0x10, 0x03);
+    pub const ENDEL: (u8, u8) = (0x11, 0x00);
+}
+
+/// Error reading a GDSII stream.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GdsError {
+    /// The byte stream ended inside a record.
+    Truncated,
+    /// A record length field was invalid.
+    BadRecordLength {
+        /// Stream offset of the record.
+        offset: usize,
+    },
+    /// A `BOUNDARY` element was not an axis-aligned rectangle.
+    NotARectangle {
+        /// Index of the offending boundary.
+        boundary: usize,
+    },
+    /// A coordinate overflowed the GDSII 32-bit range on write.
+    CoordinateOverflow,
+}
+
+impl fmt::Display for GdsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GdsError::Truncated => write!(f, "gds stream truncated"),
+            GdsError::BadRecordLength { offset } => {
+                write!(f, "bad record length at offset {offset}")
+            }
+            GdsError::NotARectangle { boundary } => {
+                write!(f, "boundary {boundary} is not an axis-aligned rectangle")
+            }
+            GdsError::CoordinateOverflow => write!(f, "coordinate exceeds the gds 32-bit range"),
+        }
+    }
+}
+
+impl std::error::Error for GdsError {}
+
+fn push_record(out: &mut Vec<u8>, kind: (u8, u8), data: &[u8]) {
+    let len = 4 + data.len();
+    assert!(len <= u16::MAX as usize && len % 2 == 0, "record too long or odd");
+    out.extend_from_slice(&(len as u16).to_be_bytes());
+    out.push(kind.0);
+    out.push(kind.1);
+    out.extend_from_slice(data);
+}
+
+fn push_ascii(out: &mut Vec<u8>, kind: (u8, u8), s: &str) {
+    let mut data: Vec<u8> = s.bytes().collect();
+    if data.len() % 2 == 1 {
+        data.push(0);
+    }
+    push_record(out, kind, &data);
+}
+
+/// Writes a layout as a GDSII stream with a single structure named
+/// `cell_name`, layer 1, datatype 0, 1 nm database units.
+///
+/// Rectangles become 5-point closed `BOUNDARY` paths in counter-clockwise
+/// order.
+///
+/// # Panics
+///
+/// Panics if any coordinate exceeds the GDSII 32-bit range (use
+/// [`try_write_gds`] for a fallible version).
+pub fn write_gds(layout: &Layout, cell_name: &str) -> Vec<u8> {
+    try_write_gds(layout, cell_name).expect("layout coordinates fit the gds range")
+}
+
+/// Fallible version of [`write_gds`].
+///
+/// # Errors
+///
+/// Returns [`GdsError::CoordinateOverflow`] if a coordinate does not fit
+/// in `i32`.
+pub fn try_write_gds(layout: &Layout, cell_name: &str) -> Result<Vec<u8>, GdsError> {
+    let mut out = Vec::with_capacity(layout.len() * 60 + 128);
+    push_record(&mut out, rt::HEADER, &600i16.to_be_bytes());
+    // Twelve i16 timestamp words (modification + access), all zero.
+    push_record(&mut out, rt::BGNLIB, &[0u8; 24]);
+    push_ascii(&mut out, rt::LIBNAME, "AAPSM");
+    // UNITS: 1 dbu = 1e-3 user units (um), 1e-9 meters. Stored as two
+    // 8-byte GDSII reals.
+    let mut units = Vec::with_capacity(16);
+    units.extend_from_slice(&gds_real(1e-3));
+    units.extend_from_slice(&gds_real(1e-9));
+    push_record(&mut out, rt::UNITS, &units);
+    push_record(&mut out, rt::BGNSTR, &[0u8; 24]);
+    push_ascii(&mut out, rt::STRNAME, cell_name);
+    for r in layout.rects() {
+        push_record(&mut out, rt::BOUNDARY, &[]);
+        push_record(&mut out, rt::LAYER, &1i16.to_be_bytes());
+        push_record(&mut out, rt::DATATYPE, &0i16.to_be_bytes());
+        let pts = [
+            (r.x_lo(), r.y_lo()),
+            (r.x_hi(), r.y_lo()),
+            (r.x_hi(), r.y_hi()),
+            (r.x_lo(), r.y_hi()),
+            (r.x_lo(), r.y_lo()),
+        ];
+        let mut xy = Vec::with_capacity(40);
+        for (x, y) in pts {
+            let x = i32::try_from(x).map_err(|_| GdsError::CoordinateOverflow)?;
+            let y = i32::try_from(y).map_err(|_| GdsError::CoordinateOverflow)?;
+            xy.extend_from_slice(&x.to_be_bytes());
+            xy.extend_from_slice(&y.to_be_bytes());
+        }
+        push_record(&mut out, rt::XY, &xy);
+        push_record(&mut out, rt::ENDEL, &[]);
+    }
+    push_record(&mut out, rt::ENDSTR, &[]);
+    push_record(&mut out, rt::ENDLIB, &[]);
+    Ok(out)
+}
+
+/// Encodes an 8-byte GDSII excess-64 base-16 real.
+fn gds_real(value: f64) -> [u8; 8] {
+    if value == 0.0 {
+        return [0; 8];
+    }
+    let sign = if value < 0.0 { 0x80u8 } else { 0 };
+    let mut v = value.abs();
+    let mut exp = 64i32;
+    while v >= 1.0 {
+        v /= 16.0;
+        exp += 1;
+    }
+    while v < 1.0 / 16.0 {
+        v *= 16.0;
+        exp -= 1;
+    }
+    let mantissa = (v * 2f64.powi(56)) as u64;
+    let mut out = [0u8; 8];
+    out[0] = sign | (exp as u8);
+    out[1..8].copy_from_slice(&mantissa.to_be_bytes()[1..8]);
+    out
+}
+
+/// Reads the rectangles of the first structure of a GDSII stream.
+///
+/// Non-rectangular boundaries are an error; unknown records (texts,
+/// references, properties) are skipped.
+///
+/// # Errors
+///
+/// See [`GdsError`].
+pub fn read_gds(bytes: &[u8]) -> Result<Layout, GdsError> {
+    let mut rects = Vec::new();
+    let mut offset = 0usize;
+    let mut boundary_index = 0usize;
+    let mut in_boundary = false;
+    let mut saw_endlib = false;
+    while offset + 4 <= bytes.len() {
+        let len = u16::from_be_bytes([bytes[offset], bytes[offset + 1]]) as usize;
+        if len < 4 || len % 2 != 0 {
+            return Err(GdsError::BadRecordLength { offset });
+        }
+        if offset + len > bytes.len() {
+            return Err(GdsError::Truncated);
+        }
+        let kind = (bytes[offset + 2], bytes[offset + 3]);
+        let data = &bytes[offset + 4..offset + len];
+        match kind {
+            k if k == rt::BOUNDARY => in_boundary = true,
+            k if k == rt::ENDEL => in_boundary = false,
+            k if k == rt::XY && in_boundary => {
+                let mut pts = Vec::with_capacity(data.len() / 8);
+                for chunk in data.chunks_exact(8) {
+                    let x = i32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+                    let y = i32::from_be_bytes([chunk[4], chunk[5], chunk[6], chunk[7]]);
+                    pts.push((x as i64, y as i64));
+                }
+                rects.push(rect_from_boundary(&pts, boundary_index)?);
+                boundary_index += 1;
+            }
+            k if k == rt::ENDLIB => {
+                saw_endlib = true;
+                break;
+            }
+            _ => {}
+        }
+        offset += len;
+    }
+    if !saw_endlib {
+        return Err(GdsError::Truncated);
+    }
+    Ok(Layout::from_rects(rects))
+}
+
+fn rect_from_boundary(pts: &[(i64, i64)], index: usize) -> Result<Rect, GdsError> {
+    // A rectangle boundary has 5 points (closed) or 4 (unclosed writers
+    // exist); all edges must be axis-parallel and the extents must form
+    // exactly the bounding box.
+    let err = || GdsError::NotARectangle { boundary: index };
+    let core: &[(i64, i64)] = if pts.len() == 5 && pts[0] == pts[4] {
+        &pts[..4]
+    } else if pts.len() == 4 {
+        pts
+    } else {
+        return Err(err());
+    };
+    let xs: Vec<i64> = core.iter().map(|p| p.0).collect();
+    let ys: Vec<i64> = core.iter().map(|p| p.1).collect();
+    let (x_lo, x_hi) = (*xs.iter().min().unwrap(), *xs.iter().max().unwrap());
+    let (y_lo, y_hi) = (*ys.iter().min().unwrap(), *ys.iter().max().unwrap());
+    if x_lo == x_hi || y_lo == y_hi {
+        return Err(err());
+    }
+    // Each corner must be one of the four bbox corners, all distinct.
+    let mut corners: Vec<(i64, i64)> = core.to_vec();
+    corners.sort_unstable();
+    corners.dedup();
+    let mut expected = vec![(x_lo, y_lo), (x_lo, y_hi), (x_hi, y_lo), (x_hi, y_hi)];
+    expected.sort_unstable();
+    if corners != expected {
+        return Err(err());
+    }
+    Ok(Rect::new(x_lo, y_lo, x_hi, y_hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_simple() {
+        let layout = Layout::from_rects(vec![
+            Rect::new(0, 0, 100, 400),
+            Rect::new(-500, -600, -300, -100),
+        ]);
+        let bytes = write_gds(&layout, "TOP");
+        assert_eq!(read_gds(&bytes).unwrap(), layout);
+    }
+
+    #[test]
+    fn roundtrip_random() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for _ in 0..20 {
+            let rects: Vec<Rect> = (0..rng.gen_range(1..200))
+                .map(|_| {
+                    let x = rng.gen_range(-1_000_000..1_000_000);
+                    let y = rng.gen_range(-1_000_000..1_000_000);
+                    Rect::new(x, y, x + rng.gen_range(1..5000), y + rng.gen_range(1..5000))
+                })
+                .collect();
+            let layout = Layout::from_rects(rects);
+            assert_eq!(read_gds(&write_gds(&layout, "T")).unwrap(), layout);
+        }
+    }
+
+    #[test]
+    fn rejects_non_rectangles() {
+        let layout = Layout::from_rects(vec![Rect::new(0, 0, 10, 10)]);
+        let mut bytes = write_gds(&layout, "T");
+        // Corrupt one XY coordinate so the boundary is an L-shape.
+        // Find the XY record (0x10, 0x03).
+        let pos = (0..bytes.len() - 4)
+            .find(|&i| bytes[i + 2] == 0x10 && bytes[i + 3] == 0x03)
+            .unwrap();
+        // Second point's x (offset 4 header + 8 first point).
+        bytes[pos + 4 + 8 + 3] = 5;
+        assert!(matches!(
+            read_gds(&bytes),
+            Err(GdsError::NotARectangle { boundary: 0 })
+        ));
+    }
+
+    #[test]
+    fn truncated_stream_detected() {
+        let layout = Layout::from_rects(vec![Rect::new(0, 0, 10, 10)]);
+        let bytes = write_gds(&layout, "T");
+        assert_eq!(read_gds(&bytes[..bytes.len() - 2]), Err(GdsError::Truncated));
+    }
+
+    #[test]
+    fn coordinate_overflow_reported() {
+        let layout = Layout::from_rects(vec![Rect::new(0, 0, i64::MAX / 2, 10)]);
+        assert_eq!(
+            try_write_gds(&layout, "T"),
+            Err(GdsError::CoordinateOverflow)
+        );
+    }
+
+    #[test]
+    fn empty_layout_roundtrips() {
+        let bytes = write_gds(&Layout::new(), "EMPTY");
+        assert!(read_gds(&bytes).unwrap().is_empty());
+    }
+
+    #[test]
+    fn gds_real_encodes_unit_values() {
+        // 1e-9 in excess-64 base-16: known first bytes from the GDS spec
+        // examples: exponent 0x39 mantissa 0x44b82fa09b5a54...
+        let r = gds_real(1e-9);
+        assert_eq!(r[0], 0x39);
+        assert_eq!(r[1], 0x44);
+    }
+}

@@ -1,0 +1,208 @@
+use std::collections::HashMap;
+
+/// A uniform spatial hash over `i64` space.
+///
+/// Items are inserted with an axis-aligned bounding range and can then be
+/// queried for candidate neighbours. The index is the backbone of both
+/// overlapping-shifter extraction and edge-crossing detection, which would
+/// otherwise be quadratic on full-chip inputs.
+///
+/// The cell size should be on the order of the query interaction distance
+/// (e.g. the shifter spacing rule, or the typical edge length); queries then
+/// touch O(1) cells per item in well-behaved layouts.
+///
+/// ```
+/// use aapsm_geom::GridIndex;
+/// let mut grid = GridIndex::new(256);
+/// grid.insert(0, (0, 0, 100, 100));
+/// grid.insert(1, (90, 90, 200, 200));
+/// grid.insert(2, (10_000, 10_000, 10_100, 10_100));
+/// let mut pairs = grid.candidate_pairs();
+/// pairs.sort_unstable();
+/// assert_eq!(pairs, vec![(0, 1)]);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct GridIndex {
+    cell: i64,
+    cells: HashMap<(i64, i64), Vec<u32>>,
+    /// Bounding ranges per inserted id, in insertion order.
+    boxes: Vec<(i64, i64, i64, i64)>,
+}
+
+impl GridIndex {
+    /// Creates an index with the given cell size (dbu).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_size <= 0`.
+    pub fn new(cell_size: i64) -> Self {
+        assert!(cell_size > 0, "cell size must be positive");
+        GridIndex {
+            cell: cell_size,
+            cells: HashMap::new(),
+            boxes: Vec::new(),
+        }
+    }
+
+    /// Number of inserted items.
+    pub fn len(&self) -> usize {
+        self.boxes.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.boxes.is_empty()
+    }
+
+    fn cell_range(&self, bx: (i64, i64, i64, i64)) -> (i64, i64, i64, i64) {
+        let (x_lo, y_lo, x_hi, y_hi) = bx;
+        (
+            x_lo.div_euclid(self.cell),
+            y_lo.div_euclid(self.cell),
+            x_hi.div_euclid(self.cell),
+            y_hi.div_euclid(self.cell),
+        )
+    }
+
+    /// Inserts an item with bounding range `(x_lo, y_lo, x_hi, y_hi)`.
+    ///
+    /// `id` is expected to be the next sequential id (`self.len()`); items
+    /// are small integers so the pair enumeration can use dense bitsets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id != self.len()` or the range is inverted.
+    pub fn insert(&mut self, id: u32, bbox: (i64, i64, i64, i64)) {
+        assert_eq!(id as usize, self.boxes.len(), "ids must be sequential");
+        assert!(bbox.0 <= bbox.2 && bbox.1 <= bbox.3, "inverted bbox");
+        let (cx_lo, cy_lo, cx_hi, cy_hi) = self.cell_range(bbox);
+        for cx in cx_lo..=cx_hi {
+            for cy in cy_lo..=cy_hi {
+                self.cells.entry((cx, cy)).or_default().push(id);
+            }
+        }
+        self.boxes.push(bbox);
+    }
+
+    /// Ids of items whose bounding range intersects the query range
+    /// (deduplicated, unsorted).
+    pub fn query(&self, bbox: (i64, i64, i64, i64)) -> Vec<u32> {
+        let (cx_lo, cy_lo, cx_hi, cy_hi) = self.cell_range(bbox);
+        let mut out = Vec::new();
+        let mut seen = vec![false; self.boxes.len()];
+        for cx in cx_lo..=cx_hi {
+            for cy in cy_lo..=cy_hi {
+                if let Some(ids) = self.cells.get(&(cx, cy)) {
+                    for &id in ids {
+                        if !seen[id as usize] && ranges_touch(self.boxes[id as usize], bbox) {
+                            seen[id as usize] = true;
+                            out.push(id);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// All unordered pairs `(i, j)` with `i < j` whose bounding ranges
+    /// intersect. Each pair is reported exactly once.
+    pub fn candidate_pairs(&self) -> Vec<(u32, u32)> {
+        let mut pairs = Vec::new();
+        let mut seen: HashMap<u64, ()> = HashMap::new();
+        for ids in self.cells.values() {
+            for (k, &i) in ids.iter().enumerate() {
+                for &j in &ids[k + 1..] {
+                    let (a, b) = if i < j { (i, j) } else { (j, i) };
+                    if a == b {
+                        continue;
+                    }
+                    let key = (a as u64) << 32 | b as u64;
+                    if seen.contains_key(&key) {
+                        continue;
+                    }
+                    if ranges_touch(self.boxes[a as usize], self.boxes[b as usize]) {
+                        seen.insert(key, ());
+                        pairs.push((a, b));
+                    }
+                }
+            }
+        }
+        pairs
+    }
+}
+
+fn ranges_touch(a: (i64, i64, i64, i64), b: (i64, i64, i64, i64)) -> bool {
+    a.0 <= b.2 && b.0 <= a.2 && a.1 <= b.3 && b.1 <= a.3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_pairs(boxes: &[(i64, i64, i64, i64)]) -> Vec<(u32, u32)> {
+        let mut out = Vec::new();
+        for i in 0..boxes.len() {
+            for j in i + 1..boxes.len() {
+                if ranges_touch(boxes[i], boxes[j]) {
+                    out.push((i as u32, j as u32));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn pairs_match_brute_force() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..20 {
+            let boxes: Vec<_> = (0..60)
+                .map(|_| {
+                    let x = rng.gen_range(-1000..1000);
+                    let y = rng.gen_range(-1000..1000);
+                    let w = rng.gen_range(1..300);
+                    let h = rng.gen_range(1..300);
+                    (x, y, x + w, y + h)
+                })
+                .collect();
+            let mut grid = GridIndex::new(128);
+            for (i, b) in boxes.iter().enumerate() {
+                grid.insert(i as u32, *b);
+            }
+            let mut got = grid.candidate_pairs();
+            got.sort_unstable();
+            let mut want = brute_pairs(&boxes);
+            want.sort_unstable();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn query_finds_touching_items() {
+        let mut grid = GridIndex::new(100);
+        grid.insert(0, (0, 0, 50, 50));
+        grid.insert(1, (500, 500, 600, 600));
+        let mut hits = grid.query((40, 40, 60, 60));
+        hits.sort_unstable();
+        assert_eq!(hits, vec![0]);
+        // Touching at a corner counts.
+        assert_eq!(grid.query((50, 50, 70, 70)), vec![0]);
+        assert!(grid.query((200, 200, 210, 210)).is_empty());
+    }
+
+    #[test]
+    fn negative_coordinates_work() {
+        let mut grid = GridIndex::new(64);
+        grid.insert(0, (-500, -500, -400, -400));
+        grid.insert(1, (-450, -450, -300, -300));
+        assert_eq!(grid.candidate_pairs(), vec![(0, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sequential")]
+    fn rejects_nonsequential_ids() {
+        let mut grid = GridIndex::new(10);
+        grid.insert(3, (0, 0, 1, 1));
+    }
+}

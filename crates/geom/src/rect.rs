@@ -1,0 +1,322 @@
+use crate::{Interval, Point};
+use std::fmt;
+
+/// One of the two layout axes.
+///
+/// By the conventions of the correction planner, a *vertical* space-insertion
+/// cut line is positioned along [`Axis::X`] (it shifts geometry horizontally)
+/// and a *horizontal* one along [`Axis::Y`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Axis {
+    /// The horizontal axis.
+    X,
+    /// The vertical axis.
+    Y,
+}
+
+impl Axis {
+    /// The other axis.
+    pub fn perp(self) -> Axis {
+        match self {
+            Axis::X => Axis::Y,
+            Axis::Y => Axis::X,
+        }
+    }
+}
+
+impl fmt::Display for Axis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Axis::X => write!(f, "x"),
+            Axis::Y => write!(f, "y"),
+        }
+    }
+}
+
+/// An axis-aligned rectangle `[x_lo, x_hi] × [y_lo, y_hi]` with positive
+/// extent on both axes.
+///
+/// ```
+/// use aapsm_geom::Rect;
+/// let r = Rect::new(0, 0, 100, 400);
+/// assert_eq!(r.width(), 100);
+/// assert_eq!(r.height(), 400);
+/// assert_eq!(r.area(), 40_000);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Rect {
+    x_lo: i64,
+    y_lo: i64,
+    x_hi: i64,
+    y_hi: i64,
+}
+
+impl Rect {
+    /// Creates a rectangle from its corner coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rectangle would be empty (`x_lo >= x_hi` or
+    /// `y_lo >= y_hi`).
+    pub fn new(x_lo: i64, y_lo: i64, x_hi: i64, y_hi: i64) -> Self {
+        assert!(
+            x_lo < x_hi && y_lo < y_hi,
+            "degenerate rect [{x_lo},{x_hi}]x[{y_lo},{y_hi}]"
+        );
+        Rect { x_lo, y_lo, x_hi, y_hi }
+    }
+
+    /// Creates a rectangle from two opposite corners in any order.
+    ///
+    /// Returns `None` if the corners coincide on either axis.
+    pub fn from_corners(a: Point, b: Point) -> Option<Self> {
+        let (x_lo, x_hi) = (a.x.min(b.x), a.x.max(b.x));
+        let (y_lo, y_hi) = (a.y.min(b.y), a.y.max(b.y));
+        (x_lo < x_hi && y_lo < y_hi).then(|| Rect { x_lo, y_lo, x_hi, y_hi })
+    }
+
+    /// Left edge.
+    pub fn x_lo(&self) -> i64 {
+        self.x_lo
+    }
+    /// Right edge.
+    pub fn x_hi(&self) -> i64 {
+        self.x_hi
+    }
+    /// Bottom edge.
+    pub fn y_lo(&self) -> i64 {
+        self.y_lo
+    }
+    /// Top edge.
+    pub fn y_hi(&self) -> i64 {
+        self.y_hi
+    }
+
+    /// Horizontal extent.
+    pub fn width(&self) -> i64 {
+        self.x_hi - self.x_lo
+    }
+
+    /// Vertical extent.
+    pub fn height(&self) -> i64 {
+        self.y_hi - self.y_lo
+    }
+
+    /// The shorter of width and height (the "critical dimension" side).
+    pub fn min_dim(&self) -> i64 {
+        self.width().min(self.height())
+    }
+
+    /// Exact area in dbu² (`i128`; never overflows for chip-scale inputs).
+    pub fn area(&self) -> i128 {
+        self.width() as i128 * self.height() as i128
+    }
+
+    /// Geometric center, rounded toward negative infinity.
+    pub fn center(&self) -> Point {
+        Point::new(
+            self.x_lo + self.width().div_euclid(2),
+            self.y_lo + self.height().div_euclid(2),
+        )
+    }
+
+    /// Projection onto an axis as a closed interval.
+    pub fn span(&self, axis: Axis) -> Interval {
+        match axis {
+            Axis::X => Interval::new(self.x_lo, self.x_hi),
+            Axis::Y => Interval::new(self.y_lo, self.y_hi),
+        }
+    }
+
+    /// Whether the rectangles share interior area (touching edges do not
+    /// count).
+    pub fn overlaps(&self, other: &Rect) -> bool {
+        self.x_lo < other.x_hi
+            && other.x_lo < self.x_hi
+            && self.y_lo < other.y_hi
+            && other.y_lo < self.y_hi
+    }
+
+    /// Whether the closed rectangles intersect (touching counts).
+    pub fn touches(&self, other: &Rect) -> bool {
+        self.x_lo <= other.x_hi
+            && other.x_lo <= self.x_hi
+            && self.y_lo <= other.y_hi
+            && other.y_lo <= self.y_hi
+    }
+
+    /// Whether `p` lies inside the closed rectangle.
+    pub fn contains(&self, p: Point) -> bool {
+        self.span(Axis::X).contains(p.x) && self.span(Axis::Y).contains(p.y)
+    }
+
+    /// Signed horizontal separation: positive = empty space, negative =
+    /// overlap depth, zero = abutting.
+    pub fn x_gap(&self, other: &Rect) -> i64 {
+        self.span(Axis::X).signed_gap(&other.span(Axis::X))
+    }
+
+    /// Signed vertical separation (see [`Rect::x_gap`]).
+    pub fn y_gap(&self, other: &Rect) -> i64 {
+        self.span(Axis::Y).signed_gap(&other.span(Axis::Y))
+    }
+
+    /// Signed separation along `axis`.
+    pub fn gap(&self, other: &Rect, axis: Axis) -> i64 {
+        match axis {
+            Axis::X => self.x_gap(other),
+            Axis::Y => self.y_gap(other),
+        }
+    }
+
+    /// Exact squared Euclidean distance between the closed rectangles
+    /// (zero when they touch or overlap).
+    ///
+    /// This is the corner-to-corner spacing measure used by Euclidean DRC
+    /// spacing rules: two shifters violate a spacing rule `s` iff
+    /// `euclid_gap_sq < s²`.
+    pub fn euclid_gap_sq(&self, other: &Rect) -> i128 {
+        let dx = self.x_gap(other).max(0) as i128;
+        let dy = self.y_gap(other).max(0) as i128;
+        dx * dx + dy * dy
+    }
+
+    /// The smallest rectangle containing both.
+    pub fn hull(&self, other: &Rect) -> Rect {
+        Rect {
+            x_lo: self.x_lo.min(other.x_lo),
+            y_lo: self.y_lo.min(other.y_lo),
+            x_hi: self.x_hi.max(other.x_hi),
+            y_hi: self.y_hi.max(other.y_hi),
+        }
+    }
+
+    /// The overlap rectangle of the *closed* rectangles, if any; degenerate
+    /// (zero-width or zero-height) contact regions are returned as the
+    /// contact interval inflated to nothing — i.e. `None` is returned unless
+    /// the rectangles share interior area. Use [`Rect::overlap_region_center`]
+    /// for the "center of the region of overlap" of two shifters regardless
+    /// of degeneracy.
+    pub fn intersection(&self, other: &Rect) -> Option<Rect> {
+        let x_lo = self.x_lo.max(other.x_lo);
+        let y_lo = self.y_lo.max(other.y_lo);
+        let x_hi = self.x_hi.min(other.x_hi);
+        let y_hi = self.y_hi.min(other.y_hi);
+        (x_lo < x_hi && y_lo < y_hi).then(|| Rect { x_lo, y_lo, x_hi, y_hi })
+    }
+
+    /// Center of the interaction region of two nearby rectangles.
+    ///
+    /// For overlapping rectangles this is the center of the intersection;
+    /// otherwise it is the midpoint of the gap between the closest
+    /// approaches. This is the geometric detour point at which the feature
+    /// graph of Kahng et al. places its conflict nodes.
+    pub fn overlap_region_center(&self, other: &Rect) -> Point {
+        let x = clamp_center(self.x_lo, self.x_hi, other.x_lo, other.x_hi);
+        let y = clamp_center(self.y_lo, self.y_hi, other.y_lo, other.y_hi);
+        Point::new(x, y)
+    }
+
+    /// Translates the rectangle.
+    pub fn shift(&self, dx: i64, dy: i64) -> Rect {
+        Rect {
+            x_lo: self.x_lo + dx,
+            y_lo: self.y_lo + dy,
+            x_hi: self.x_hi + dx,
+            y_hi: self.y_hi + dy,
+        }
+    }
+
+    /// Grows the rectangle outward by `margin` on all four sides.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a negative margin would make the rectangle empty.
+    pub fn inflate(&self, margin: i64) -> Rect {
+        Rect::new(
+            self.x_lo - margin,
+            self.y_lo - margin,
+            self.x_hi + margin,
+            self.y_hi + margin,
+        )
+    }
+}
+
+/// Midpoint of the overlap of `[a_lo, a_hi]` and `[b_lo, b_hi]` when they
+/// overlap, else midpoint of the gap between them.
+fn clamp_center(a_lo: i64, a_hi: i64, b_lo: i64, b_hi: i64) -> i64 {
+    let lo = a_lo.max(b_lo);
+    let hi = a_hi.min(b_hi);
+    // When disjoint, lo > hi and (lo + hi) / 2 is still the gap midpoint.
+    ((lo as i128 + hi as i128).div_euclid(2)) as i64
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{},{}]x[{},{}]",
+            self.x_lo, self.x_hi, self.y_lo, self.y_hi
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gaps_are_signed() {
+        let a = Rect::new(0, 0, 100, 400);
+        let b = Rect::new(160, 100, 260, 500);
+        assert_eq!(a.x_gap(&b), 60);
+        assert_eq!(a.y_gap(&b), -300); // y spans overlap by 300
+        assert_eq!(b.x_gap(&a), 60); // symmetric
+        assert_eq!(a.euclid_gap_sq(&b), 3600);
+    }
+
+    #[test]
+    fn euclid_gap_diagonal() {
+        let a = Rect::new(0, 0, 10, 10);
+        let b = Rect::new(13, 14, 20, 20);
+        assert_eq!(a.euclid_gap_sq(&b), 9 + 16);
+    }
+
+    #[test]
+    fn overlap_vs_touch() {
+        let a = Rect::new(0, 0, 10, 10);
+        let b = Rect::new(10, 0, 20, 10);
+        assert!(!a.overlaps(&b));
+        assert!(a.touches(&b));
+        assert_eq!(a.euclid_gap_sq(&b), 0);
+    }
+
+    #[test]
+    fn intersection_and_hull() {
+        let a = Rect::new(0, 0, 10, 10);
+        let b = Rect::new(5, 5, 20, 20);
+        assert_eq!(a.intersection(&b), Some(Rect::new(5, 5, 10, 10)));
+        assert_eq!(a.hull(&b), Rect::new(0, 0, 20, 20));
+    }
+
+    #[test]
+    fn overlap_region_center_disjoint_is_gap_midpoint() {
+        let a = Rect::new(0, 0, 10, 10);
+        let b = Rect::new(20, 0, 30, 10);
+        assert_eq!(a.overlap_region_center(&b), Point::new(15, 5));
+    }
+
+    #[test]
+    fn span_and_center() {
+        let r = Rect::new(-10, 0, 10, 7);
+        assert_eq!(r.span(Axis::X), Interval::new(-10, 10));
+        assert_eq!(r.center(), Point::new(0, 3));
+        assert_eq!(r.min_dim(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn rejects_empty() {
+        let _ = Rect::new(0, 0, 0, 10);
+    }
+}

@@ -1,0 +1,97 @@
+//! Property-based tests of the exact geometry predicates.
+
+use aapsm_geom::{Interval, Point, Rect, Segment};
+use proptest::prelude::*;
+
+fn point() -> impl Strategy<Value = Point> {
+    (-2000i64..2000, -2000i64..2000).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn rect() -> impl Strategy<Value = Rect> {
+    (point(), 1i64..800, 1i64..800).prop_map(|(p, w, h)| Rect::new(p.x, p.y, p.x + w, p.y + h))
+}
+
+fn segment() -> impl Strategy<Value = Segment> {
+    (point(), point()).prop_map(|(a, b)| Segment::new(a, b))
+}
+
+proptest! {
+    /// Crossing and intersection are symmetric relations.
+    #[test]
+    fn crossing_is_symmetric(s in segment(), t in segment()) {
+        prop_assert_eq!(s.crosses(&t), t.crosses(&s));
+        prop_assert_eq!(s.intersects(&t), t.intersects(&s));
+    }
+
+    /// Crossing implies intersecting.
+    #[test]
+    fn crossing_implies_intersecting(s in segment(), t in segment()) {
+        if s.crosses(&t) {
+            prop_assert!(s.intersects(&t));
+        }
+    }
+
+    /// Translating both segments by the same vector preserves crossing.
+    #[test]
+    fn crossing_is_translation_invariant(s in segment(), t in segment(), d in point()) {
+        let shift = |seg: &Segment| Segment::new(seg.a + d, seg.b + d);
+        prop_assert_eq!(s.crosses(&t), shift(&s).crosses(&shift(&t)));
+    }
+
+    /// Euclidean rect gap is symmetric, zero iff the closed rects touch,
+    /// and translation invariant.
+    #[test]
+    fn rect_gap_properties(a in rect(), b in rect(), d in point()) {
+        prop_assert_eq!(a.euclid_gap_sq(&b), b.euclid_gap_sq(&a));
+        prop_assert_eq!(a.euclid_gap_sq(&b) == 0, a.touches(&b));
+        let (sa, sb) = (a.shift(d.x, d.y), b.shift(d.x, d.y));
+        prop_assert_eq!(a.euclid_gap_sq(&b), sa.euclid_gap_sq(&sb));
+    }
+
+    /// The hull contains both rects; the intersection (when it exists) is
+    /// contained in both.
+    #[test]
+    fn hull_and_intersection_ordering(a in rect(), b in rect()) {
+        let h = a.hull(&b);
+        prop_assert!(h.x_lo() <= a.x_lo() && h.x_hi() >= b.x_hi());
+        if let Some(i) = a.intersection(&b) {
+            prop_assert!(a.overlaps(&i) && b.overlaps(&i));
+            prop_assert!(i.area() <= a.area() && i.area() <= b.area());
+        } else {
+            prop_assert!(!a.overlaps(&b));
+        }
+    }
+
+    /// Interval gap/overlap coherence and signed-gap consistency.
+    #[test]
+    fn interval_gap_coherence(a in (-500i64..500, 1i64..300), b in (-500i64..500, 1i64..300)) {
+        let ia = Interval::new(a.0, a.0 + a.1);
+        let ib = Interval::new(b.0, b.0 + b.1);
+        prop_assert_eq!(ia.gap(&ib), ib.gap(&ia));
+        prop_assert_eq!(ia.overlaps(&ib), ia.gap(&ib) == 0);
+        prop_assert_eq!(ia.gap(&ib), ia.signed_gap(&ib).max(0));
+    }
+
+    /// Orientation flips sign when two arguments swap.
+    #[test]
+    fn orientation_antisymmetry(a in point(), b in point(), c in point()) {
+        use aapsm_geom::Orientation::*;
+        let o1 = Point::orient(a, b, c);
+        let o2 = Point::orient(b, a, c);
+        match o1 {
+            Collinear => prop_assert_eq!(o2, Collinear),
+            Clockwise => prop_assert_eq!(o2, CounterClockwise),
+            CounterClockwise => prop_assert_eq!(o2, Clockwise),
+        }
+    }
+
+    /// Midpoint lies on the connecting segment (for even-parity safety the
+    /// rounded midpoint must still be inside the bounding box and, when
+    /// exact, collinear).
+    #[test]
+    fn midpoint_is_between(a in point(), b in point()) {
+        let m = a.midpoint(b);
+        prop_assert!(m.x >= a.x.min(b.x) && m.x <= a.x.max(b.x));
+        prop_assert!(m.y >= a.y.min(b.y) && m.y <= a.y.max(b.y));
+    }
+}

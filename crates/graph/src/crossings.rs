@@ -1,0 +1,210 @@
+use crate::{EdgeId, EmbeddedGraph};
+use aapsm_geom::GridIndex;
+
+/// The set of crossing edge pairs of a straight-line drawing.
+#[derive(Clone, Debug, Default)]
+pub struct CrossingSet {
+    /// Unordered crossing pairs, each reported once with the smaller edge
+    /// id first.
+    pub pairs: Vec<(EdgeId, EdgeId)>,
+}
+
+impl CrossingSet {
+    /// Whether the drawing is already planar (no crossings).
+    pub fn is_planar(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Number of crossings each edge participates in, indexed by edge id.
+    pub fn counts(&self, edge_count: usize) -> Vec<u32> {
+        let mut counts = vec![0u32; edge_count];
+        for &(a, b) in &self.pairs {
+            counts[a.index()] += 1;
+            counts[b.index()] += 1;
+        }
+        counts
+    }
+
+    /// Adjacency: for each edge, the edges it crosses.
+    pub fn partners(&self, edge_count: usize) -> Vec<Vec<EdgeId>> {
+        let mut adj = vec![Vec::new(); edge_count];
+        for &(a, b) in &self.pairs {
+            adj[a.index()].push(b);
+            adj[b.index()].push(a);
+        }
+        adj
+    }
+}
+
+/// Finds all crossing pairs among alive edges using a spatial grid with an
+/// automatically chosen cell size (the median edge bounding-box extent).
+///
+/// Two edges *cross* when their segments intersect anywhere beyond a shared
+/// endpoint — see [`aapsm_geom::Segment::crosses`]. Edges meeting only at a
+/// common node do not cross; parallel edges (coincident segments) and
+/// collinear containments *do*, so that the planarized drawing is a proper
+/// plane graph with a well-defined rotation system.
+pub fn crossing_pairs(g: &EmbeddedGraph) -> CrossingSet {
+    let mut extents: Vec<i64> = g
+        .alive_edges()
+        .map(|e| {
+            let (x_lo, y_lo, x_hi, y_hi) = g.segment(e).bbox_ranges();
+            (x_hi - x_lo).max(y_hi - y_lo).max(1)
+        })
+        .collect();
+    if extents.is_empty() {
+        return CrossingSet::default();
+    }
+    let mid = extents.len() / 2;
+    extents.select_nth_unstable(mid);
+    let cell = extents[mid].max(16);
+    crossing_pairs_with_cell(g, cell)
+}
+
+/// Finds all crossing pairs among alive edges with an explicit grid cell
+/// size (dbu).
+///
+/// # Panics
+///
+/// Panics if `cell <= 0`.
+pub fn crossing_pairs_with_cell(g: &EmbeddedGraph, cell: i64) -> CrossingSet {
+    let alive: Vec<EdgeId> = g.alive_edges().collect();
+    let mut grid = GridIndex::new(cell);
+    for (i, &e) in alive.iter().enumerate() {
+        let (x_lo, y_lo, x_hi, y_hi) = g.segment(e).bbox_ranges();
+        grid.insert(i as u32, (x_lo, y_lo, x_hi, y_hi));
+    }
+    let mut pairs = Vec::new();
+    for (ia, ib) in grid.candidate_pairs() {
+        let (ea, eb) = (alive[ia as usize], alive[ib as usize]);
+        // Edges sharing a graph node share that segment endpoint, which
+        // [`Segment::crosses`] already discounts; edges that *additionally*
+        // overlap (parallel edges, collinear containment) are genuine
+        // planarity violations and must be reported.
+        if g.segment(ea).crosses(&g.segment(eb)) {
+            let (lo, hi) = if ea.index() < eb.index() {
+                (ea, eb)
+            } else {
+                (eb, ea)
+            };
+            pairs.push((lo, hi));
+        }
+    }
+    pairs.sort_unstable();
+    pairs.dedup();
+    CrossingSet { pairs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aapsm_geom::Point;
+
+    fn p(x: i64, y: i64) -> Point {
+        Point::new(x, y)
+    }
+
+    #[test]
+    fn detects_x_crossing() {
+        let mut g = EmbeddedGraph::new();
+        let a = g.add_node(p(0, 0));
+        let b = g.add_node(p(100, 100));
+        let c = g.add_node(p(0, 100));
+        let d = g.add_node(p(100, 0));
+        let e1 = g.add_edge(a, b, 1);
+        let e2 = g.add_edge(c, d, 1);
+        let cs = crossing_pairs(&g);
+        assert_eq!(cs.pairs, vec![(e1, e2)]);
+        assert_eq!(cs.counts(g.edge_count()), vec![1, 1]);
+    }
+
+    #[test]
+    fn shared_node_edges_do_not_cross() {
+        let mut g = EmbeddedGraph::new();
+        let a = g.add_node(p(0, 0));
+        let b = g.add_node(p(100, 0));
+        let c = g.add_node(p(50, 100));
+        g.add_edge(a, b, 1);
+        g.add_edge(a, c, 1);
+        g.add_edge(b, c, 1);
+        assert!(crossing_pairs(&g).is_planar());
+    }
+
+    #[test]
+    fn dead_edges_ignored() {
+        let mut g = EmbeddedGraph::new();
+        let a = g.add_node(p(0, 0));
+        let b = g.add_node(p(100, 100));
+        let c = g.add_node(p(0, 100));
+        let d = g.add_node(p(100, 0));
+        let e1 = g.add_edge(a, b, 1);
+        g.add_edge(c, d, 1);
+        g.kill_edge(e1);
+        assert!(crossing_pairs(&g).is_planar());
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_drawings() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(19);
+        for _ in 0..20 {
+            let n = rng.gen_range(4..25);
+            let mut g = EmbeddedGraph::new();
+            let nodes: Vec<_> = (0..n)
+                .map(|_| {
+                    g.add_node(p(rng.gen_range(-500..500), rng.gen_range(-500..500)))
+                })
+                .collect();
+            // nudge duplicates to keep drawings simple
+            let mut gg = g.clone();
+            for _ in 0..rng.gen_range(3..40) {
+                let u = rng.gen_range(0..n);
+                let v = rng.gen_range(0..n);
+                if u != v && gg.pos(nodes[u]) != gg.pos(nodes[v]) {
+                    gg.add_edge(nodes[u], nodes[v], 1);
+                }
+            }
+            let fast = crossing_pairs(&gg).pairs;
+            // Brute force.
+            let alive: Vec<EdgeId> = gg.alive_edges().collect();
+            let mut brute = Vec::new();
+            for i in 0..alive.len() {
+                for j in i + 1..alive.len() {
+                    let (ea, eb) = (alive[i], alive[j]);
+                    if gg.segment(ea).crosses(&gg.segment(eb)) {
+                        brute.push((ea, eb));
+                    }
+                }
+            }
+            brute.sort_unstable();
+            assert_eq!(fast, brute);
+        }
+    }
+
+    #[test]
+    fn collinear_chain_is_planar() {
+        // The PCG overlap-node pattern: a -- o -- b on one straight line.
+        let mut g = EmbeddedGraph::new();
+        let a = g.add_node(p(0, 0));
+        let o = g.add_node(p(50, 0));
+        let b = g.add_node(p(100, 0));
+        g.add_edge(a, o, 1);
+        g.add_edge(o, b, 1);
+        assert!(crossing_pairs(&g).is_planar());
+    }
+
+    #[test]
+    fn edge_through_foreign_vertex_counts_as_crossing() {
+        // A long edge passing exactly through another edge's endpoint
+        // breaks planarity of the drawing and must be reported.
+        let mut g = EmbeddedGraph::new();
+        let a = g.add_node(p(0, 0));
+        let b = g.add_node(p(100, 0));
+        let c = g.add_node(p(50, 0));
+        let d = g.add_node(p(50, 50));
+        let e1 = g.add_edge(a, b, 1);
+        let e2 = g.add_edge(c, d, 1);
+        let cs = crossing_pairs(&g);
+        assert_eq!(cs.pairs, vec![(e1, e2)]);
+    }
+}

@@ -1,0 +1,166 @@
+use crate::{EdgeId, EmbeddedGraph, Faces};
+
+/// One edge of the geometric dual: it crosses a primal edge and connects
+/// the two faces on its sides.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DualEdge {
+    /// The primal edge this dual edge crosses.
+    pub primal: EdgeId,
+    /// Face on the `u -> v` side.
+    pub a: u32,
+    /// Face on the `v -> u` side.
+    pub b: u32,
+    /// Weight inherited from the primal edge.
+    pub weight: i64,
+}
+
+/// The geometric dual of a plane drawing, specialized for the
+/// bipartization-as-T-join reduction.
+///
+/// Nodes are the faces of the primal drawing. Bridges of the primal graph
+/// would become dual self-loops; since a bridge lies on no cycle it can
+/// never be part of a minimum odd-cycle cover, so bridges are segregated
+/// into [`DualGraph::bridges`] and excluded from the dual edge set.
+///
+/// The T-set of the bipartization T-join is exactly the odd faces
+/// ([`DualGraph::t_set`]); for a plane multigraph the dual degree of a face
+/// equals its boundary-walk length, so "odd-degree dual nodes" (the paper's
+/// phrasing) and "odd faces" coincide.
+#[derive(Clone, Debug)]
+pub struct DualGraph {
+    /// Number of dual nodes (faces).
+    pub face_count: usize,
+    /// Dual edges (bridges excluded).
+    pub edges: Vec<DualEdge>,
+    /// Primal bridge edges (same face on both sides).
+    pub bridges: Vec<EdgeId>,
+    /// `true` for faces with odd boundary walk.
+    pub odd_face: Vec<bool>,
+}
+
+impl DualGraph {
+    /// The faces forming the T-set of the bipartization T-join.
+    pub fn t_set(&self) -> Vec<u32> {
+        (0..self.face_count as u32)
+            .filter(|&f| self.odd_face[f as usize])
+            .collect()
+    }
+
+    /// Degree of each dual node, counting only non-bridge dual edges.
+    pub fn degrees(&self) -> Vec<usize> {
+        let mut deg = vec![0usize; self.face_count];
+        for e in &self.edges {
+            deg[e.a as usize] += 1;
+            deg[e.b as usize] += 1;
+        }
+        deg
+    }
+}
+
+/// Builds the geometric dual of the alive subgraph's plane drawing.
+///
+/// `faces` must come from [`crate::trace_faces`] on the same graph state.
+pub fn build_dual(g: &EmbeddedGraph, faces: &Faces) -> DualGraph {
+    let mut edges = Vec::new();
+    let mut bridges = Vec::new();
+    for e in g.alive_edges() {
+        let a = faces.left_face(e);
+        let b = faces.right_face(e);
+        if a == b {
+            bridges.push(e);
+        } else {
+            edges.push(DualEdge {
+                primal: e,
+                a,
+                b,
+                weight: g.weight(e),
+            });
+        }
+    }
+    let odd_face = (0..faces.count as u32)
+        .map(|f| faces.is_odd(f))
+        .collect();
+    DualGraph {
+        face_count: faces.count,
+        edges,
+        bridges,
+        odd_face,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace_faces;
+    use aapsm_geom::Point;
+
+    fn p(x: i64, y: i64) -> Point {
+        Point::new(x, y)
+    }
+
+    #[test]
+    fn triangle_dual_is_three_parallel_edges() {
+        let mut g = EmbeddedGraph::new();
+        let a = g.add_node(p(0, 0));
+        let b = g.add_node(p(100, 0));
+        let c = g.add_node(p(50, 80));
+        g.add_edge(a, b, 3);
+        g.add_edge(b, c, 5);
+        g.add_edge(c, a, 7);
+        let f = trace_faces(&g);
+        let d = build_dual(&g, &f);
+        assert_eq!(d.face_count, 2);
+        assert_eq!(d.edges.len(), 3);
+        assert!(d.bridges.is_empty());
+        assert_eq!(d.t_set().len(), 2);
+        // All three dual edges connect the same two faces.
+        for e in &d.edges {
+            assert_ne!(e.a, e.b);
+        }
+        assert_eq!(d.degrees(), vec![3, 3]);
+    }
+
+    #[test]
+    fn bridges_are_segregated() {
+        // A triangle with a pendant edge.
+        let mut g = EmbeddedGraph::new();
+        let a = g.add_node(p(0, 0));
+        let b = g.add_node(p(100, 0));
+        let c = g.add_node(p(50, 80));
+        let d = g.add_node(p(200, 0));
+        g.add_edge(a, b, 1);
+        g.add_edge(b, c, 1);
+        g.add_edge(c, a, 1);
+        let pendant = g.add_edge(b, d, 1);
+        let f = trace_faces(&g);
+        let dual = build_dual(&g, &f);
+        assert_eq!(dual.bridges, vec![pendant]);
+        assert_eq!(dual.edges.len(), 3);
+        // Outer face walk: a-b, b-d, d-b, b-c... length 5 -> odd; inner
+        // triangle odd; so both faces are in T.
+        assert_eq!(dual.t_set().len(), 2);
+    }
+
+    #[test]
+    fn dual_degree_equals_face_walk_length_minus_bridges() {
+        let mut g = EmbeddedGraph::new();
+        // Square with a diagonal chord.
+        let n: Vec<_> = [(0, 0), (100, 0), (100, 100), (0, 100)]
+            .iter()
+            .map(|&(x, y)| g.add_node(p(x, y)))
+            .collect();
+        for i in 0..4 {
+            g.add_edge(n[i], n[(i + 1) % 4], 1);
+        }
+        g.add_edge(n[0], n[2], 1); // chord
+        let f = trace_faces(&g);
+        let d = build_dual(&g, &f);
+        assert_eq!(d.face_count, 3);
+        assert_eq!(d.edges.len(), 5);
+        let mut degs = d.degrees();
+        degs.sort_unstable();
+        assert_eq!(degs, vec![3, 3, 4]);
+        // Two triangles from the chord are odd.
+        assert_eq!(d.t_set().len(), 2);
+    }
+}

@@ -1,0 +1,318 @@
+use crate::{EdgeId, EmbeddedGraph, NodeId};
+
+/// The faces of a plane straight-line drawing of the alive subgraph.
+///
+/// Computed by [`trace_faces`] from the *rotation system* induced by the
+/// node coordinates (incident edges sorted counter-clockwise). Each
+/// directed half-edge belongs to exactly one face; the face boundary walk
+/// of a bridge visits it twice (once per direction).
+#[derive(Clone, Debug)]
+pub struct Faces {
+    /// Number of faces traced.
+    pub count: usize,
+    /// Face id per half-edge (`2*edge + dir`); `u32::MAX` for dead edges.
+    pub face_of: Vec<u32>,
+    /// Boundary walk length per face (number of half-edges).
+    pub face_len: Vec<u32>,
+}
+
+impl Faces {
+    /// Face on the side of `e` traversed in `u -> v` direction (dir 0).
+    pub fn left_face(&self, e: EdgeId) -> u32 {
+        self.face_of[2 * e.index()]
+    }
+
+    /// Face on the side of `e` traversed in `v -> u` direction (dir 1).
+    pub fn right_face(&self, e: EdgeId) -> u32 {
+        self.face_of[2 * e.index() + 1]
+    }
+
+    /// Whether the face has an odd boundary walk. For a plane graph these
+    /// are exactly the T-nodes of the dual T-join formulation of
+    /// bipartization: the dual node's degree parity equals the boundary
+    /// walk parity.
+    pub fn is_odd(&self, face: u32) -> bool {
+        self.face_len[face as usize] % 2 == 1
+    }
+
+    /// Indices of odd faces.
+    pub fn odd_faces(&self) -> Vec<u32> {
+        (0..self.count as u32).filter(|&f| self.is_odd(f)).collect()
+    }
+}
+
+/// Traces the faces of the alive subgraph's straight-line drawing.
+///
+/// Requires a *plane* drawing: no two alive edges may cross (run
+/// [`crate::planarize`] first) and no two nodes may share coordinates (see
+/// [`EmbeddedGraph::nudge_duplicate_positions`]).
+///
+/// # Panics
+///
+/// Panics if an alive edge has zero length (coincident endpoint
+/// coordinates).
+pub fn trace_faces(g: &EmbeddedGraph) -> Faces {
+    let half_count = 2 * g.edge_count();
+    // Rotation system: outgoing half-edges per node, sorted CCW by angle.
+    let mut rotations: Vec<Vec<u32>> = vec![Vec::new(); g.node_count()];
+    for e in g.alive_edges() {
+        let (u, v) = g.endpoints(e);
+        rotations[u.index()].push(2 * e.0);
+        rotations[v.index()].push(2 * e.0 + 1);
+    }
+    let source = |h: u32| -> NodeId {
+        let e = EdgeId(h / 2);
+        let (u, v) = g.endpoints(e);
+        if h % 2 == 0 {
+            u
+        } else {
+            v
+        }
+    };
+    let target = |h: u32| -> NodeId {
+        let e = EdgeId(h / 2);
+        let (u, v) = g.endpoints(e);
+        if h % 2 == 0 {
+            v
+        } else {
+            u
+        }
+    };
+    for (ni, rot) in rotations.iter_mut().enumerate() {
+        let from = g.pos(NodeId(ni as u32));
+        rot.sort_by(|&ha, &hb| {
+            let da = g.pos(target(ha)) - from;
+            let db = g.pos(target(hb)) - from;
+            assert!(
+                (da.x, da.y) != (0, 0) && (db.x, db.y) != (0, 0),
+                "zero-length edge in plane drawing"
+            );
+            da.cmp_angle(db).then(ha.cmp(&hb))
+        });
+    }
+    // Position of each outgoing half-edge within its source rotation.
+    let mut rot_pos = vec![u32::MAX; half_count];
+    for rot in &rotations {
+        for (i, &h) in rot.iter().enumerate() {
+            rot_pos[h as usize] = i as u32;
+        }
+    }
+
+    // Face successor of half-edge h = (u -> v): the half-edge after
+    // twin(h) = (v -> u) in the CCW rotation at v.
+    let next = |h: u32| -> u32 {
+        let twin = h ^ 1;
+        let v = source(twin);
+        let rot = &rotations[v.index()];
+        let i = rot_pos[twin as usize] as usize;
+        rot[(i + 1) % rot.len()]
+    };
+
+    let mut face_of = vec![u32::MAX; half_count];
+    let mut face_len = Vec::new();
+    let mut count = 0u32;
+    for e in g.alive_edges() {
+        for dir in 0..2u32 {
+            let start = 2 * e.0 + dir;
+            if face_of[start as usize] != u32::MAX {
+                continue;
+            }
+            let mut len = 0u32;
+            let mut h = start;
+            loop {
+                debug_assert_eq!(face_of[h as usize], u32::MAX);
+                face_of[h as usize] = count;
+                len += 1;
+                h = next(h);
+                if h == start {
+                    break;
+                }
+            }
+            face_len.push(len);
+            count += 1;
+        }
+    }
+    Faces {
+        count: count as usize,
+        face_of,
+        face_len,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connected_components;
+    use aapsm_geom::Point;
+
+    fn p(x: i64, y: i64) -> Point {
+        Point::new(x, y)
+    }
+
+    /// Per-component Euler formula: V - E + F = 2 for components with
+    /// edges. Components are identified by their nodes; a face belongs to
+    /// the component of any of its boundary nodes.
+    fn check_euler(g: &EmbeddedGraph, faces: &Faces) {
+        let comps = connected_components(g);
+        let mut v = vec![0usize; comps.count];
+        let mut e = vec![0usize; comps.count];
+        let mut fset: Vec<std::collections::HashSet<u32>> =
+            vec![std::collections::HashSet::new(); comps.count];
+        let mut has_edge = vec![false; comps.count];
+        for n in g.nodes() {
+            v[comps.component(n) as usize] += 1;
+        }
+        for ed in g.alive_edges() {
+            let (u, _) = g.endpoints(ed);
+            let c = comps.component(u) as usize;
+            e[c] += 1;
+            has_edge[c] = true;
+            fset[c].insert(faces.left_face(ed));
+            fset[c].insert(faces.right_face(ed));
+        }
+        for c in 0..comps.count {
+            if has_edge[c] {
+                assert_eq!(
+                    v[c] as i64 - e[c] as i64 + fset[c].len() as i64,
+                    2,
+                    "euler failed for component {c}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_edge_one_face_of_length_two() {
+        let mut g = EmbeddedGraph::new();
+        let a = g.add_node(p(0, 0));
+        let b = g.add_node(p(10, 0));
+        let e = g.add_edge(a, b, 1);
+        let f = trace_faces(&g);
+        assert_eq!(f.count, 1);
+        assert_eq!(f.face_len, vec![2]);
+        assert_eq!(f.left_face(e), f.right_face(e));
+        check_euler(&g, &f);
+    }
+
+    #[test]
+    fn triangle_two_odd_faces() {
+        let mut g = EmbeddedGraph::new();
+        let a = g.add_node(p(0, 0));
+        let b = g.add_node(p(100, 0));
+        let c = g.add_node(p(50, 80));
+        g.add_edge(a, b, 1);
+        g.add_edge(b, c, 1);
+        g.add_edge(c, a, 1);
+        let f = trace_faces(&g);
+        assert_eq!(f.count, 2);
+        let mut lens = f.face_len.clone();
+        lens.sort_unstable();
+        assert_eq!(lens, vec![3, 3]);
+        assert_eq!(f.odd_faces().len(), 2);
+        check_euler(&g, &f);
+    }
+
+    #[test]
+    fn square_two_even_faces() {
+        let mut g = EmbeddedGraph::new();
+        let n: Vec<_> = [(0, 0), (100, 0), (100, 100), (0, 100)]
+            .iter()
+            .map(|&(x, y)| g.add_node(p(x, y)))
+            .collect();
+        for i in 0..4 {
+            g.add_edge(n[i], n[(i + 1) % 4], 1);
+        }
+        let f = trace_faces(&g);
+        assert_eq!(f.count, 2);
+        assert!(f.odd_faces().is_empty());
+        check_euler(&g, &f);
+    }
+
+    #[test]
+    fn k4_planar_drawing_has_four_faces() {
+        let mut g = EmbeddedGraph::new();
+        let a = g.add_node(p(0, 0));
+        let b = g.add_node(p(200, 0));
+        let c = g.add_node(p(100, 160));
+        let m = g.add_node(p(100, 60)); // inside the triangle
+        g.add_edge(a, b, 1);
+        g.add_edge(b, c, 1);
+        g.add_edge(c, a, 1);
+        g.add_edge(m, a, 1);
+        g.add_edge(m, b, 1);
+        g.add_edge(m, c, 1);
+        let f = trace_faces(&g);
+        assert_eq!(f.count, 4);
+        assert_eq!(f.face_len.iter().sum::<u32>(), 12); // 2E
+        assert_eq!(f.odd_faces().len(), 4);
+        check_euler(&g, &f);
+    }
+
+    #[test]
+    fn tree_has_single_face() {
+        let mut g = EmbeddedGraph::new();
+        let r = g.add_node(p(0, 0));
+        let a = g.add_node(p(100, 10));
+        let b = g.add_node(p(-100, 20));
+        let c = g.add_node(p(10, 100));
+        let d = g.add_node(p(110, 110));
+        g.add_edge(r, a, 1);
+        g.add_edge(r, b, 1);
+        g.add_edge(r, c, 1);
+        g.add_edge(a, d, 1);
+        let f = trace_faces(&g);
+        assert_eq!(f.count, 1);
+        assert_eq!(f.face_len, vec![8]); // every edge visited twice
+        check_euler(&g, &f);
+    }
+
+    #[test]
+    fn two_components_each_get_faces() {
+        let mut g = EmbeddedGraph::new();
+        // Triangle at origin.
+        let a = g.add_node(p(0, 0));
+        let b = g.add_node(p(100, 0));
+        let c = g.add_node(p(50, 80));
+        g.add_edge(a, b, 1);
+        g.add_edge(b, c, 1);
+        g.add_edge(c, a, 1);
+        // Far-away single edge.
+        let x = g.add_node(p(10_000, 0));
+        let y = g.add_node(p(10_100, 0));
+        g.add_edge(x, y, 1);
+        let f = trace_faces(&g);
+        assert_eq!(f.count, 3);
+        check_euler(&g, &f);
+    }
+
+    #[test]
+    fn face_walk_lengths_sum_to_twice_edges() {
+        use rand::{Rng, SeedableRng};
+        use crate::{planarize, PlanarizeOrder};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        for _ in 0..20 {
+            let n = rng.gen_range(4..40);
+            let mut g = EmbeddedGraph::new();
+            let nodes: Vec<_> = (0..n)
+                .map(|_| g.add_node(p(rng.gen_range(-500..500), rng.gen_range(-500..500))))
+                .collect();
+            g.nudge_duplicate_positions();
+            for _ in 0..rng.gen_range(3..80) {
+                let u = rng.gen_range(0..n);
+                let v = rng.gen_range(0..n);
+                if u != v {
+                    g.add_edge(nodes[u], nodes[v], rng.gen_range(1..20));
+                }
+            }
+            planarize(&mut g, PlanarizeOrder::MinWeightFirst);
+            let f = trace_faces(&g);
+            assert_eq!(
+                f.face_len.iter().sum::<u32>() as usize,
+                2 * g.alive_edge_count()
+            );
+            check_euler(&g, &f);
+            // Odd faces come in even numbers per component.
+            assert_eq!(f.odd_faces().len() % 2, 0);
+        }
+    }
+}

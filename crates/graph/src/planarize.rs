@@ -1,0 +1,211 @@
+use crate::{crossing_pairs, EdgeId, EmbeddedGraph};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// The edge-selection policy of the greedy planarization step.
+///
+/// The paper removes minimum-weight crossing edges greedily
+/// ([`PlanarizeOrder::MinWeightFirst`]); the other policies exist for the
+/// ablation bench.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlanarizeOrder {
+    /// Remove the cheapest crossing edge first (the paper's policy).
+    MinWeightFirst,
+    /// Remove the most-crossing edge first, ties by cheapest.
+    MostCrossingsFirst,
+    /// Remove the edge with the smallest weight-per-crossing ratio first.
+    MinWeightPerCrossing,
+}
+
+/// Result of planarization: which edges were removed to clear all
+/// crossings.
+#[derive(Clone, Debug)]
+pub struct PlanarizeResult {
+    /// Removed edges (the paper's potential conflict set `P`), in removal
+    /// order.
+    pub removed: Vec<EdgeId>,
+    /// Number of crossing pairs in the original drawing.
+    pub initial_crossings: usize,
+}
+
+impl PlanarizeResult {
+    /// Total weight of the removed edges.
+    pub fn removed_weight(&self, g: &EmbeddedGraph) -> i64 {
+        g.total_weight(self.removed.iter().copied())
+    }
+}
+
+/// Greedily removes crossing edges until the straight-line drawing of the
+/// alive subgraph is planar.
+///
+/// Removed edges are killed in `g` and returned. This is Step 1(b) of the
+/// paper's flow; the removed set is the *potential conflict set P*, which
+/// Step 3 later re-examines against the bipartization coloring.
+pub fn planarize(g: &mut EmbeddedGraph, order: PlanarizeOrder) -> PlanarizeResult {
+    let crossings = crossing_pairs(g);
+    let initial = crossings.pairs.len();
+    let edge_count = g.edge_count();
+    let mut partners = crossings.partners(edge_count);
+    let mut count = crossings.counts(edge_count);
+
+    // Priority value per policy; lower = removed earlier. Recomputed lazily.
+    let priority = |g: &EmbeddedGraph, e: EdgeId, cnt: u32, order: PlanarizeOrder| -> (i64, i64) {
+        match order {
+            PlanarizeOrder::MinWeightFirst => (g.weight(e), e.index() as i64),
+            PlanarizeOrder::MostCrossingsFirst => (-(cnt as i64), g.weight(e)),
+            PlanarizeOrder::MinWeightPerCrossing => {
+                // Scale to avoid rationals: weight / count, compared via
+                // weight * 2^20 / count precomputed as integer ratio.
+                let ratio = (g.weight(e) << 20) / cnt.max(1) as i64;
+                (ratio, g.weight(e))
+            }
+        }
+    };
+
+    let mut heap: BinaryHeap<Reverse<((i64, i64), u32, EdgeId)>> = BinaryHeap::new();
+    for e in g.alive_edges() {
+        let c = count[e.index()];
+        if c > 0 {
+            heap.push(Reverse((priority(g, e, c, order), c, e)));
+        }
+    }
+
+    let mut removed = Vec::new();
+    while let Some(Reverse((_, stale_count, e))) = heap.pop() {
+        let c = count[e.index()];
+        if !g.is_alive(e) || c == 0 {
+            continue;
+        }
+        if c != stale_count {
+            // Count changed since insertion: re-queue with fresh priority.
+            heap.push(Reverse((priority(g, e, c, order), c, e)));
+            continue;
+        }
+        g.kill_edge(e);
+        removed.push(e);
+        count[e.index()] = 0;
+        let ps = std::mem::take(&mut partners[e.index()]);
+        for p in ps {
+            if g.is_alive(p) && count[p.index()] > 0 {
+                count[p.index()] -= 1;
+            }
+        }
+    }
+
+    debug_assert!(crossing_pairs(g).is_planar());
+    PlanarizeResult {
+        removed,
+        initial_crossings: initial,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aapsm_geom::Point;
+
+    fn p(x: i64, y: i64) -> Point {
+        Point::new(x, y)
+    }
+
+    #[test]
+    fn removes_cheapest_of_crossing_pair() {
+        let mut g = EmbeddedGraph::new();
+        let a = g.add_node(p(0, 0));
+        let b = g.add_node(p(100, 100));
+        let c = g.add_node(p(0, 100));
+        let d = g.add_node(p(100, 0));
+        let cheap = g.add_edge(a, b, 1);
+        let dear = g.add_edge(c, d, 50);
+        let res = planarize(&mut g, PlanarizeOrder::MinWeightFirst);
+        assert_eq!(res.removed, vec![cheap]);
+        assert!(!g.is_alive(cheap));
+        assert!(g.is_alive(dear));
+        assert_eq!(res.initial_crossings, 1);
+    }
+
+    #[test]
+    fn planar_input_untouched() {
+        let mut g = EmbeddedGraph::new();
+        let a = g.add_node(p(0, 0));
+        let b = g.add_node(p(100, 0));
+        let c = g.add_node(p(50, 100));
+        g.add_edge(a, b, 1);
+        g.add_edge(b, c, 1);
+        g.add_edge(c, a, 1);
+        let res = planarize(&mut g, PlanarizeOrder::MinWeightFirst);
+        assert!(res.removed.is_empty());
+        assert_eq!(g.alive_edge_count(), 3);
+    }
+
+    #[test]
+    fn one_hub_edge_crossing_many() {
+        // One cheap long edge crossing three expensive ones: only the long
+        // edge should go, under any policy.
+        let mut g = EmbeddedGraph::new();
+        let l = g.add_node(p(-100, 0));
+        let r = g.add_node(p(100, 0));
+        let hub = g.add_edge(l, r, 2);
+        for i in 0..3 {
+            let x = -50 + i * 50;
+            let t = g.add_node(p(x, 50));
+            let b = g.add_node(p(x, -50));
+            g.add_edge(t, b, 100);
+        }
+        for order in [
+            PlanarizeOrder::MinWeightFirst,
+            PlanarizeOrder::MostCrossingsFirst,
+            PlanarizeOrder::MinWeightPerCrossing,
+        ] {
+            let mut gg = g.clone();
+            let res = planarize(&mut gg, order);
+            assert_eq!(res.removed, vec![hub], "order {order:?}");
+        }
+    }
+
+    #[test]
+    fn always_ends_planar_on_random_drawings() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        for _ in 0..15 {
+            let n = rng.gen_range(5..30);
+            let mut g = EmbeddedGraph::new();
+            let nodes: Vec<_> = (0..n)
+                .map(|_| g.add_node(p(rng.gen_range(-400..400), rng.gen_range(-400..400))))
+                .collect();
+            g.nudge_duplicate_positions();
+            for _ in 0..rng.gen_range(5..60) {
+                let u = rng.gen_range(0..n);
+                let v = rng.gen_range(0..n);
+                if u != v {
+                    g.add_edge(nodes[u], nodes[v], rng.gen_range(1..50));
+                }
+            }
+            let res = planarize(&mut g, PlanarizeOrder::MinWeightFirst);
+            assert!(crossing_pairs(&g).is_planar());
+            // Removed edges really were killed.
+            assert!(res.removed.iter().all(|&e| !g.is_alive(e)));
+        }
+    }
+
+    #[test]
+    fn min_weight_policy_prefers_cheap_edges_globally() {
+        // Two independent crossing pairs; each must lose its cheap member.
+        let mut g = EmbeddedGraph::new();
+        let mk = |g: &mut EmbeddedGraph, ox: i64| {
+            let a = g.add_node(p(ox, 0));
+            let b = g.add_node(p(ox + 100, 100));
+            let c = g.add_node(p(ox, 100));
+            let d = g.add_node(p(ox + 100, 0));
+            let cheap = g.add_edge(a, b, 1);
+            let _dear = g.add_edge(c, d, 9);
+            cheap
+        };
+        let c1 = mk(&mut g, 0);
+        let c2 = mk(&mut g, 1000);
+        let res = planarize(&mut g, PlanarizeOrder::MinWeightFirst);
+        let mut removed = res.removed.clone();
+        removed.sort_unstable();
+        assert_eq!(removed, vec![c1, c2]);
+    }
+}

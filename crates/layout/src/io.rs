@@ -1,0 +1,128 @@
+//! A simple line-oriented text format for layouts.
+//!
+//! ```text
+//! # comment
+//! RECT x_lo y_lo x_hi y_hi
+//! ```
+
+use crate::Layout;
+use aapsm_geom::Rect;
+use std::fmt;
+
+/// Error parsing the text layout format.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseLayoutError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Explanation.
+    pub message: String,
+}
+
+impl fmt::Display for ParseLayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseLayoutError {}
+
+/// Parses the text layout format.
+///
+/// # Errors
+///
+/// Returns the first malformed line.
+pub fn parse_layout(text: &str) -> Result<Layout, ParseLayoutError> {
+    let mut layout = Layout::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("RECT") => {
+                let mut coord = |name: &str| -> Result<i64, ParseLayoutError> {
+                    parts
+                        .next()
+                        .ok_or_else(|| ParseLayoutError {
+                            line: i + 1,
+                            message: format!("missing {name}"),
+                        })?
+                        .parse()
+                        .map_err(|e| ParseLayoutError {
+                            line: i + 1,
+                            message: format!("bad {name}: {e}"),
+                        })
+                };
+                let (x_lo, y_lo, x_hi, y_hi) =
+                    (coord("x_lo")?, coord("y_lo")?, coord("x_hi")?, coord("y_hi")?);
+                if x_lo >= x_hi || y_lo >= y_hi {
+                    return Err(ParseLayoutError {
+                        line: i + 1,
+                        message: "degenerate rectangle".into(),
+                    });
+                }
+                layout.add_rect(Rect::new(x_lo, y_lo, x_hi, y_hi));
+            }
+            Some(other) => {
+                return Err(ParseLayoutError {
+                    line: i + 1,
+                    message: format!("unknown directive {other:?}"),
+                })
+            }
+            None => unreachable!("empty lines are skipped"),
+        }
+    }
+    Ok(layout)
+}
+
+/// Writes the text layout format.
+pub fn write_layout(layout: &Layout) -> String {
+    let mut out = String::with_capacity(layout.len() * 32 + 64);
+    out.push_str("# aapsm layout, 1 dbu = 1 nm\n");
+    for r in layout.rects() {
+        out.push_str(&format!(
+            "RECT {} {} {} {}\n",
+            r.x_lo(),
+            r.y_lo(),
+            r.x_hi(),
+            r.y_hi()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let l = Layout::from_rects(vec![
+            Rect::new(0, 0, 100, 400),
+            Rect::new(-50, -60, 70, 80),
+        ]);
+        let text = write_layout(&l);
+        let back = parse_layout(&text).unwrap();
+        assert_eq!(l, back);
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let l = parse_layout("# hi\n\nRECT 0 0 1 1\n").unwrap();
+        assert_eq!(l.len(), 1);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_layout("RECT 0 0 1 1\nRECT 5 5 5 9\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("degenerate"));
+        let err = parse_layout("POLY 1 2 3").unwrap_err();
+        assert!(err.message.contains("unknown directive"));
+        let err = parse_layout("RECT 1 2 3").unwrap_err();
+        assert!(err.message.contains("missing"));
+        let err = parse_layout("RECT a 2 3 4").unwrap_err();
+        assert!(err.message.contains("bad x_lo"));
+    }
+}

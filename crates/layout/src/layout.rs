@@ -1,0 +1,197 @@
+use crate::DesignRules;
+use aapsm_geom::{GridIndex, Rect};
+
+/// A polysilicon-layer layout: a set of non-overlapping axis-aligned
+/// rectangles ("the layout is assumed to be composed of a set of
+/// non-overlapping rectangles", §3.1.1 of the paper).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Layout {
+    rects: Vec<Rect>,
+}
+
+/// Aggregate statistics of a layout.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LayoutStats {
+    /// Number of rectangles (the paper's "polygons").
+    pub polygon_count: usize,
+    /// Bounding box, if non-empty.
+    pub bbox: Option<Rect>,
+    /// Bounding-box area in dbu² (0 for an empty layout).
+    pub bbox_area: i128,
+}
+
+/// A design-rule violation found by [`Layout::validate`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LayoutViolation {
+    /// Two feature rectangles share interior area.
+    Overlap {
+        /// Index of the first rectangle.
+        a: usize,
+        /// Index of the second rectangle.
+        b: usize,
+    },
+    /// Two features are closer than the minimum feature spacing.
+    Spacing {
+        /// Index of the first rectangle.
+        a: usize,
+        /// Index of the second rectangle.
+        b: usize,
+        /// Their squared Euclidean gap.
+        gap_sq: i128,
+    },
+}
+
+impl Layout {
+    /// Creates an empty layout.
+    pub fn new() -> Self {
+        Layout::default()
+    }
+
+    /// Creates a layout from rectangles.
+    pub fn from_rects(rects: Vec<Rect>) -> Self {
+        Layout { rects }
+    }
+
+    /// Adds a rectangle and returns its index.
+    pub fn add_rect(&mut self, rect: Rect) -> usize {
+        self.rects.push(rect);
+        self.rects.len() - 1
+    }
+
+    /// The rectangles.
+    pub fn rects(&self) -> &[Rect] {
+        &self.rects
+    }
+
+    /// Number of rectangles.
+    pub fn len(&self) -> usize {
+        self.rects.len()
+    }
+
+    /// Whether the layout has no rectangles.
+    pub fn is_empty(&self) -> bool {
+        self.rects.is_empty()
+    }
+
+    /// Bounding box of all rectangles.
+    pub fn bbox(&self) -> Option<Rect> {
+        self.rects
+            .iter()
+            .copied()
+            .reduce(|a, b| a.hull(&b))
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> LayoutStats {
+        let bbox = self.bbox();
+        LayoutStats {
+            polygon_count: self.rects.len(),
+            bbox,
+            bbox_area: bbox.map_or(0, |b| b.area()),
+        }
+    }
+
+    /// Checks feature overlap and spacing rules, returning all violations.
+    ///
+    /// Uses a spatial grid; near-linear in layout size.
+    pub fn validate(&self, rules: &DesignRules) -> Vec<LayoutViolation> {
+        let mut grid = GridIndex::new(rules.min_feature_space.max(64) * 4);
+        for (i, r) in self.rects.iter().enumerate() {
+            let probe = r.inflate(rules.min_feature_space);
+            grid.insert(
+                i as u32,
+                (probe.x_lo(), probe.y_lo(), probe.x_hi(), probe.y_hi()),
+            );
+        }
+        let mut out = Vec::new();
+        for (a, b) in grid.candidate_pairs() {
+            let (ra, rb) = (self.rects[a as usize], self.rects[b as usize]);
+            if ra.overlaps(&rb) {
+                out.push(LayoutViolation::Overlap {
+                    a: a as usize,
+                    b: b as usize,
+                });
+            } else {
+                let gap_sq = ra.euclid_gap_sq(&rb);
+                let s = rules.min_feature_space as i128;
+                if gap_sq < s * s {
+                    out.push(LayoutViolation::Spacing {
+                        a: a as usize,
+                        b: b as usize,
+                        gap_sq,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+impl FromIterator<Rect> for Layout {
+    fn from_iter<I: IntoIterator<Item = Rect>>(iter: I) -> Self {
+        Layout {
+            rects: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Rect> for Layout {
+    fn extend<I: IntoIterator<Item = Rect>>(&mut self, iter: I) {
+        self.rects.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_and_bbox() {
+        let l = Layout::from_rects(vec![
+            Rect::new(0, 0, 100, 400),
+            Rect::new(500, 100, 600, 500),
+        ]);
+        let s = l.stats();
+        assert_eq!(s.polygon_count, 2);
+        assert_eq!(s.bbox, Some(Rect::new(0, 0, 600, 500)));
+        assert_eq!(s.bbox_area, 600 * 500);
+        assert!(Layout::new().bbox().is_none());
+    }
+
+    #[test]
+    fn validation_finds_overlap_and_spacing() {
+        let rules = DesignRules::default();
+        let l = Layout::from_rects(vec![
+            Rect::new(0, 0, 100, 400),
+            Rect::new(50, 100, 150, 500),  // overlaps rect 0
+            Rect::new(240, 0, 340, 400),   // 90 dbu from rect 1: spacing
+            Rect::new(1000, 0, 1100, 400), // fine
+        ]);
+        let v = l.validate(&rules);
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, LayoutViolation::Overlap { a: 0, b: 1 })));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, LayoutViolation::Spacing { a: 1, b: 2, .. })));
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn clean_layout_validates() {
+        let rules = DesignRules::default();
+        let l = Layout::from_rects(vec![
+            Rect::new(0, 0, 100, 400),
+            Rect::new(400, 0, 500, 400),
+        ]);
+        assert!(l.validate(&rules).is_empty());
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let l: Layout = [Rect::new(0, 0, 1, 1), Rect::new(5, 5, 6, 6)]
+            .into_iter()
+            .collect();
+        assert_eq!(l.len(), 2);
+    }
+}

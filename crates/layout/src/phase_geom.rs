@@ -1,0 +1,467 @@
+use crate::{DesignRules, Layout};
+use aapsm_geom::{Axis, GridIndex, Rect};
+
+/// Orientation of a feature (which sides its shifters flank).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FeatureOrientation {
+    /// Taller than wide (or square): shifters at left and right.
+    Vertical,
+    /// Wider than tall: shifters below and above.
+    Horizontal,
+}
+
+/// Which side of its feature a shifter flanks, along the flanking axis.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Side {
+    /// Left (vertical features) or bottom (horizontal features).
+    Low,
+    /// Right (vertical features) or top (horizontal features).
+    High,
+}
+
+impl Side {
+    /// The side's parity bit, used by the feature-graph color transform.
+    pub fn bit(self) -> u8 {
+        match self {
+            Side::Low => 0,
+            Side::High => 1,
+        }
+    }
+}
+
+/// A layout feature with its criticality classification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Feature {
+    /// The feature's rectangle.
+    pub rect: Rect,
+    /// Orientation (decides shifter placement).
+    pub orientation: FeatureOrientation,
+    /// Whether the feature is critical (gets shifters).
+    pub critical: bool,
+    /// Indices of the two flanking shifters `(low, high)` when critical.
+    pub shifters: Option<(usize, usize)>,
+}
+
+/// A phase shifter flanking a critical feature.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Shifter {
+    /// The shifter's rectangle.
+    pub rect: Rect,
+    /// Index of the feature it flanks.
+    pub feature: usize,
+    /// Which side of the feature it flanks.
+    pub side: Side,
+}
+
+/// A pair of shifters that violates the shifter spacing rule through clear
+/// area and must therefore be merged (same phase).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OverlapPair {
+    /// First shifter index (`a < b`).
+    pub a: usize,
+    /// Second shifter index.
+    pub b: usize,
+    /// Signed horizontal gap between the shifter rects.
+    pub gap_x: i64,
+    /// Signed vertical gap.
+    pub gap_y: i64,
+    /// Layout-impact weight: the spacing deficit (how much extra space
+    /// would separate the pair), at least 1.
+    pub weight: i64,
+}
+
+impl OverlapPair {
+    /// Whether inserting a vertical end-to-end space (at some x between
+    /// the shifters) can correct this pair. Touching pairs (gap 0) are
+    /// correctable: the cut line passes exactly along the contact plane.
+    pub fn correctable_by_vertical_space(&self) -> bool {
+        self.gap_x >= 0
+    }
+
+    /// Whether a horizontal end-to-end space can correct this pair.
+    pub fn correctable_by_horizontal_space(&self) -> bool {
+        self.gap_y >= 0
+    }
+}
+
+/// A same-feature contradiction: the two shifters of one critical feature
+/// also violate the spacing rule around the feature's line ends, forcing
+/// "same phase" and "opposite phase" simultaneously. These are emitted
+/// directly as conflicts (they correspond to the degenerate odd 3-cycles
+/// the paper's graph would otherwise contain as parallel constraints).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DirectConflict {
+    /// The feature whose shifters contradict.
+    pub feature: usize,
+    /// The spacing deficit weight of the violating interaction.
+    pub weight: i64,
+}
+
+/// The complete phase geometry extracted from a layout: features,
+/// shifters, and merge (overlap) constraints.
+#[derive(Clone, Debug, Default)]
+pub struct PhaseGeometry {
+    /// All features, in layout rectangle order.
+    pub features: Vec<Feature>,
+    /// All generated shifters.
+    pub shifters: Vec<Shifter>,
+    /// All merge constraints between shifters of different features.
+    pub overlaps: Vec<OverlapPair>,
+    /// Degenerate same-feature contradictions.
+    pub direct_conflicts: Vec<DirectConflict>,
+}
+
+impl PhaseGeometry {
+    /// Number of critical features.
+    pub fn critical_count(&self) -> usize {
+        self.features.iter().filter(|f| f.critical).count()
+    }
+}
+
+/// Classifies features, generates shifters and extracts merge constraints.
+///
+/// The shifter spacing rule is evaluated *through clear area*: a pair of
+/// shifters closer than [`DesignRules::shifter_spacing`] is exempt when a
+/// feature body fills (part of) the straight corridor between them — this
+/// is what keeps a feature's own two shifters, and facing-shifter pairs
+/// separated by an intervening line, from being spuriously merged, while
+/// preserving the paper's conflict classes (shared shifters at line
+/// crossings, line-end jogs, short middle lines).
+pub fn extract_phase_geometry(layout: &Layout, rules: &DesignRules) -> PhaseGeometry {
+    let mut geom = PhaseGeometry::default();
+
+    // ---- Features and shifters. ----
+    for (i, &rect) in layout.rects().iter().enumerate() {
+        let orientation = if rect.height() >= rect.width() {
+            FeatureOrientation::Vertical
+        } else {
+            FeatureOrientation::Horizontal
+        };
+        let critical = rect.min_dim() <= rules.critical_width;
+        let shifters = critical.then(|| {
+            let (w, o) = (rules.shifter_width, rules.shifter_overhang);
+            let (low, high) = match orientation {
+                FeatureOrientation::Vertical => (
+                    Rect::new(rect.x_lo() - w, rect.y_lo() - o, rect.x_lo(), rect.y_hi() + o),
+                    Rect::new(rect.x_hi(), rect.y_lo() - o, rect.x_hi() + w, rect.y_hi() + o),
+                ),
+                FeatureOrientation::Horizontal => (
+                    Rect::new(rect.x_lo() - o, rect.y_lo() - w, rect.x_hi() + o, rect.y_lo()),
+                    Rect::new(rect.x_lo() - o, rect.y_hi(), rect.x_hi() + o, rect.y_hi() + w),
+                ),
+            };
+            let lo_id = geom.shifters.len();
+            geom.shifters.push(Shifter {
+                rect: low,
+                feature: i,
+                side: Side::Low,
+            });
+            geom.shifters.push(Shifter {
+                rect: high,
+                feature: i,
+                side: Side::High,
+            });
+            (lo_id, lo_id + 1)
+        });
+        geom.features.push(Feature {
+            rect,
+            orientation,
+            critical,
+            shifters,
+        });
+    }
+
+    // ---- Spatial indices. ----
+    let radius = rules.interaction_radius();
+    let mut shifter_grid = GridIndex::new((radius * 2).max(64));
+    for (i, s) in geom.shifters.iter().enumerate() {
+        let probe = s.rect.inflate(radius);
+        shifter_grid.insert(
+            i as u32,
+            (probe.x_lo(), probe.y_lo(), probe.x_hi(), probe.y_hi()),
+        );
+    }
+    let mut feature_grid = GridIndex::new((radius * 2).max(64));
+    for (i, f) in geom.features.iter().enumerate() {
+        feature_grid.insert(
+            i as u32,
+            (f.rect.x_lo(), f.rect.y_lo(), f.rect.x_hi(), f.rect.y_hi()),
+        );
+    }
+
+    // ---- Merge constraints. ----
+    let spacing_sq = (rules.shifter_spacing as i128) * (rules.shifter_spacing as i128);
+    for (ia, ib) in shifter_grid.candidate_pairs() {
+        let (a, b) = (ia as usize, ib as usize);
+        let (sa, sb) = (geom.shifters[a], geom.shifters[b]);
+        let gap_sq = sa.rect.euclid_gap_sq(&sb.rect);
+        if gap_sq >= spacing_sq {
+            continue;
+        }
+        if corridor_blocked(&geom, &feature_grid, rules, &sa, &sb) {
+            continue;
+        }
+        let gap_x = sa.rect.x_gap(&sb.rect);
+        let gap_y = sa.rect.y_gap(&sb.rect);
+        let weight = (rules.shifter_spacing - gap_x.max(gap_y)).max(1);
+        if sa.feature == sb.feature {
+            geom.direct_conflicts.push(DirectConflict {
+                feature: sa.feature,
+                weight,
+            });
+        } else {
+            let (a, b) = if a < b { (a, b) } else { (b, a) };
+            geom.overlaps.push(OverlapPair {
+                a,
+                b,
+                gap_x,
+                gap_y,
+                weight,
+            });
+        }
+    }
+    geom.overlaps.sort_by_key(|o| (o.a, o.b));
+    geom
+}
+
+/// Whether the straight corridor between two nearby shifters is blocked by
+/// feature bodies (so the spacing rule does not apply to the pair).
+///
+/// The corridor is the gap interval along the separating axis times the
+/// overlap of the shifters' spans on the perpendicular axis. The pair is
+/// blocked when, after subtracting the perpendicular spans of every
+/// feature intersecting the corridor, no *contiguous clear sightline*
+/// longer than the line-end exemption (2 × shifter overhang) remains.
+///
+/// Consequences, matching the paper's conflict taxonomy:
+///
+/// * a feature's own two shifters are blocked by the feature itself (only
+///   the overhang slivers wrap around its line ends, and those are
+///   exempted — the paper excludes line-end conflicts as DRC-handled);
+/// * facing shifter pairs across an intervening line are blocked;
+/// * a shifter facing two others past a *short* middle line keeps a long
+///   clear sightline and stays constrained;
+/// * diagonal / corner interactions (no meaningful perpendicular overlap)
+///   are never blocked.
+fn corridor_blocked(
+    geom: &PhaseGeometry,
+    feature_grid: &GridIndex,
+    rules: &DesignRules,
+    sa: &Shifter,
+    sb: &Shifter,
+) -> bool {
+    let gap_x = sa.rect.x_gap(&sb.rect);
+    let gap_y = sa.rect.y_gap(&sb.rect);
+    let axis = if gap_x > 0 && gap_y <= 0 {
+        Axis::X
+    } else if gap_y > 0 && gap_x <= 0 {
+        Axis::Y
+    } else {
+        // Overlapping/touching (both <= 0) or diagonal (both > 0): no
+        // corridor to block.
+        return false;
+    };
+    let exemption = 2 * rules.shifter_overhang;
+    let (lo_rect, hi_rect) = if sa.rect.span(axis).lo() <= sb.rect.span(axis).lo() {
+        (&sa.rect, &sb.rect)
+    } else {
+        (&sb.rect, &sa.rect)
+    };
+    let along = aapsm_geom::Interval::new(lo_rect.span(axis).hi(), hi_rect.span(axis).lo());
+    let perp = match sa.rect.span(axis.perp()).intersect(&sb.rect.span(axis.perp())) {
+        Some(iv) => iv,
+        None => return false,
+    };
+    if perp.len() <= exemption {
+        // Corner-scale interaction: nothing meaningful can block it.
+        return false;
+    }
+    let corridor = match axis {
+        Axis::X => Rect::from_corners(
+            aapsm_geom::Point::new(along.lo(), perp.lo()),
+            aapsm_geom::Point::new(along.hi(), perp.hi()),
+        ),
+        Axis::Y => Rect::from_corners(
+            aapsm_geom::Point::new(perp.lo(), along.lo()),
+            aapsm_geom::Point::new(perp.hi(), along.hi()),
+        ),
+    };
+    let Some(corridor) = corridor else {
+        // Zero-length gap: the pair effectively touches.
+        return false;
+    };
+    // Collect the perpendicular spans covered by features in the corridor.
+    let mut covered: Vec<(i64, i64)> = feature_grid
+        .query((
+            corridor.x_lo(),
+            corridor.y_lo(),
+            corridor.x_hi(),
+            corridor.y_hi(),
+        ))
+        .into_iter()
+        .filter(|&fi| geom.features[fi as usize].rect.overlaps(&corridor))
+        .map(|fi| {
+            let span = geom.features[fi as usize].rect.span(axis.perp());
+            (span.lo().max(perp.lo()), span.hi().min(perp.hi()))
+        })
+        .collect();
+    if covered.is_empty() {
+        return false;
+    }
+    covered.sort_unstable();
+    // Longest clear stretch of the perpendicular interval.
+    let mut max_clear = 0i64;
+    let mut cursor = perp.lo();
+    for &(lo, hi) in &covered {
+        if lo > cursor {
+            max_clear = max_clear.max(lo - cursor);
+        }
+        cursor = cursor.max(hi);
+    }
+    max_clear = max_clear.max(perp.hi() - cursor);
+    max_clear <= exemption
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules() -> DesignRules {
+        DesignRules::default()
+    }
+
+    /// A single vertical critical wire.
+    fn wire(x: i64, y: i64, w: i64, h: i64) -> Rect {
+        Rect::new(x, y, x + w, y + h)
+    }
+
+    #[test]
+    fn critical_feature_gets_two_shifters() {
+        let l = Layout::from_rects(vec![wire(0, 0, 100, 1000)]);
+        let g = extract_phase_geometry(&l, &rules());
+        assert_eq!(g.shifters.len(), 2);
+        assert_eq!(g.features[0].shifters, Some((0, 1)));
+        let (lo, hi) = (g.shifters[0], g.shifters[1]);
+        assert_eq!(lo.side, Side::Low);
+        assert_eq!(lo.rect, Rect::new(-200, -100, 0, 1100));
+        assert_eq!(hi.rect, Rect::new(100, -100, 300, 1100));
+        // Own shifters are separated by the feature: no direct conflict.
+        assert!(g.direct_conflicts.is_empty());
+        assert!(g.overlaps.is_empty());
+    }
+
+    #[test]
+    fn wide_feature_is_not_critical() {
+        let l = Layout::from_rects(vec![Rect::new(0, 0, 400, 900)]);
+        let g = extract_phase_geometry(&l, &rules());
+        assert_eq!(g.critical_count(), 0);
+        assert!(g.shifters.is_empty());
+    }
+
+    #[test]
+    fn horizontal_feature_shifters_above_and_below() {
+        let l = Layout::from_rects(vec![Rect::new(0, 0, 1000, 100)]);
+        let g = extract_phase_geometry(&l, &rules());
+        let lo = g.shifters[0];
+        assert_eq!(lo.rect, Rect::new(-100, -200, 1100, 0));
+        assert_eq!(g.shifters[1].rect, Rect::new(-100, 100, 1100, 300));
+    }
+
+    #[test]
+    fn facing_shifters_of_adjacent_wires_merge() {
+        // Pitch 500 (edge to edge): facing shifters gap = 500 - 400 = 100
+        // < 280 -> merge; far shifters blocked by the wire bodies.
+        let l = Layout::from_rects(vec![wire(0, 0, 100, 1000), wire(600, 0, 100, 1000)]);
+        let g = extract_phase_geometry(&l, &rules());
+        assert_eq!(g.overlaps.len(), 1);
+        let o = g.overlaps[0];
+        // Shifter 1 is wire 0's High (right); shifter 2 is wire 1's Low.
+        assert_eq!((o.a, o.b), (1, 2));
+        assert_eq!(o.gap_x, 100);
+        assert_eq!(o.weight, 280 - 100);
+        assert!(o.correctable_by_vertical_space());
+        assert!(!o.correctable_by_horizontal_space());
+    }
+
+    #[test]
+    fn far_wires_do_not_interact() {
+        let l = Layout::from_rects(vec![wire(0, 0, 100, 1000), wire(2000, 0, 100, 1000)]);
+        let g = extract_phase_geometry(&l, &rules());
+        assert!(g.overlaps.is_empty());
+    }
+
+    #[test]
+    fn feature_body_blocks_cross_pair() {
+        // Tight pitch 300: A_high and B_high are 200 apart along x, but
+        // wire B's body fills that corridor, so only the facing pair and
+        // possibly diagonal interactions merge.
+        let l = Layout::from_rects(vec![wire(0, 0, 100, 1000), wire(400, 0, 100, 1000)]);
+        let g = extract_phase_geometry(&l, &rules());
+        // Facing pair (A_high=1, B_low=2) overlaps geometrically.
+        assert!(g.overlaps.iter().any(|o| (o.a, o.b) == (1, 2)));
+        // A_high (1) to B_high (3): corridor crosses B's body: blocked.
+        assert!(!g.overlaps.iter().any(|o| (o.a, o.b) == (1, 3)));
+        // A_low (0) to B_low (2): corridor crosses A's body: blocked.
+        assert!(!g.overlaps.iter().any(|o| (o.a, o.b) == (0, 2)));
+    }
+
+    #[test]
+    fn gate_over_strap_shares_one_shifter_with_both_gate_shifters() {
+        let r = rules();
+        // Horizontal strap below a vertical gate; gate bottom 400 above
+        // the strap top: strap_high spans up to strap.y+200; gate shifters
+        // reach down to gate.y_lo - 100; vertical gap = 400-200-100 = 100
+        // < 280 -> both gate shifters merge with the strap's top shifter.
+        let strap = Rect::new(-1000, 0, 1000, 100);
+        let gate = Rect::new(-50, 500, 50, 1500);
+        let l = Layout::from_rects(vec![strap, gate]);
+        let g = extract_phase_geometry(&l, &r);
+        // strap shifters 0 (low) 1 (high); gate shifters 2 (low) 3 (high)
+        let has = |a, b| g.overlaps.iter().any(|o| (o.a, o.b) == (a, b));
+        assert!(has(1, 2), "strap top ~ gate left: {:?}", g.overlaps);
+        assert!(has(1, 3), "strap top ~ gate right");
+        // No contradiction within one feature.
+        assert!(g.direct_conflicts.is_empty());
+    }
+
+    #[test]
+    fn line_end_jog_interacts_diagonally() {
+        // Two stacked vertical wires with a horizontal jog: the upper
+        // wire's low shifter reaches down past the lower wire's high
+        // shifter corner-to-corner.
+        let lower = wire(0, 0, 100, 1000);
+        let upper = wire(360, 1200, 100, 1000);
+        let l = Layout::from_rects(vec![lower, upper]);
+        let g = extract_phase_geometry(&l, &rules());
+        // lower_high (1) spans x [100,300], y [-100,1100];
+        // upper_low (2) spans x [160,360], y [1100,2300]: they touch in y
+        // and overlap in x -> merge pair.
+        assert!(g.overlaps.iter().any(|o| (o.a, o.b) == (1, 2)));
+    }
+
+    #[test]
+    fn overlapping_shifters_have_weight_above_spacing() {
+        // Deeply interpenetrating shifters (pitch 240 -> facing shifters
+        // overlap by 160): weight = spacing - max(gap) where gap is
+        // negative.
+        let l = Layout::from_rects(vec![wire(0, 0, 100, 1000), wire(340, 0, 100, 1000)]);
+        let g = extract_phase_geometry(&l, &rules());
+        let o = g
+            .overlaps
+            .iter()
+            .find(|o| (o.a, o.b) == (1, 2))
+            .expect("facing pair merges");
+        assert_eq!(o.gap_x, -160);
+        // gap_y is negative too (same y span): weight = 280 - max(-160, gap_y).
+        assert!(o.weight > 280);
+        assert!(!o.correctable_by_vertical_space());
+    }
+
+    #[test]
+    fn square_feature_treated_as_vertical() {
+        let l = Layout::from_rects(vec![Rect::new(0, 0, 100, 100)]);
+        let g = extract_phase_geometry(&l, &rules());
+        assert_eq!(g.features[0].orientation, FeatureOrientation::Vertical);
+        assert_eq!(g.shifters.len(), 2);
+    }
+}

@@ -1,0 +1,170 @@
+//! End-to-end space insertion — the paper's layout-modification primitive.
+
+use crate::Layout;
+use aapsm_geom::{Axis, Rect};
+
+/// An end-to-end space insertion: at `position` along `axis`, the layout
+/// is cut by a full-chip line and `width` dbu of empty space is inserted.
+///
+/// Geometry entirely on the high side of the cut shifts by `width`;
+/// geometry straddling the cut stretches (its *length* grows — the cut
+/// planner only ever places cuts where stretching does not change feature
+/// widths). Geometry on the low side is untouched.
+///
+/// `axis` is the axis along which coordinates change: a vertical cut line
+/// (separating left from right) has `axis == Axis::X`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpaceCut {
+    /// Axis whose coordinates grow.
+    pub axis: Axis,
+    /// Cut position (geometry with low edge ≥ this shifts).
+    pub position: i64,
+    /// Amount of inserted space (> 0).
+    pub width: i64,
+}
+
+impl SpaceCut {
+    /// Applies the cut to a single rectangle.
+    pub fn apply_rect(&self, r: &Rect) -> Rect {
+        let (lo, hi) = match self.axis {
+            Axis::X => (r.x_lo(), r.x_hi()),
+            Axis::Y => (r.y_lo(), r.y_hi()),
+        };
+        let (new_lo, new_hi) = if lo >= self.position {
+            (lo + self.width, hi + self.width)
+        } else if hi > self.position {
+            (lo, hi + self.width) // straddles: stretch
+        } else {
+            (lo, hi)
+        };
+        match self.axis {
+            Axis::X => Rect::new(new_lo, r.y_lo(), new_hi, r.y_hi()),
+            Axis::Y => Rect::new(r.x_lo(), new_lo, r.x_hi(), new_hi),
+        }
+    }
+}
+
+/// Applies a set of cuts to a layout, returning the modified layout.
+///
+/// Cuts are applied from the highest position down (per axis), so that
+/// each cut's `position` refers to the *original* coordinate system. Cut
+/// positions must be distinct per axis.
+pub fn apply_cuts(layout: &Layout, cuts: &[SpaceCut]) -> Layout {
+    let mut ordered: Vec<SpaceCut> = cuts.to_vec();
+    ordered.sort_by_key(|c| std::cmp::Reverse(c.position));
+    let mut rects: Vec<Rect> = layout.rects().to_vec();
+    for cut in &ordered {
+        for r in &mut rects {
+            *r = cut.apply_rect(r);
+        }
+    }
+    Layout::from_rects(rects)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shift_stretch_and_keep() {
+        let cut = SpaceCut {
+            axis: Axis::X,
+            position: 100,
+            width: 50,
+        };
+        // Entirely right: shifts.
+        assert_eq!(
+            cut.apply_rect(&Rect::new(100, 0, 200, 10)),
+            Rect::new(150, 0, 250, 10)
+        );
+        // Straddles: stretches.
+        assert_eq!(
+            cut.apply_rect(&Rect::new(50, 0, 150, 10)),
+            Rect::new(50, 0, 200, 10)
+        );
+        // Entirely left (touching the cut): unchanged.
+        assert_eq!(
+            cut.apply_rect(&Rect::new(0, 0, 100, 10)),
+            Rect::new(0, 0, 100, 10)
+        );
+    }
+
+    #[test]
+    fn horizontal_cut_moves_y() {
+        let cut = SpaceCut {
+            axis: Axis::Y,
+            position: 0,
+            width: 30,
+        };
+        assert_eq!(
+            cut.apply_rect(&Rect::new(0, 5, 10, 15)),
+            Rect::new(0, 35, 10, 45)
+        );
+    }
+
+    #[test]
+    fn gaps_straddling_the_cut_grow_and_others_do_not_shrink() {
+        let layout = Layout::from_rects(vec![
+            Rect::new(0, 0, 100, 1000),
+            Rect::new(300, 0, 400, 1000),
+            Rect::new(700, 0, 800, 1000),
+        ]);
+        let cut = SpaceCut {
+            axis: Axis::X,
+            position: 200,
+            width: 80,
+        };
+        let out = apply_cuts(&layout, &[cut]);
+        // Gap 0-1 grows from 200 to 280.
+        assert_eq!(out.rects()[1].x_lo() - out.rects()[0].x_hi(), 280);
+        // Gap 1-2 preserved.
+        assert_eq!(out.rects()[2].x_lo() - out.rects()[1].x_hi(), 300);
+    }
+
+    #[test]
+    fn multiple_cuts_compose_in_original_coordinates() {
+        let layout = Layout::from_rects(vec![Rect::new(0, 0, 10, 10), Rect::new(100, 0, 110, 10)]);
+        let cuts = [
+            SpaceCut {
+                axis: Axis::X,
+                position: 50,
+                width: 5,
+            },
+            SpaceCut {
+                axis: Axis::X,
+                position: 60,
+                width: 7,
+            },
+        ];
+        let out = apply_cuts(&layout, &cuts);
+        assert_eq!(out.rects()[0], Rect::new(0, 0, 10, 10));
+        assert_eq!(out.rects()[1], Rect::new(112, 0, 122, 10));
+    }
+
+    #[test]
+    fn widths_never_change_for_non_straddling_rects() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let rects: Vec<Rect> = (0..20)
+                .map(|i| {
+                    let x = i * 500 + rng.gen_range(0..100);
+                    let y = rng.gen_range(0..1000);
+                    Rect::new(x, y, x + 100, y + rng.gen_range(100..1000))
+                })
+                .collect();
+            let layout = Layout::from_rects(rects.clone());
+            // Cut in a gap between columns: never straddles.
+            let cut = SpaceCut {
+                axis: Axis::X,
+                position: 10 * 500 + 250,
+                width: rng.gen_range(1..300),
+            };
+            let out = apply_cuts(&layout, &[cut]);
+            for (before, after) in rects.iter().zip(out.rects()) {
+                assert_eq!(before.width(), after.width());
+                assert_eq!(before.height(), after.height());
+            }
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Brute-force matching references for testing and tiny instances.
+//!
+//! Both solvers enumerate with a bitmask DP over node subsets in
+//! O(2ⁿ · n²); practical up to n ≈ 20.
+
+use crate::Matching;
+
+const NEG_INF: i64 = i64::MIN / 4;
+
+fn weight_matrix(n: usize, edges: &[(usize, usize, i64)], keep_min: bool) -> Vec<Vec<Option<i64>>> {
+    let mut w = vec![vec![None; n]; n];
+    for &(u, v, x) in edges {
+        assert!(u < n && v < n && u != v, "bad edge ({u},{v})");
+        let cur = w[u][v];
+        let better = match cur {
+            None => true,
+            Some(c) => {
+                if keep_min {
+                    x < c
+                } else {
+                    x > c
+                }
+            }
+        };
+        if better {
+            w[u][v] = Some(x);
+            w[v][u] = Some(x);
+        }
+    }
+    w
+}
+
+/// Minimum-weight perfect matching by exhaustive subset DP.
+///
+/// Returns `None` when no perfect matching exists.
+///
+/// # Panics
+///
+/// Panics if `n > 22` (the DP table would be too large) or edges are
+/// malformed.
+pub fn min_weight_perfect_matching(n: usize, edges: &[(usize, usize, i64)]) -> Option<Matching> {
+    assert!(n <= 22, "exhaustive matching limited to n <= 22");
+    if n == 0 {
+        return Some(Matching {
+            mate: Vec::new(),
+            weight: 0,
+        });
+    }
+    if n % 2 == 1 {
+        return None;
+    }
+    let w = weight_matrix(n, edges, true);
+    let full = 1usize << n;
+    const UNSET: i64 = i64::MAX / 2;
+    let mut dp = vec![UNSET; full];
+    let mut choice = vec![usize::MAX; full];
+    dp[0] = 0;
+    for mask in 1..full {
+        let u = mask.trailing_zeros() as usize;
+        let mut best = UNSET;
+        let mut best_v = usize::MAX;
+        for v in (u + 1)..n {
+            if mask & (1 << v) != 0 {
+                if let Some(wv) = w[u][v] {
+                    let rest = dp[mask & !(1 << u) & !(1 << v)];
+                    if rest < UNSET && rest + wv < best {
+                        best = rest + wv;
+                        best_v = v;
+                    }
+                }
+            }
+        }
+        dp[mask] = best;
+        choice[mask] = best_v;
+    }
+    if dp[full - 1] >= UNSET {
+        return None;
+    }
+    let mut mate = vec![None; n];
+    let mut mask = full - 1;
+    while mask != 0 {
+        let u = mask.trailing_zeros() as usize;
+        let v = choice[mask];
+        mate[u] = Some(v);
+        mate[v] = Some(u);
+        mask &= !(1 << u) & !(1 << v);
+    }
+    Some(Matching {
+        mate,
+        weight: dp[full - 1],
+    })
+}
+
+/// Maximum-weight (not necessarily perfect) matching weight by exhaustive
+/// subset DP. Only positive-weight edges are considered, mirroring
+/// [`crate::max_weight_matching`].
+///
+/// # Panics
+///
+/// Panics if `n > 22`.
+pub fn max_weight_matching(n: usize, edges: &[(usize, usize, i64)]) -> i64 {
+    assert!(n <= 22, "exhaustive matching limited to n <= 22");
+    if n == 0 {
+        return 0;
+    }
+    let positive: Vec<_> = edges.iter().copied().filter(|&(_, _, w)| w > 0).collect();
+    let w = weight_matrix(n, &positive, false);
+    let full = 1usize << n;
+    let mut dp = vec![NEG_INF; full];
+    dp[0] = 0;
+    for mask in 0..full {
+        if dp[mask] == NEG_INF {
+            continue;
+        }
+        // First node not yet decided.
+        let mut u = 0;
+        while u < n && mask & (1 << u) != 0 {
+            u += 1;
+        }
+        if u == n {
+            continue;
+        }
+        // Leave u unmatched.
+        let skip = mask | (1 << u);
+        dp[skip] = dp[skip].max(dp[mask]);
+        for v in (u + 1)..n {
+            if mask & (1 << v) == 0 {
+                if let Some(wv) = w[u][v] {
+                    let nm = mask | (1 << u) | (1 << v);
+                    dp[nm] = dp[nm].max(dp[mask] + wv);
+                }
+            }
+        }
+    }
+    dp[full - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_perfect_on_square() {
+        let edges = [(0, 1, 1), (1, 2, 2), (2, 3, 1), (3, 0, 2)];
+        let m = min_weight_perfect_matching(4, &edges).unwrap();
+        assert_eq!(m.weight, 2);
+        assert_eq!(m.mate[0], Some(1));
+        assert_eq!(m.mate[2], Some(3));
+    }
+
+    #[test]
+    fn min_perfect_none_for_star() {
+        assert!(min_weight_perfect_matching(4, &[(0, 1, 1), (0, 2, 1), (0, 3, 1)]).is_none());
+    }
+
+    #[test]
+    fn max_matching_leaves_nodes_unmatched_when_profitable() {
+        // Only one positive edge: match it, leave the rest.
+        assert_eq!(max_weight_matching(4, &[(0, 1, 5), (2, 3, -1)]), 5);
+    }
+
+    #[test]
+    fn negative_weights_allowed_in_min_perfect() {
+        let m = min_weight_perfect_matching(2, &[(0, 1, -3)]).unwrap();
+        assert_eq!(m.weight, -3);
+    }
+}

@@ -1,0 +1,265 @@
+//! Maximum/minimum weight matching on general graphs (Blossom algorithm).
+//!
+//! The bright-field AAPSM flow needs *minimum-weight perfect matching*: the
+//! optimal bipartization of the planarized phase conflict graph reduces to a
+//! T-join on the geometric dual, which in turn reduces — via the paper's
+//! generalized gadgets — to a perfect matching on the gadget graph.
+//!
+//! This crate implements the primal–dual Blossom algorithm in O(V³),
+//! following the classic dense-matrix formulation (Gabow-style with lazy
+//! blossom bookkeeping). Weights are exact `i64` throughout; dual variables
+//! use doubled weights so all slack arithmetic stays integral.
+//!
+//! Two entry points:
+//!
+//! * [`max_weight_matching`] — maximum weight (not necessarily perfect)
+//!   matching, weights must be positive;
+//! * [`min_weight_perfect_matching`] — minimum weight perfect matching via
+//!   the standard cardinality-dominant weight transform.
+//!
+//! The [`exhaustive`] module provides a brute-force reference used by the
+//! property-test suite (and usable at runtime for tiny instances).
+//!
+//! # Example
+//!
+//! ```
+//! use aapsm_matching::min_weight_perfect_matching;
+//!
+//! // A 4-cycle with one cheap and one expensive chord-free pairing.
+//! let edges = [(0, 1, 10), (1, 2, 1), (2, 3, 10), (3, 0, 1)];
+//! let m = min_weight_perfect_matching(4, &edges).expect("perfect matching exists");
+//! assert_eq!(m.weight, 2); // pairs (1,2) and (3,0)
+//! assert_eq!(m.mate[1], Some(2));
+//! ```
+
+mod blossom;
+pub mod exhaustive;
+
+pub use blossom::max_weight_matching;
+
+/// A matching: `mate[v]` is `v`'s partner, `None` if unmatched.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Matching {
+    /// Partner of each node.
+    pub mate: Vec<Option<usize>>,
+    /// Total weight of the matched edges (in the caller's original
+    /// weights).
+    pub weight: i64,
+}
+
+impl Matching {
+    /// Number of matched pairs.
+    pub fn pair_count(&self) -> usize {
+        self.mate.iter().flatten().count() / 2
+    }
+
+    /// Whether every node is matched.
+    pub fn is_perfect(&self) -> bool {
+        self.mate.iter().all(Option::is_some)
+    }
+
+    /// The matched pairs `(u, v)` with `u < v`.
+    pub fn pairs(&self) -> Vec<(usize, usize)> {
+        self.mate
+            .iter()
+            .enumerate()
+            .filter_map(|(u, m)| m.and_then(|v| (u < v).then_some((u, v))))
+            .collect()
+    }
+}
+
+/// Finds a minimum-weight perfect matching, or `None` when the graph has no
+/// perfect matching (including when `n` is odd).
+///
+/// Duplicate edges are allowed; the cheapest parallel edge wins. Weights
+/// may be any `i64` within ±2⁴⁰ (they are shifted internally; the limit
+/// leaves ample headroom for chip-scale spacing weights).
+///
+/// # Panics
+///
+/// Panics if an edge references a node `>= n`, is a self-loop, or exceeds
+/// the weight headroom above.
+pub fn min_weight_perfect_matching(n: usize, edges: &[(usize, usize, i64)]) -> Option<Matching> {
+    if n == 0 {
+        return Some(Matching {
+            mate: Vec::new(),
+            weight: 0,
+        });
+    }
+    if n % 2 == 1 {
+        return None;
+    }
+    const W_LIMIT: i64 = 1 << 40;
+    let mut w_max = 0i64;
+    for &(u, v, w) in edges {
+        assert!(u < n && v < n, "edge endpoint out of range");
+        assert_ne!(u, v, "self-loops are not allowed");
+        assert!(w.abs() < W_LIMIT, "weight exceeds headroom");
+        w_max = w_max.max(w.abs());
+    }
+    // Cardinality-dominant transform: w' = base + (w_max - w) with
+    // base > n * (2 * w_max), so larger matchings always outweigh smaller
+    // ones and, among maximum matchings, minimum original weight wins.
+    let base = 2 * w_max * (n as i64) + 1;
+    let transformed: Vec<(usize, usize, i64)> = edges
+        .iter()
+        .map(|&(u, v, w)| (u, v, base + (w_max - w)))
+        .collect();
+    let m = max_weight_matching(n, &transformed);
+    if !m.is_perfect() {
+        return None;
+    }
+    let weight = m
+        .pairs()
+        .iter()
+        .map(|&(u, v)| {
+            edges
+                .iter()
+                .filter(|&&(a, b, _)| (a, b) == (u, v) || (a, b) == (v, u))
+                .map(|&(_, _, w)| w)
+                .min()
+                .expect("matched pair corresponds to an input edge")
+        })
+        .sum();
+    Some(Matching {
+        mate: m.mate,
+        weight,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn empty_and_odd() {
+        assert!(min_weight_perfect_matching(0, &[]).is_some());
+        assert!(min_weight_perfect_matching(3, &[(0, 1, 1), (1, 2, 1)]).is_none());
+    }
+
+    #[test]
+    fn single_edge() {
+        let m = min_weight_perfect_matching(2, &[(0, 1, 7)]).unwrap();
+        assert_eq!(m.weight, 7);
+        assert_eq!(m.mate, vec![Some(1), Some(0)]);
+    }
+
+    #[test]
+    fn no_perfect_matching() {
+        // Star K_{1,3}: 4 nodes but no perfect matching.
+        assert!(min_weight_perfect_matching(4, &[(0, 1, 1), (0, 2, 1), (0, 3, 1)]).is_none());
+    }
+
+    #[test]
+    fn prefers_cheap_pairs_even_if_locally_tempting() {
+        // Path 0-1-2-3 with cheap middle: taking (1,2) leaves 0 and 3
+        // unmatchable; the perfect matching must use the two outer edges.
+        let m =
+            min_weight_perfect_matching(4, &[(0, 1, 5), (1, 2, 1), (2, 3, 5)]).unwrap();
+        assert_eq!(m.weight, 10);
+    }
+
+    #[test]
+    fn parallel_edges_take_the_cheapest() {
+        let m = min_weight_perfect_matching(2, &[(0, 1, 9), (0, 1, 4), (1, 0, 6)]).unwrap();
+        assert_eq!(m.weight, 4);
+    }
+
+    #[test]
+    fn zero_and_negative_weights() {
+        let m = min_weight_perfect_matching(4, &[(0, 1, 0), (2, 3, -5), (0, 2, 100), (1, 3, 100)])
+            .unwrap();
+        assert_eq!(m.weight, -5);
+    }
+
+    #[test]
+    fn blossom_shrinking_is_exercised() {
+        // Two triangles joined by a middle edge: odd components force
+        // blossom handling.
+        let edges = [
+            (0, 1, 2),
+            (1, 2, 2),
+            (2, 0, 2),
+            (3, 4, 2),
+            (4, 5, 2),
+            (5, 3, 2),
+            (2, 3, 1),
+        ];
+        let m = min_weight_perfect_matching(6, &edges).unwrap();
+        assert_eq!(m.weight, 5); // (0,1) + (2,3) + (4,5)
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_graphs() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        for trial in 0..200 {
+            let n = 2 * rng.gen_range(1..6); // up to 10 nodes
+            let mut edges = Vec::new();
+            for u in 0..n {
+                for v in u + 1..n {
+                    if rng.gen_bool(0.7) {
+                        edges.push((u, v, rng.gen_range(0..100)));
+                    }
+                }
+            }
+            let fast = min_weight_perfect_matching(n, &edges);
+            let brute = exhaustive::min_weight_perfect_matching(n, &edges);
+            match (fast, brute) {
+                (None, None) => {}
+                (Some(f), Some(b)) => {
+                    assert_eq!(f.weight, b.weight, "trial {trial} n={n} edges={edges:?}");
+                    assert!(f.is_perfect());
+                }
+                (f, b) => panic!(
+                    "trial {trial}: existence disagrees: fast={} brute={}",
+                    f.is_some(),
+                    b.is_some()
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_with_big_weights() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(43);
+        for _ in 0..50 {
+            let n = 8;
+            let mut edges = Vec::new();
+            for u in 0..n {
+                for v in u + 1..n {
+                    if rng.gen_bool(0.6) {
+                        edges.push((u, v, rng.gen_range(0..1_000_000_000)));
+                    }
+                }
+            }
+            let fast = min_weight_perfect_matching(n, &edges);
+            let brute = exhaustive::min_weight_perfect_matching(n, &edges);
+            assert_eq!(fast.map(|m| m.weight), brute.map(|m| m.weight));
+        }
+    }
+
+    #[test]
+    fn larger_dense_instance_is_consistent() {
+        // Sanity: mate array is involutive and every matched pair is an edge.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(44);
+        let n = 60;
+        let mut edges = Vec::new();
+        for u in 0..n {
+            for v in u + 1..n {
+                if rng.gen_bool(0.3) {
+                    edges.push((u, v, rng.gen_range(1..10_000)));
+                }
+            }
+        }
+        if let Some(m) = min_weight_perfect_matching(n, &edges) {
+            for (u, v) in m.pairs() {
+                assert_eq!(m.mate[v], Some(u));
+                assert!(edges
+                    .iter()
+                    .any(|&(a, b, _)| (a, b) == (u, v) || (a, b) == (v, u)));
+            }
+            assert_eq!(m.pair_count(), n / 2);
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! SVG rendering of AAPSM layouts, shifters, conflicts and phase
+//! assignments.
+//!
+//! Regenerates the visual content of the paper's figures: Figure 1
+//! (an unassignable cycle of phase dependencies), Figure 2 (phase conflict
+//! graph vs feature graph on one layout) and Figure 5 (an end-to-end space
+//! clearing several conflicts). Pure string building; no dependencies
+//! beyond the workspace.
+//!
+//! # Example
+//!
+//! ```
+//! use aapsm_layout::{fixtures, DesignRules, extract_phase_geometry};
+//! use aapsm_render::{render_layout, RenderOptions};
+//!
+//! let rules = DesignRules::default();
+//! let layout = fixtures::gate_over_strap(&rules);
+//! let geom = extract_phase_geometry(&layout, &rules);
+//! let svg = render_layout(&layout, Some(&geom), None, &RenderOptions::default());
+//! assert!(svg.starts_with("<svg"));
+//! ```
+
+use aapsm_core::{Conflict, ConflictGraph, ConstraintKind};
+use aapsm_geom::Rect;
+use aapsm_layout::{Layout, PhaseAssignment, PhaseGeometry};
+use std::fmt::Write as _;
+
+/// Rendering options.
+#[derive(Clone, Debug)]
+pub struct RenderOptions {
+    /// Output pixel width (height follows the aspect ratio).
+    pub width_px: u32,
+    /// Margin around the drawing, in layout dbu.
+    pub margin_dbu: i64,
+}
+
+impl Default for RenderOptions {
+    fn default() -> Self {
+        RenderOptions {
+            width_px: 900,
+            margin_dbu: 600,
+        }
+    }
+}
+
+struct Canvas {
+    svg: String,
+    scale: f64,
+    x0: i64,
+    y1: i64, // top (svg y grows downward)
+}
+
+impl Canvas {
+    fn new(bbox: Rect, opts: &RenderOptions) -> Canvas {
+        let bbox = bbox.inflate(opts.margin_dbu);
+        let w = bbox.width() as f64;
+        let h = bbox.height() as f64;
+        let scale = opts.width_px as f64 / w;
+        let height_px = (h * scale).ceil() as u32;
+        let mut svg = String::new();
+        let _ = writeln!(
+            svg,
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{}\" height=\"{}\" viewBox=\"0 0 {} {}\">",
+            opts.width_px, height_px, opts.width_px, height_px
+        );
+        let _ = writeln!(svg, "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>");
+        Canvas {
+            svg,
+            scale,
+            x0: bbox.x_lo(),
+            y1: bbox.y_hi(),
+        }
+    }
+
+    fn px(&self, x: i64, y: i64) -> (f64, f64) {
+        (
+            (x - self.x0) as f64 * self.scale,
+            (self.y1 - y) as f64 * self.scale,
+        )
+    }
+
+    fn rect(&mut self, r: &Rect, fill: &str, stroke: &str, opacity: f64) {
+        let (x, y) = self.px(r.x_lo(), r.y_hi());
+        let _ = writeln!(
+            self.svg,
+            "<rect x=\"{:.2}\" y=\"{:.2}\" width=\"{:.2}\" height=\"{:.2}\" fill=\"{fill}\" stroke=\"{stroke}\" stroke-width=\"0.5\" fill-opacity=\"{opacity}\"/>",
+            x,
+            y,
+            r.width() as f64 * self.scale,
+            r.height() as f64 * self.scale
+        );
+    }
+
+    fn line(&mut self, a: (i64, i64), b: (i64, i64), stroke: &str, width: f64) {
+        let (x1, y1) = self.px(a.0, a.1);
+        let (x2, y2) = self.px(b.0, b.1);
+        let _ = writeln!(
+            self.svg,
+            "<line x1=\"{x1:.2}\" y1=\"{y1:.2}\" x2=\"{x2:.2}\" y2=\"{y2:.2}\" stroke=\"{stroke}\" stroke-width=\"{width}\"/>"
+        );
+    }
+
+    fn circle(&mut self, c: (i64, i64), r_px: f64, fill: &str) {
+        let (cx, cy) = self.px(c.0, c.1);
+        let _ = writeln!(
+            self.svg,
+            "<circle cx=\"{cx:.2}\" cy=\"{cy:.2}\" r=\"{r_px}\" fill=\"{fill}\"/>"
+        );
+    }
+
+    fn finish(mut self) -> String {
+        self.svg.push_str("</svg>\n");
+        self.svg
+    }
+}
+
+fn overall_bbox(layout: &Layout, geom: Option<&PhaseGeometry>) -> Rect {
+    let mut bbox = layout.bbox().unwrap_or_else(|| Rect::new(0, 0, 1, 1));
+    if let Some(g) = geom {
+        for s in &g.shifters {
+            bbox = bbox.hull(&s.rect);
+        }
+    }
+    bbox
+}
+
+/// Renders a layout; optionally its shifters (colored by phase when an
+/// assignment is given) and conflict markers.
+pub fn render_layout(
+    layout: &Layout,
+    geom: Option<&PhaseGeometry>,
+    phases: Option<&PhaseAssignment>,
+    opts: &RenderOptions,
+) -> String {
+    let mut c = Canvas::new(overall_bbox(layout, geom), opts);
+    if let Some(g) = geom {
+        for (si, s) in g.shifters.iter().enumerate() {
+            let fill = match phases.map(|p| p.phase[si]) {
+                Some(0) => "#7cb2e8",  // 0 degrees
+                Some(_) => "#e8897c",  // 180 degrees
+                None => "#c9c9c9",
+            };
+            c.rect(&s.rect, fill, "#888888", 0.55);
+        }
+    }
+    for r in layout.rects() {
+        c.rect(r, "#222222", "#000000", 0.95);
+    }
+    c.finish()
+}
+
+/// Renders a layout with its conflict set highlighted (red markers on the
+/// conflicting shifter pairs) — the Figure 1 / Figure 5 style.
+pub fn render_conflicts(
+    layout: &Layout,
+    geom: &PhaseGeometry,
+    conflicts: &[Conflict],
+    opts: &RenderOptions,
+) -> String {
+    let mut c = Canvas::new(overall_bbox(layout, Some(geom)), opts);
+    for s in &geom.shifters {
+        c.rect(&s.rect, "#c9c9c9", "#888888", 0.5);
+    }
+    for r in layout.rects() {
+        c.rect(r, "#222222", "#000000", 0.95);
+    }
+    for conflict in conflicts {
+        if let ConstraintKind::Overlap(oi) = conflict.constraint {
+            let o = &geom.overlaps[oi];
+            let a = geom.shifters[o.a].rect.center();
+            let b = geom.shifters[o.b].rect.center();
+            c.line((a.x, a.y), (b.x, b.y), "#d62728", 2.5);
+            c.circle((a.x, a.y), 4.0, "#d62728");
+            c.circle((b.x, b.y), 4.0, "#d62728");
+        }
+    }
+    c.finish()
+}
+
+/// Renders a conflict graph over its layout — the Figure 2 comparison
+/// (call once with the PCG and once with the feature graph).
+pub fn render_graph(
+    layout: &Layout,
+    geom: &PhaseGeometry,
+    cg: &ConflictGraph,
+    opts: &RenderOptions,
+) -> String {
+    let mut c = Canvas::new(overall_bbox(layout, Some(geom)), opts);
+    for s in &geom.shifters {
+        c.rect(&s.rect, "#dddddd", "#aaaaaa", 0.5);
+    }
+    for r in layout.rects() {
+        c.rect(r, "#bbbbbb", "#999999", 0.8);
+    }
+    for e in cg.graph.alive_edges() {
+        let (u, v) = cg.graph.endpoints(e);
+        let (pu, pv) = (cg.graph.pos(u), cg.graph.pos(v));
+        let stroke = if cg.is_flank(e) { "#1f77b4" } else { "#2ca02c" };
+        c.line((pu.x, pu.y), (pv.x, pv.y), stroke, 1.5);
+    }
+    for n in cg.graph.nodes() {
+        let p = cg.graph.pos(n);
+        c.circle((p.x, p.y), 3.0, "#333333");
+    }
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aapsm_core::{build_phase_conflict_graph, detect_conflicts, DetectConfig};
+    use aapsm_layout::{extract_phase_geometry, fixtures, DesignRules};
+
+    #[test]
+    fn renders_are_wellformed_svg() {
+        let rules = DesignRules::default();
+        let layout = fixtures::strap_under_bus(4, &rules);
+        let geom = extract_phase_geometry(&layout, &rules);
+        let report = detect_conflicts(&geom, &DetectConfig::default());
+        let cg = build_phase_conflict_graph(&geom);
+        let opts = RenderOptions::default();
+        for svg in [
+            render_layout(&layout, Some(&geom), None, &opts),
+            render_conflicts(&layout, &geom, &report.conflicts, &opts),
+            render_graph(&layout, &geom, &cg, &opts),
+        ] {
+            assert!(svg.starts_with("<svg"));
+            assert!(svg.trim_end().ends_with("</svg>"));
+            assert!(svg.matches("<rect").count() > 4);
+        }
+    }
+
+    #[test]
+    fn phases_change_fill_colors() {
+        let rules = DesignRules::default();
+        let layout = fixtures::wire_row(3, 600);
+        let geom = extract_phase_geometry(&layout, &rules);
+        let phases = aapsm_layout::check_assignable(&geom).unwrap();
+        let svg = render_layout(&layout, Some(&geom), Some(&phases), &RenderOptions::default());
+        assert!(svg.contains("#7cb2e8") && svg.contains("#e8897c"));
+    }
+
+    #[test]
+    fn empty_layout_renders() {
+        let svg = render_layout(&Layout::new(), None, None, &RenderOptions::default());
+        assert!(svg.starts_with("<svg"));
+    }
+}

@@ -1,0 +1,71 @@
+//! Brute-force T-join reference solver (subset enumeration).
+
+use crate::{TJoin, TJoinInstance};
+
+/// Finds the minimum-weight T-join by enumerating all edge subsets.
+///
+/// Returns `None` when no T-join exists. Intended for test oracles only.
+///
+/// # Panics
+///
+/// Panics if the instance has more than 20 edges.
+pub fn solve_brute(inst: &TJoinInstance) -> Option<TJoin> {
+    let m = inst.edges().len();
+    assert!(m <= 20, "brute-force T-join limited to 20 edges");
+    let n = inst.node_count();
+    let mut best: Option<(i64, u32)> = None;
+    'subsets: for mask in 0u32..(1 << m) {
+        let mut parity = vec![0u8; n];
+        let mut weight = 0i64;
+        for (i, &(u, v, w)) in inst.edges().iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                parity[u] ^= 1;
+                parity[v] ^= 1;
+                weight += w;
+                if best.is_some_and(|(bw, _)| weight > bw) {
+                    continue 'subsets;
+                }
+            }
+        }
+        for v in 0..n {
+            if (parity[v] == 1) != inst.t_set()[v] {
+                continue 'subsets;
+            }
+        }
+        if best.is_none() || weight < best.unwrap().0 {
+            best = Some((weight, mask));
+        }
+    }
+    best.map(|(weight, mask)| TJoin {
+        edges: (0..m).filter(|i| mask & (1 << i) != 0).collect(),
+        weight,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_join() {
+        let inst =
+            TJoinInstance::new(3, vec![(0, 1, 4), (1, 2, 5)], vec![true, false, true]).unwrap();
+        let j = solve_brute(&inst).unwrap();
+        assert_eq!(j.weight, 9);
+        assert_eq!(j.edges, vec![0, 1]);
+    }
+
+    #[test]
+    fn infeasible_returns_none() {
+        let inst = TJoinInstance::new(2, vec![(0, 1, 1)], vec![true, false]).unwrap();
+        assert!(solve_brute(&inst).is_none());
+    }
+
+    #[test]
+    fn empty_t_gives_empty_join() {
+        let inst = TJoinInstance::new(2, vec![(0, 1, 1)], vec![false, false]).unwrap();
+        let j = solve_brute(&inst).unwrap();
+        assert_eq!(j.weight, 0);
+        assert!(j.edges.is_empty());
+    }
+}

@@ -1,0 +1,495 @@
+//! Gadget reductions from minimum-weight T-join to perfect matching.
+//!
+//! # The construction
+//!
+//! Every edge of the T-join instance is *assigned* to one of its endpoints
+//! such that each node's assigned-edge count has the parity of its T-set
+//! membership (a spanning-forest fix-up makes this possible; when a
+//! component's parity budget cannot be met by single assignments, an extra
+//! zero-cost *parity node* is added to one gadget — this plays the role of
+//! the paper's "edge assigned to both endpoints at the same time").
+//!
+//! Each node `v` becomes a *gadget*: one member per incident edge — a
+//! **true node** (cost 0) when the edge is assigned to `v`, a **ghost
+//! node** (cost `w(e)`) otherwise. Members of one gadget are pairwise
+//! connected with edge cost `c(x) + c(y)`; a true/ghost pair of one
+//! instance edge is linked through a zero-cost **dummy** path. A perfect
+//! matching must match each member either "inward" (into its gadget) or
+//! "outward" (through the dummy), and the inward ghost matches pay exactly
+//! the weight of the selected T-join.
+//!
+//! # Decomposed gadgets
+//!
+//! A complete gadget on `d` members has `O(d²)` edges. Following the
+//! paper, a gadget may be decomposed into complete groups `B₁ … B_k`
+//! joined by *divide junctions*. The paper skips the construction details;
+//! we use, per junction, a linked pair of zero-cost nodes `(P, Q)` where
+//! `P` is fully connected to the left group, `Q` to the right group,
+//! consecutive junctions are chained (`Qᵢ—Pᵢ₊₁`), and `P—Q` lets an unused
+//! junction self-match. A junction chain can bridge one odd residue pair
+//! between any two groups, and disjoint residue pairs use disjoint chain
+//! segments, so every even member subset remains realizable at exactly its
+//! additive cost (property-tested against the complete gadget and brute
+//! force). [`GadgetKind::Optimized`] (groups ≤ 3) corresponds to the
+//! optimized gadgets of Kahng et al. [5]; [`GadgetKind::Generalized`]
+//! allows any group size — fewer junction nodes, smaller matchings, which
+//! is the source of the paper's reported ~16% matching-runtime gain.
+//!
+//! # Merged representation
+//!
+//! The paper notes "ghost nodes and dummy nodes are not represented" in
+//! the actual implementation: a ghost is a pointer to the true node at the
+//! other endpoint. We implement this as the default: the true node itself
+//! appears as the remote gadget's member (with cost `w(e)`), eliminating
+//! two matching nodes per edge. Parallel edges would make the extraction
+//! ambiguous, so members of parallel bundles keep the explicit
+//! ghost+dummy form.
+
+use crate::{TJoin, TJoinError, TJoinInstance};
+use aapsm_matching::min_weight_perfect_matching;
+
+/// Gadget decomposition policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GadgetKind {
+    /// One complete gadget per node (no junctions).
+    Complete,
+    /// Complete subgraphs of size ≤ 3 (the optimized gadgets of [5]).
+    Optimized,
+    /// Complete subgraphs of size ≤ `max_group` (the paper's generalized
+    /// gadgets).
+    Generalized {
+        /// Maximum members per complete group (≥ 1).
+        max_group: usize,
+    },
+}
+
+impl Default for GadgetKind {
+    fn default() -> Self {
+        GadgetKind::Generalized { max_group: 8 }
+    }
+}
+
+impl GadgetKind {
+    fn max_group(self) -> usize {
+        match self {
+            GadgetKind::Complete => usize::MAX,
+            GadgetKind::Optimized => 3,
+            GadgetKind::Generalized { max_group } => max_group.max(1),
+        }
+    }
+}
+
+/// Size statistics of a gadget matching instance, for the Figure 3/4
+/// reproduction benches.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GadgetStats {
+    /// Nodes of the matching graph.
+    pub matching_nodes: usize,
+    /// Edges of the matching graph (before parallel deduplication).
+    pub matching_edges: usize,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum NodeMeta {
+    /// True node of an instance edge.
+    True(usize),
+    /// Explicit ghost node of an instance edge.
+    Ghost(usize),
+    /// Dummy node linking true and ghost of an instance edge.
+    Dummy(usize),
+    /// Extra parity node living in the gadget of an instance node.
+    Extra(usize),
+    /// Divide junction node of a gadget ("side" 0 = P, 1 = Q).
+    Divide(usize),
+}
+
+/// Solves the T-join by the gadget reduction; also returns the matching
+/// instance size (for the size/runtime benches).
+///
+/// # Errors
+///
+/// Returns [`TJoinError::Infeasible`] when some component has an odd
+/// number of T-nodes.
+pub fn solve_gadget(
+    inst: &TJoinInstance,
+    kind: GadgetKind,
+) -> Result<(TJoin, GadgetStats), TJoinError> {
+    inst.check_feasible()?;
+    let n = inst.node_count();
+    let edges = inst.edges();
+    let m = edges.len();
+
+    // ---- 1. Edge assignment with spanning-forest parity fix-up. ----
+    let mut assigned_to: Vec<usize> = edges.iter().map(|&(u, v, _)| u.min(v)).collect();
+    let mut defect = vec![false; n];
+    for v in 0..n {
+        let a = inst
+            .incident(v)
+            .iter()
+            .filter(|&&e| assigned_to[e] == v)
+            .count();
+        defect[v] = (a % 2 == 1) != inst.t_set()[v];
+    }
+    // BFS forest.
+    let mut parent_edge: Vec<Option<usize>> = vec![None; n];
+    let mut order = Vec::with_capacity(n);
+    let mut visited = vec![false; n];
+    for s in 0..n {
+        if visited[s] {
+            continue;
+        }
+        visited[s] = true;
+        let mut queue = std::collections::VecDeque::from([s]);
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            for &ei in inst.incident(u) {
+                let (a, b, _) = edges[ei];
+                let w = if a == u { b } else { a };
+                if !visited[w] {
+                    visited[w] = true;
+                    parent_edge[w] = Some(ei);
+                    queue.push_back(w);
+                }
+            }
+        }
+    }
+    let mut extra_at: Vec<bool> = vec![false; n];
+    for &v in order.iter().rev() {
+        if !defect[v] {
+            continue;
+        }
+        match parent_edge[v] {
+            Some(ei) => {
+                // Flip the tree edge's assignment: toggles the parity (and
+                // hence the defect) of both endpoints.
+                let (a, b, _) = edges[ei];
+                let other = if assigned_to[ei] == a { b } else { a };
+                assigned_to[ei] = other;
+                defect[a] = !defect[a];
+                defect[b] = !defect[b];
+            }
+            None => {
+                // Component root: absorb the leftover parity with an extra
+                // zero-cost member in v's gadget.
+                extra_at[v] = true;
+                defect[v] = false;
+            }
+        }
+    }
+    debug_assert!(defect.iter().all(|&d| !d));
+
+    // ---- 2. Build the matching graph. ----
+    // Parallel bundles must use the explicit ghost representation.
+    let mut bundle: std::collections::HashMap<(usize, usize), usize> =
+        std::collections::HashMap::new();
+    for &(u, v, _) in edges {
+        *bundle.entry((u.min(v), u.max(v))).or_default() += 1;
+    }
+    let explicit: Vec<bool> = edges
+        .iter()
+        .map(|&(u, v, _)| bundle[&(u.min(v), u.max(v))] > 1)
+        .collect();
+
+    let mut meta: Vec<NodeMeta> = Vec::new();
+    let new_node = |m: NodeMeta, meta: &mut Vec<NodeMeta>| -> usize {
+        meta.push(m);
+        meta.len() - 1
+    };
+    let mut true_node = vec![usize::MAX; m];
+    let mut ghost_node = vec![usize::MAX; m];
+    let mut dummy_node = vec![usize::MAX; m];
+    for e in 0..m {
+        true_node[e] = new_node(NodeMeta::True(e), &mut meta);
+        if explicit[e] {
+            ghost_node[e] = new_node(NodeMeta::Ghost(e), &mut meta);
+            dummy_node[e] = new_node(NodeMeta::Dummy(e), &mut meta);
+        }
+    }
+    let mut extra_node = vec![usize::MAX; n];
+    for v in 0..n {
+        if extra_at[v] {
+            extra_node[v] = new_node(NodeMeta::Extra(v), &mut meta);
+        }
+    }
+
+    let mut medges: Vec<(usize, usize, i64)> = Vec::new();
+    // Dummy paths for explicit edges.
+    for e in 0..m {
+        if explicit[e] {
+            medges.push((true_node[e], dummy_node[e], 0));
+            medges.push((dummy_node[e], ghost_node[e], 0));
+        }
+    }
+    // Per-node gadgets.
+    let max_group = kind.max_group();
+    for v in 0..n {
+        // Members: (matching node, cost in this gadget's context).
+        let mut members: Vec<(usize, i64)> = Vec::new();
+        for &ei in inst.incident(v) {
+            let (_, _, w) = edges[ei];
+            if assigned_to[ei] == v {
+                members.push((true_node[ei], 0));
+            } else if explicit[ei] {
+                members.push((ghost_node[ei], w));
+            } else {
+                members.push((true_node[ei], w)); // merged ghost
+            }
+        }
+        if extra_at[v] {
+            members.push((extra_node[v], 0));
+        }
+        if members.is_empty() {
+            continue;
+        }
+        let groups: Vec<&[(usize, i64)]> = members.chunks(max_group.min(members.len())).collect();
+        // Intra-group cliques.
+        for group in &groups {
+            for (i, &(x, cx)) in group.iter().enumerate() {
+                for &(y, cy) in &group[i + 1..] {
+                    medges.push((x, y, cx + cy));
+                }
+            }
+        }
+        // Divide junctions between consecutive groups.
+        let mut prev_q: Option<usize> = None;
+        for j in 0..groups.len().saturating_sub(1) {
+            let p = new_node(NodeMeta::Divide(v), &mut meta);
+            let q = new_node(NodeMeta::Divide(v), &mut meta);
+            medges.push((p, q, 0));
+            for &(x, cx) in groups[j] {
+                medges.push((p, x, cx));
+            }
+            for &(y, cy) in groups[j + 1] {
+                medges.push((q, y, cy));
+            }
+            if let Some(pq) = prev_q {
+                medges.push((pq, p, 0));
+            }
+            prev_q = Some(q);
+        }
+    }
+
+    let stats = GadgetStats {
+        matching_nodes: meta.len(),
+        matching_edges: medges.len(),
+    };
+
+    // ---- 3. Perfect matching. ----
+    let matching = min_weight_perfect_matching(meta.len(), &medges)
+        .expect("feasible T-join instance always yields a perfectly matchable gadget graph");
+
+    // ---- 4. Extraction. ----
+    let home = |e: usize| assigned_to[e];
+    let remote = |e: usize| {
+        let (u, v, _) = edges[e];
+        if assigned_to[e] == u {
+            v
+        } else {
+            u
+        }
+    };
+    let mut in_join = vec![false; m];
+    for e in 0..m {
+        if explicit[e] {
+            // Ghost matched inward (anything but its dummy) means e is in
+            // the join.
+            in_join[e] = matching.mate[ghost_node[e]] != Some(dummy_node[e]);
+        } else {
+            let partner = matching.mate[true_node[e]].expect("perfect matching");
+            let context = match meta[partner] {
+                NodeMeta::Dummy(e2) => {
+                    debug_assert_eq!(e2, e);
+                    home(e) // matched outward through its own dummy: not in join
+                }
+                NodeMeta::Extra(v) | NodeMeta::Divide(v) => v,
+                NodeMeta::Ghost(e2) => remote(e2),
+                NodeMeta::True(e2) => {
+                    // Shared gadget: the unique common endpoint.
+                    let (u1, v1, _) = edges[e];
+                    let (u2, v2, _) = edges[e2];
+                    if u1 == u2 || u1 == v2 {
+                        u1
+                    } else {
+                        debug_assert!(v1 == u2 || v1 == v2, "edges must share an endpoint");
+                        v1
+                    }
+                }
+            };
+            in_join[e] = context == remote(e);
+        }
+    }
+    let join_edges: Vec<usize> = (0..m).filter(|&e| in_join[e]).collect();
+    let weight = join_edges.iter().map(|&e| edges[e].2).sum();
+    let join = TJoin {
+        edges: join_edges,
+        weight,
+    };
+    debug_assert!(
+        inst.is_valid_join(&join),
+        "gadget extraction produced an invalid T-join"
+    );
+    Ok((join, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::solve_brute;
+    use rand::{Rng, SeedableRng};
+
+    fn kinds() -> Vec<GadgetKind> {
+        vec![
+            GadgetKind::Complete,
+            GadgetKind::Optimized,
+            GadgetKind::Generalized { max_group: 1 },
+            GadgetKind::Generalized { max_group: 2 },
+            GadgetKind::Generalized { max_group: 5 },
+        ]
+    }
+
+    #[test]
+    fn single_edge_join() {
+        let inst = TJoinInstance::new(2, vec![(0, 1, 3)], vec![true, true]).unwrap();
+        for k in kinds() {
+            let (j, _) = solve_gadget(&inst, k).unwrap();
+            assert_eq!(j.weight, 3, "{k:?}");
+            assert_eq!(j.edges, vec![0]);
+        }
+    }
+
+    #[test]
+    fn high_degree_node_exercises_junctions() {
+        // Star with 7 leaves, all in T along with sometimes the center.
+        for center_in_t in [false, true] {
+            let leaves = if center_in_t { 7 } else { 6 };
+            let mut edges = Vec::new();
+            let mut t = vec![center_in_t];
+            for l in 0..leaves {
+                edges.push((0, l + 1, (l as i64) + 1));
+                t.push(true);
+            }
+            if (t.iter().filter(|&&b| b).count()) % 2 == 1 {
+                t[1] = false;
+            }
+            let inst = TJoinInstance::new(leaves + 1, edges, t).unwrap();
+            let reference = solve_brute(&inst);
+            for k in kinds() {
+                let got = solve_gadget(&inst, k).map(|(j, _)| j);
+                assert_eq!(
+                    reference.as_ref().map(|j| j.weight),
+                    got.as_ref().ok().map(|j| j.weight),
+                    "{k:?} center_in_t={center_in_t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn decomposition_shrinks_edge_count_for_high_degree() {
+        // One node of degree 12: complete gadget needs 66 intra edges;
+        // grouped gadgets need far fewer.
+        let mut edges = Vec::new();
+        let mut t = vec![false];
+        for l in 0..12 {
+            edges.push((0, l + 1, 1));
+            t.push(l % 2 == 0);
+        }
+        // Make |T| even.
+        let t_count = t.iter().filter(|&&b| b).count();
+        if t_count % 2 == 1 {
+            t[1] = !t[1];
+        }
+        let inst = TJoinInstance::new(13, edges, t).unwrap();
+        let (_, complete) = solve_gadget(&inst, GadgetKind::Complete).unwrap();
+        let (_, grouped) = solve_gadget(&inst, GadgetKind::Generalized { max_group: 4 }).unwrap();
+        assert!(
+            grouped.matching_edges < complete.matching_edges,
+            "grouped {grouped:?} vs complete {complete:?}"
+        );
+        // Generalized (bigger groups) uses fewer nodes than optimized.
+        let (_, opt) = solve_gadget(&inst, GadgetKind::Optimized).unwrap();
+        let (_, gen8) = solve_gadget(&inst, GadgetKind::Generalized { max_group: 8 }).unwrap();
+        assert!(gen8.matching_nodes < opt.matching_nodes);
+    }
+
+    #[test]
+    fn cross_group_residues_bridge_through_junctions() {
+        // Regression for the junction-chain construction: a degree-6 hub
+        // where the optimal join must activate exactly one member in each
+        // of two different groups.
+        let edges = vec![
+            (0, 1, 1),
+            (0, 2, 100),
+            (0, 3, 100),
+            (0, 4, 100),
+            (0, 5, 100),
+            (0, 6, 1),
+        ];
+        let t = vec![false, true, false, false, false, false, true];
+        let inst = TJoinInstance::new(7, edges, t).unwrap();
+        let reference = solve_brute(&inst).unwrap();
+        assert_eq!(reference.weight, 2); // edges (0,1) and (0,6)
+        for k in kinds() {
+            let (j, _) = solve_gadget(&inst, k).unwrap();
+            assert_eq!(j.weight, reference.weight, "{k:?}");
+            assert!(inst.is_valid_join(&j), "{k:?}");
+        }
+    }
+
+    #[test]
+    fn random_cross_validation_against_brute_force() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(555);
+        for trial in 0..150 {
+            let n = rng.gen_range(2..7);
+            let mut edges = Vec::new();
+            for _ in 0..rng.gen_range(1..10) {
+                let u = rng.gen_range(0..n);
+                let v = rng.gen_range(0..n);
+                if u != v {
+                    edges.push((u, v, rng.gen_range(0..50) as i64));
+                }
+            }
+            if edges.is_empty() {
+                continue;
+            }
+            let t: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.5)).collect();
+            let inst = TJoinInstance::new(n, edges.clone(), t.clone()).unwrap();
+            let reference = solve_brute(&inst);
+            for k in kinds() {
+                let got = solve_gadget(&inst, k).map(|(j, _)| j);
+                match (&reference, got) {
+                    (None, Err(_)) => {}
+                    (Some(b), Ok(j)) => {
+                        assert!(inst.is_valid_join(&j), "trial {trial} {k:?}");
+                        assert_eq!(j.weight, b.weight, "trial {trial} {k:?} edges={edges:?} t={t:?}");
+                    }
+                    (b, g) => panic!(
+                        "trial {trial} {k:?}: feasibility disagrees brute={} got={}",
+                        b.is_some(),
+                        g.is_ok()
+                    ),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stats_reflect_merged_representation() {
+        // Simple path: no parallel edges, so no ghost/dummy nodes should
+        // be materialized — 2 true nodes only (plus junctions/extras).
+        let inst =
+            TJoinInstance::new(3, vec![(0, 1, 1), (1, 2, 1)], vec![true, false, true]).unwrap();
+        let (_, stats) = solve_gadget(&inst, GadgetKind::Complete).unwrap();
+        assert_eq!(stats.matching_nodes, 2);
+    }
+
+    #[test]
+    fn parallel_bundles_use_explicit_nodes() {
+        let inst =
+            TJoinInstance::new(2, vec![(0, 1, 5), (0, 1, 2)], vec![false, false]).unwrap();
+        let (j, stats) = solve_gadget(&inst, GadgetKind::Complete).unwrap();
+        assert_eq!(j.weight, 0);
+        // 2 edges x (true + ghost + dummy) = 6 nodes.
+        assert_eq!(stats.matching_nodes, 6);
+    }
+}

@@ -1,0 +1,281 @@
+use std::fmt;
+
+/// A minimum-weight T-join problem instance.
+///
+/// The graph is an abstract multigraph (no embedding needed); weights must
+/// be non-negative, self-loops are rejected (a self-loop is never part of a
+/// minimal T-join).
+#[derive(Clone, Debug)]
+pub struct TJoinInstance {
+    node_count: usize,
+    edges: Vec<(usize, usize, i64)>,
+    t: Vec<bool>,
+    adj: Vec<Vec<usize>>, // edge indices per node
+}
+
+/// Errors produced by T-join construction and solving.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TJoinError {
+    /// An edge is malformed (self-loop, out-of-range endpoint, negative
+    /// weight).
+    BadEdge {
+        /// Index of the offending edge.
+        index: usize,
+        /// Explanation.
+        reason: &'static str,
+    },
+    /// `t.len() != node_count`.
+    BadTSet,
+    /// Some connected component contains an odd number of T-nodes, so no
+    /// T-join exists.
+    Infeasible {
+        /// A node of an offending component.
+        witness: usize,
+    },
+}
+
+impl fmt::Display for TJoinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TJoinError::BadEdge { index, reason } => {
+                write!(f, "edge {index} is malformed: {reason}")
+            }
+            TJoinError::BadTSet => write!(f, "t-set length does not match node count"),
+            TJoinError::Infeasible { witness } => write!(
+                f,
+                "no T-join exists: component of node {witness} has an odd number of T-nodes"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TJoinError {}
+
+/// A T-join: a set of instance edge indices and their total weight.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TJoin {
+    /// Indices into [`TJoinInstance::edges`], ascending.
+    pub edges: Vec<usize>,
+    /// Total weight.
+    pub weight: i64,
+}
+
+impl TJoinInstance {
+    /// Builds an instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TJoinError::BadEdge`] / [`TJoinError::BadTSet`] on
+    /// malformed input. Feasibility (even T per component) is *not*
+    /// checked here; solvers report it.
+    pub fn new(
+        node_count: usize,
+        edges: Vec<(usize, usize, i64)>,
+        t: Vec<bool>,
+    ) -> Result<Self, TJoinError> {
+        if t.len() != node_count {
+            return Err(TJoinError::BadTSet);
+        }
+        for (i, &(u, v, w)) in edges.iter().enumerate() {
+            if u >= node_count || v >= node_count {
+                return Err(TJoinError::BadEdge {
+                    index: i,
+                    reason: "endpoint out of range",
+                });
+            }
+            if u == v {
+                return Err(TJoinError::BadEdge {
+                    index: i,
+                    reason: "self-loop",
+                });
+            }
+            if w < 0 {
+                return Err(TJoinError::BadEdge {
+                    index: i,
+                    reason: "negative weight",
+                });
+            }
+        }
+        let mut adj = vec![Vec::new(); node_count];
+        for (i, &(u, v, _)) in edges.iter().enumerate() {
+            adj[u].push(i);
+            adj[v].push(i);
+        }
+        Ok(TJoinInstance {
+            node_count,
+            edges,
+            t,
+            adj,
+        })
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// The edge list.
+    pub fn edges(&self) -> &[(usize, usize, i64)] {
+        &self.edges
+    }
+
+    /// The T-set membership vector.
+    pub fn t_set(&self) -> &[bool] {
+        &self.t
+    }
+
+    /// Edge indices incident to `v`.
+    pub fn incident(&self, v: usize) -> &[usize] {
+        &self.adj[v]
+    }
+
+    /// Degree of `v` in the multigraph.
+    pub fn degree(&self, v: usize) -> usize {
+        self.adj[v].len()
+    }
+
+    /// Checks feasibility: every connected component must contain an even
+    /// number of T-nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TJoinError::Infeasible`] naming a node of an odd
+    /// component.
+    pub fn check_feasible(&self) -> Result<(), TJoinError> {
+        let comp = self.components();
+        let comp_count = comp.iter().copied().max().map_or(0, |c| c + 1);
+        let mut parity = vec![0u8; comp_count];
+        for v in 0..self.node_count {
+            if self.t[v] {
+                parity[comp[v]] ^= 1;
+            }
+        }
+        for v in 0..self.node_count {
+            if self.t[v] && parity[comp[v]] == 1 {
+                return Err(TJoinError::Infeasible { witness: v });
+            }
+        }
+        Ok(())
+    }
+
+    /// Connected component index per node.
+    pub fn components(&self) -> Vec<usize> {
+        let mut comp = vec![usize::MAX; self.node_count];
+        let mut count = 0;
+        let mut stack = Vec::new();
+        for s in 0..self.node_count {
+            if comp[s] != usize::MAX {
+                continue;
+            }
+            comp[s] = count;
+            stack.push(s);
+            while let Some(u) = stack.pop() {
+                for &ei in &self.adj[u] {
+                    let (a, b, _) = self.edges[ei];
+                    let v = if a == u { b } else { a };
+                    if comp[v] == usize::MAX {
+                        comp[v] = count;
+                        stack.push(v);
+                    }
+                }
+            }
+            count += 1;
+        }
+        comp
+    }
+
+    /// Whether `join` satisfies the T-join degree-parity conditions and
+    /// has a consistent weight.
+    pub fn is_valid_join(&self, join: &TJoin) -> bool {
+        let mut seen = std::collections::HashSet::new();
+        let mut parity = vec![0u8; self.node_count];
+        let mut weight = 0i64;
+        for &ei in &join.edges {
+            if ei >= self.edges.len() || !seen.insert(ei) {
+                return false;
+            }
+            let (u, v, w) = self.edges[ei];
+            parity[u] ^= 1;
+            parity[v] ^= 1;
+            weight += w;
+        }
+        weight == join.weight
+            && (0..self.node_count).all(|v| (parity[v] == 1) == self.t[v])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(matches!(
+            TJoinInstance::new(2, vec![(0, 0, 1)], vec![false, false]),
+            Err(TJoinError::BadEdge { .. })
+        ));
+        assert!(matches!(
+            TJoinInstance::new(2, vec![(0, 5, 1)], vec![false, false]),
+            Err(TJoinError::BadEdge { .. })
+        ));
+        assert!(matches!(
+            TJoinInstance::new(2, vec![(0, 1, -1)], vec![false, false]),
+            Err(TJoinError::BadEdge { .. })
+        ));
+        assert!(matches!(
+            TJoinInstance::new(2, vec![], vec![false]),
+            Err(TJoinError::BadTSet)
+        ));
+    }
+
+    #[test]
+    fn feasibility_per_component() {
+        // Two components: {0,1} and {2,3}. One T-node in each: infeasible.
+        let inst = TJoinInstance::new(
+            4,
+            vec![(0, 1, 1), (2, 3, 1)],
+            vec![true, false, true, false],
+        )
+        .unwrap();
+        assert!(inst.check_feasible().is_err());
+        // Two T-nodes in one component: feasible.
+        let inst = TJoinInstance::new(
+            4,
+            vec![(0, 1, 1), (2, 3, 1)],
+            vec![true, true, false, false],
+        )
+        .unwrap();
+        assert!(inst.check_feasible().is_ok());
+    }
+
+    #[test]
+    fn join_validation() {
+        let inst =
+            TJoinInstance::new(3, vec![(0, 1, 4), (1, 2, 5)], vec![true, false, true]).unwrap();
+        assert!(inst.is_valid_join(&TJoin {
+            edges: vec![0, 1],
+            weight: 9
+        }));
+        // Wrong parity.
+        assert!(!inst.is_valid_join(&TJoin {
+            edges: vec![0],
+            weight: 4
+        }));
+        // Wrong weight.
+        assert!(!inst.is_valid_join(&TJoin {
+            edges: vec![0, 1],
+            weight: 8
+        }));
+        // Duplicate edge.
+        assert!(!inst.is_valid_join(&TJoin {
+            edges: vec![0, 0],
+            weight: 8
+        }));
+    }
+
+    #[test]
+    fn isolated_t_node_is_infeasible() {
+        let inst = TJoinInstance::new(2, vec![], vec![true, false]).unwrap();
+        assert!(inst.check_feasible().is_err());
+    }
+}

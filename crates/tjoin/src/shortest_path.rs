@@ -1,0 +1,156 @@
+//! The Edmonds–Johnson shortest-path reduction for minimum-weight T-joins.
+
+use crate::{TJoin, TJoinError, TJoinInstance};
+use aapsm_matching::min_weight_perfect_matching;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Solves a T-join via all-pairs shortest paths among T-nodes:
+///
+/// 1. run Dijkstra from every T-node,
+/// 2. find a minimum-weight perfect matching on the complete graph over
+///    the T-nodes with shortest-path distances as weights,
+/// 3. take the symmetric difference of the matched shortest paths.
+///
+/// The symmetric difference step matters: matched paths may share edges,
+/// and XOR-ing them preserves the degree parity while never increasing the
+/// weight, so the result is an optimal T-join.
+///
+/// # Errors
+///
+/// Returns [`TJoinError::Infeasible`] when some component has an odd
+/// number of T-nodes.
+pub fn solve_shortest_path(inst: &TJoinInstance) -> Result<TJoin, TJoinError> {
+    inst.check_feasible()?;
+    let t_nodes: Vec<usize> = (0..inst.node_count())
+        .filter(|&v| inst.t_set()[v])
+        .collect();
+    if t_nodes.is_empty() {
+        return Ok(TJoin {
+            edges: Vec::new(),
+            weight: 0,
+        });
+    }
+
+    // Dijkstra from each T-node, remembering the parent edge for path
+    // recovery.
+    let mut dist_all = Vec::with_capacity(t_nodes.len());
+    let mut parent_all = Vec::with_capacity(t_nodes.len());
+    for &s in &t_nodes {
+        let (dist, parent) = dijkstra(inst, s);
+        dist_all.push(dist);
+        parent_all.push(parent);
+    }
+
+    // Complete graph over T-nodes (only pairs in the same component).
+    let mut matching_edges = Vec::new();
+    for i in 0..t_nodes.len() {
+        for j in (i + 1)..t_nodes.len() {
+            if let Some(d) = dist_all[i][t_nodes[j]] {
+                matching_edges.push((i, j, d));
+            }
+        }
+    }
+    let matching = min_weight_perfect_matching(t_nodes.len(), &matching_edges)
+        .expect("even T per component guarantees a perfect matching");
+
+    // XOR the matched shortest paths.
+    let mut in_join = vec![false; inst.edges().len()];
+    for (i, j) in matching.pairs() {
+        let mut v = t_nodes[j];
+        let target = t_nodes[i];
+        while v != target {
+            let ei = parent_all[i][v].expect("path exists to matched partner");
+            in_join[ei] ^= true;
+            let (a, b, _) = inst.edges()[ei];
+            v = if a == v { b } else { a };
+        }
+    }
+    let edges: Vec<usize> = (0..inst.edges().len()).filter(|&i| in_join[i]).collect();
+    let weight = edges.iter().map(|&i| inst.edges()[i].2).sum();
+    Ok(TJoin { edges, weight })
+}
+
+fn dijkstra(inst: &TJoinInstance, source: usize) -> (Vec<Option<i64>>, Vec<Option<usize>>) {
+    let n = inst.node_count();
+    let mut dist: Vec<Option<i64>> = vec![None; n];
+    let mut parent: Vec<Option<usize>> = vec![None; n];
+    let mut heap = BinaryHeap::new();
+    dist[source] = Some(0);
+    heap.push(Reverse((0i64, source)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if dist[u] != Some(d) {
+            continue;
+        }
+        for &ei in inst.incident(u) {
+            let (a, b, w) = inst.edges()[ei];
+            let v = if a == u { b } else { a };
+            let nd = d + w;
+            if dist[v].is_none() || nd < dist[v].unwrap() {
+                dist[v] = Some(nd);
+                parent[v] = Some(ei);
+                heap.push(Reverse((nd, v)));
+            }
+        }
+    }
+    (dist, parent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_path_edges_cancel() {
+        // Star: center 0, leaves 1..=4, all leaves in T. Any pairing of
+        // leaves routes through the center; shared spokes must not be
+        // double-counted.
+        let inst = TJoinInstance::new(
+            5,
+            vec![(0, 1, 1), (0, 2, 1), (0, 3, 1), (0, 4, 1)],
+            vec![false, true, true, true, true],
+        )
+        .unwrap();
+        let j = solve_shortest_path(&inst).unwrap();
+        assert_eq!(j.weight, 4); // all four spokes
+        assert!(inst.is_valid_join(&j));
+    }
+
+    #[test]
+    fn center_in_t_with_three_leaves_is_infeasible() {
+        let inst = TJoinInstance::new(
+            4,
+            vec![(0, 1, 1), (0, 2, 1), (0, 3, 1)],
+            vec![true, true, true, false],
+        )
+        .unwrap();
+        // Component T count = 3: infeasible.
+        assert!(solve_shortest_path(&inst).is_err());
+    }
+
+    #[test]
+    fn zero_weight_edges_are_fine() {
+        let inst = TJoinInstance::new(
+            3,
+            vec![(0, 1, 0), (1, 2, 0)],
+            vec![true, false, true],
+        )
+        .unwrap();
+        let j = solve_shortest_path(&inst).unwrap();
+        assert_eq!(j.weight, 0);
+        assert!(inst.is_valid_join(&j));
+        assert_eq!(j.edges.len(), 2);
+    }
+
+    #[test]
+    fn multiple_components_solved_independently() {
+        let inst = TJoinInstance::new(
+            4,
+            vec![(0, 1, 5), (2, 3, 7)],
+            vec![true, true, true, true],
+        )
+        .unwrap();
+        let j = solve_shortest_path(&inst).unwrap();
+        assert_eq!(j.weight, 12);
+    }
+}

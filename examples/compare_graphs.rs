@@ -1,0 +1,62 @@
+//! Figure 2 / Table 1 comparison as a library walk-through: build both the
+//! phase conflict graph and the feature graph for the same layout, compare
+//! sizes and crossings, and run all four detection schemes (NP, FG, PCG,
+//! GB).
+//!
+//! Run with: `cargo run --example compare_graphs --release`
+
+use aapsm::core::{
+    build_feature_graph, build_phase_conflict_graph, detect_conflicts, detect_greedy,
+    DetectConfig, GreedyKind,
+};
+use aapsm::prelude::*;
+
+fn main() {
+    let rules = DesignRules::default();
+    let layout = aapsm::layout::synth::generate(
+        &aapsm::layout::synth::SynthParams {
+            rows: 3,
+            gates_per_row: 60,
+            strap_frac: 0.6,
+            jog_frac: 0.05,
+            short_mid_frac: 0.05,
+            ..Default::default()
+        },
+        &rules,
+    );
+    let geom = extract_phase_geometry(&layout, &rules);
+    println!(
+        "layout: {} polygons, {} overlaps, {} direct conflicts",
+        layout.len(),
+        geom.overlaps.len(),
+        geom.direct_conflicts.len()
+    );
+
+    let pcg = build_phase_conflict_graph(&geom).stats();
+    let fg = build_feature_graph(&geom).stats();
+    println!("phase conflict graph: {pcg:?}");
+    println!("feature graph:        {fg:?}");
+
+    let pcg_report = detect_conflicts(&geom, &DetectConfig::default());
+    let fg_report = detect_conflicts(
+        &geom,
+        &DetectConfig {
+            graph: GraphKind::Feature,
+            ..DetectConfig::default()
+        },
+    );
+    let gb = detect_greedy(&geom, GraphKind::PhaseConflict, GreedyKind::Spanning);
+    let gbp = detect_greedy(&geom, GraphKind::PhaseConflict, GreedyKind::Parity);
+    println!(
+        "conflicts selected: NP={} PCG={} FG={} GB={} GB+={}",
+        pcg_report.stats.bipartize_conflicts + geom.direct_conflicts.len(),
+        pcg_report.conflict_count(),
+        fg_report.conflict_count(),
+        gb.conflict_count(),
+        gbp.conflict_count(),
+    );
+    println!(
+        "(paper: the PCG flow consistently selects fewer conflicts than the FG flow,\n\
+         and optimal bipartization beats greedy despite the planar-embedding cost)"
+    );
+}

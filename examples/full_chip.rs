@@ -1,0 +1,55 @@
+//! Full-chip robustness demonstration (the paper's last Table 1 row): run
+//! conflict detection on a ~160 K-polygon synthetic design and report
+//! throughput. Use `--release`!
+//!
+//! Run with: `cargo run --example full_chip --release [-- polygons]`
+
+use aapsm::core::{detect_conflicts, DetectConfig};
+use aapsm::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let target: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(160_000);
+    let rules = DesignRules::default();
+    let gates_per_row = 1250.min(target / 16).max(10);
+    let rows = (target / gates_per_row).max(1);
+    let params = aapsm::layout::synth::SynthParams {
+        rows,
+        gates_per_row,
+        seed: 19,
+        ..Default::default()
+    };
+
+    let t0 = Instant::now();
+    let layout = aapsm::layout::synth::generate(&params, &rules);
+    println!("generated {} polygons in {:?}", layout.len(), t0.elapsed());
+
+    let t1 = Instant::now();
+    let geom = extract_phase_geometry(&layout, &rules);
+    println!(
+        "extracted {} shifters, {} merge constraints in {:?}",
+        geom.shifters.len(),
+        geom.overlaps.len(),
+        t1.elapsed()
+    );
+
+    let t2 = Instant::now();
+    let report = detect_conflicts(&geom, &DetectConfig::default());
+    println!(
+        "detected {} conflicts in {:?} (graph build+planarize {:?}, bipartize {:?})",
+        report.conflict_count(),
+        t2.elapsed(),
+        report.stats.build_time,
+        report.stats.bipartize_time
+    );
+    println!(
+        "graph: {} nodes, {} edges, {} crossings, {} planarization removals",
+        report.stats.graph_nodes,
+        report.stats.graph_edges,
+        report.stats.crossings,
+        report.stats.planarize_removed
+    );
+}

@@ -1,0 +1,60 @@
+//! Quickstart: run the complete bright-field AAPSM flow on a small layout
+//! with a known phase conflict, print what was found and how it was fixed,
+//! and write before/after SVG figures.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use aapsm::prelude::*;
+use aapsm::render::{render_conflicts, render_layout, RenderOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let rules = DesignRules::default();
+    // A gate crossing over a routing strap: the strap's top shifter must
+    // merge with *both* of the gate's (opposite-phase) shifters — an odd
+    // cycle of phase dependencies, so the layout is not phase-assignable.
+    let layout = aapsm::layout::fixtures::gate_over_strap(&rules);
+
+    let geom = extract_phase_geometry(&layout, &rules);
+    println!(
+        "layout: {} polygons, {} critical features, {} shifters, {} merge constraints",
+        layout.len(),
+        geom.critical_count(),
+        geom.shifters.len(),
+        geom.overlaps.len()
+    );
+    println!(
+        "phase-assignable before correction: {}",
+        check_assignable(&geom).is_ok()
+    );
+
+    let result = run_flow(&layout, &rules, &FlowConfig::default())?;
+    println!(
+        "detected {} conflict(s); corrected with {} end-to-end space(s); area +{:.2}%",
+        result.detection.conflict_count(),
+        result.plan.grid_line_count(),
+        result.correction.area_increase_pct
+    );
+    for c in &result.detection.conflicts {
+        println!("  conflict: {:?} (weight {})", c.constraint, c.weight);
+    }
+    println!("corrected layout verifies as assignable: {}", result.verified);
+
+    std::fs::create_dir_all("target/figures")?;
+    let opts = RenderOptions::default();
+    std::fs::write(
+        "target/figures/quickstart_before.svg",
+        render_conflicts(&layout, &geom, &result.detection.conflicts, &opts),
+    )?;
+    let fixed_geom = extract_phase_geometry(&result.correction.modified, &rules);
+    std::fs::write(
+        "target/figures/quickstart_after.svg",
+        render_layout(
+            &result.correction.modified,
+            Some(&fixed_geom),
+            Some(&result.assignment),
+            &opts,
+        ),
+    )?;
+    println!("wrote target/figures/quickstart_before.svg and _after.svg");
+    Ok(())
+}

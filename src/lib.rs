@@ -1,0 +1,58 @@
+//! # aapsm — Bright-Field AAPSM Conflict Detection and Correction
+//!
+//! A complete reproduction of the DATE 2005 paper by Chiang, Kahng, Sinha,
+//! Xu and Zelikovsky: detect the minimal set of phase conflicts that keeps
+//! a polysilicon layout from being alternating-aperture-PSM assignable,
+//! and correct them by end-to-end space insertion.
+//!
+//! This umbrella crate re-exports the whole workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`geom`] | `aapsm-geom` | exact integer geometry |
+//! | [`graph`] | `aapsm-graph` | embedded graphs, planarization, faces, duals |
+//! | [`matching`] | `aapsm-matching` | Blossom min-weight perfect matching |
+//! | [`tjoin`] | `aapsm-tjoin` | T-join solvers, generalized gadgets |
+//! | [`cover`] | `aapsm-cover` | weighted set cover |
+//! | [`layout`] | `aapsm-layout` | layouts, rules, shifters, generators |
+//! | [`gds`] | `aapsm-gds` | GDSII stream reader/writer |
+//! | [`core`] | `aapsm-core` | the paper's detection + correction flow |
+//! | [`render`] | `aapsm-render` | SVG figures |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use aapsm::prelude::*;
+//!
+//! let rules = DesignRules::default();
+//! let layout = aapsm::layout::fixtures::gate_over_strap(&rules);
+//! let result = run_flow(&layout, &rules, &FlowConfig::default())?;
+//! println!(
+//!     "{} conflicts, fixed with {} end-to-end spaces (+{:.2}% area)",
+//!     result.detection.conflict_count(),
+//!     result.plan.grid_line_count(),
+//!     result.correction.area_increase_pct,
+//! );
+//! assert!(result.verified);
+//! # Ok::<(), aapsm::core::FlowError>(())
+//! ```
+
+pub use aapsm_core as core;
+pub use aapsm_cover as cover;
+pub use aapsm_gds as gds;
+pub use aapsm_geom as geom;
+pub use aapsm_graph as graph;
+pub use aapsm_layout as layout;
+pub use aapsm_matching as matching;
+pub use aapsm_render as render;
+pub use aapsm_tjoin as tjoin;
+
+/// The most common imports for flow users.
+pub mod prelude {
+    pub use aapsm_core::{
+        detect_conflicts, run_flow, DetectConfig, FlowConfig, FlowResult, GraphKind,
+    };
+    pub use aapsm_layout::{
+        check_assignable, extract_phase_geometry, DesignRules, Layout, PhaseGeometry,
+    };
+}
