@@ -20,8 +20,8 @@ fn random_instance(seed: u64) -> TJoinInstance {
     }
     // Even T per component: mark pairs of nodes.
     let mut t = vec![false; n];
-    for i in 0..20 {
-        t[i] = true;
+    for ti in t.iter_mut().take(20) {
+        *ti = true;
     }
     TJoinInstance::new(n, edges, t).expect("valid instance")
 }
@@ -42,7 +42,9 @@ fn bench(c: &mut Criterion) {
         });
     }
     group.bench_function("complete", |b| {
-        b.iter(|| solve_gadget(std::hint::black_box(&inst), GadgetKind::Complete).expect("feasible"))
+        b.iter(|| {
+            solve_gadget(std::hint::black_box(&inst), GadgetKind::Complete).expect("feasible")
+        })
     });
     group.finish();
 }

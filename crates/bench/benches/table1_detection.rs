@@ -13,7 +13,10 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     for design in standard_suite().into_iter().take(3) {
         let p = prepare(&design, &rules);
-        for (tag, kind) in [("pcg", GraphKind::PhaseConflict), ("fg", GraphKind::Feature)] {
+        for (tag, kind) in [
+            ("pcg", GraphKind::PhaseConflict),
+            ("fg", GraphKind::Feature),
+        ] {
             group.bench_function(format!("{}_{}", p.name, tag), |b| {
                 b.iter(|| {
                     detect_conflicts(

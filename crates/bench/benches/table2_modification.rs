@@ -26,7 +26,12 @@ fn bench(c: &mut Criterion) {
                 )
             })
         });
-        let plan = plan_correction(&p.geom, &report.conflicts, &rules, &CorrectionOptions::default());
+        let plan = plan_correction(
+            &p.geom,
+            &report.conflicts,
+            &rules,
+            &CorrectionOptions::default(),
+        );
         group.bench_function(format!("apply_{}", p.name), |b| {
             b.iter(|| apply_correction(std::hint::black_box(&p.layout), &plan, &rules))
         });

@@ -1,0 +1,111 @@
+//! Machine-readable perf tracking: times the detection hot path on the
+//! parallel-scaling suite and writes `BENCH_bipartize_scaling.json`.
+//!
+//! Run with `cargo run --release -p aapsm-bench --bin bench_json`. Each
+//! design is measured at three stages — conflict-graph build, greedy
+//! planarization, and the dual-T-join bipartization the paper's Table 1
+//! times — with the bipartization taken both serially (`parallelism = 1`)
+//! and on all available cores (`parallelism = 0`). The two bipartizations
+//! are asserted to produce byte-identical deleted-edge sets, so the
+//! speedup column can never come from a wrong answer. JSON is emitted by
+//! hand: the build environment has no registry access for serde.
+
+use aapsm_core::PlanarizeOrder;
+use aapsm_core::{
+    bipartize_with, build_conflict_graph, planarize_graph, BipartizeMethod, GraphKind, TJoinMethod,
+};
+use aapsm_layout::synth::scaling_suite;
+use aapsm_layout::{extract_phase_geometry, DesignRules};
+use std::time::Instant;
+
+/// Fastest of `reps` runs, in seconds (min damps scheduler noise better
+/// than the mean on small samples).
+fn time_best<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let out = f();
+        best = best.min(t.elapsed().as_secs_f64());
+        last = Some(out);
+    }
+    (best, last.expect("reps >= 1"))
+}
+
+fn main() {
+    let rules = DesignRules::default();
+    let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let reps = 3;
+    let mut rows_json = Vec::new();
+
+    for design in scaling_suite() {
+        eprintln!("measuring {} ...", design.name);
+        let layout = aapsm_layout::synth::generate(&design.params, &rules);
+        let geom = extract_phase_geometry(&layout, &rules);
+
+        let (build_s, cg0) = time_best(reps, || {
+            build_conflict_graph(&geom, GraphKind::PhaseConflict)
+        });
+        // Pre-clone the inputs so planarize_ms times planarization alone,
+        // not the graph deep-clone.
+        let mut planarize_inputs: Vec<_> = (0..reps).map(|_| cg0.clone()).collect();
+        let mut planarize_s = f64::INFINITY;
+        for cg in &mut planarize_inputs {
+            let t = Instant::now();
+            planarize_graph(cg, PlanarizeOrder::MinWeightFirst);
+            planarize_s = planarize_s.min(t.elapsed().as_secs_f64());
+        }
+        let cg = planarize_inputs.pop().expect("reps >= 1");
+        let method = BipartizeMethod::OptimalDual {
+            tjoin: TJoinMethod::default(),
+            blocks: false,
+        };
+        let (serial_s, serial) = time_best(reps, || bipartize_with(&cg.graph, method, 1));
+        let (parallel_s, parallel) = time_best(reps, || bipartize_with(&cg.graph, method, 0));
+        assert_eq!(
+            serial.deleted, parallel.deleted,
+            "{}: parallel bipartization diverged from serial",
+            design.name
+        );
+
+        rows_json.push(format!(
+            concat!(
+                "    {{\"design\": \"{}\", \"rows\": {}, \"polygons\": {}, ",
+                "\"graph_nodes\": {}, \"graph_edges\": {}, \"conflicts\": {}, ",
+                "\"build_ms\": {:.3}, \"planarize_ms\": {:.3}, ",
+                "\"bipartize_serial_ms\": {:.3}, \"bipartize_parallel_ms\": {:.3}, ",
+                "\"speedup\": {:.3}, \"identical\": true}}"
+            ),
+            design.name,
+            design.params.rows,
+            layout.len(),
+            cg.graph.node_count(),
+            cg.graph.alive_edge_count(),
+            serial.deleted.len(),
+            build_s * 1e3,
+            planarize_s * 1e3,
+            serial_s * 1e3,
+            parallel_s * 1e3,
+            serial_s / parallel_s.max(1e-12),
+        ));
+        eprintln!(
+            "  bipartize: serial {:.2} ms, parallel {:.2} ms ({:.2}x on {} workers)",
+            serial_s * 1e3,
+            parallel_s * 1e3,
+            serial_s / parallel_s.max(1e-12),
+            workers
+        );
+    }
+
+    let json = format!
+(
+        "{{\n  \"bench\": \"bipartize_scaling\",\n  \"workers\": {},\n  \"reps\": {},\n  \"designs\": [\n{}\n  ]\n}}\n",
+        workers,
+        reps,
+        rows_json.join(",\n")
+    );
+    let path = "BENCH_bipartize_scaling.json";
+    std::fs::write(path, &json).expect("write bench JSON");
+    println!("{json}");
+    eprintln!("wrote {path}");
+}

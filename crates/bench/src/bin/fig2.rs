@@ -11,7 +11,9 @@ use aapsm_layout::{extract_phase_geometry, fixtures, DesignRules};
 use aapsm_render::{render_graph, RenderOptions};
 
 fn main() {
-    let out_dir = std::env::args().nth(1).unwrap_or_else(|| "target/figures".into());
+    let out_dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "target/figures".into());
     let rules = DesignRules::default();
     println!(
         "{:<9} | {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8}",

@@ -8,8 +8,8 @@
 //! and measurement helpers.
 
 use aapsm_core::{
-    detect_conflicts, detect_greedy, DetectConfig, DetectReport, GadgetKind, GraphKind,
-    GreedyKind, TJoinMethod,
+    detect_conflicts, detect_greedy, DetectConfig, DetectReport, GadgetKind, GraphKind, GreedyKind,
+    TJoinMethod,
 };
 use aapsm_layout::synth::{generate, BenchDesign};
 use aapsm_layout::{extract_phase_geometry, DesignRules, Layout, PhaseGeometry};

@@ -10,7 +10,7 @@ use aapsm_graph::{
     biconnected_components, build_dual, connected_components, greedy_parity_subgraph,
     max_weight_spanning_forest, trace_faces, two_color_excluding, EdgeId, EmbeddedGraph,
 };
-use aapsm_tjoin::{solve, TJoinInstance, TJoinMethod};
+use aapsm_tjoin::{solve_with, MatchingContext, TJoinInstance, TJoinMethod};
 
 /// Bipartization algorithm selection.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -57,12 +57,40 @@ pub struct BipartizeOutcome {
 /// (planarize first); the result is then a *minimum-weight* such set.
 /// Edges are **not** killed in `g`.
 ///
+/// Serial entry point; see [`bipartize_with`] for the parallel one (their
+/// results are identical bit for bit).
+///
 /// # Panics
 ///
 /// Panics if the optimal method is used on a drawing with crossings
 /// (debug builds), or if an internal T-join turns out infeasible — which
 /// cannot happen for duals of plane graphs.
 pub fn bipartize(g: &EmbeddedGraph, method: BipartizeMethod) -> BipartizeOutcome {
+    bipartize_with(g, method, 1)
+}
+
+/// [`bipartize`] with an explicit parallelism degree.
+///
+/// The optimal-dual path is a decompose-then-solve pipeline: every
+/// independent dual T-join instance (one per component, or per biconnected
+/// block) is extracted first, then the instances are solved on
+/// `parallelism` worker threads, each holding its own reusable
+/// [`MatchingContext`] arena. Deleted-edge sets are merged in instance
+/// order and sorted by [`EdgeId`], so the outcome is **bit-identical to
+/// the serial path** for every parallelism degree.
+///
+/// `parallelism` semantics: `0` = one worker per available CPU, `1` =
+/// solve inline on the calling thread, `k` = at most `k` workers. The
+/// greedy methods are inherently sequential and ignore the knob.
+///
+/// # Panics
+///
+/// Same contract as [`bipartize`].
+pub fn bipartize_with(
+    g: &EmbeddedGraph,
+    method: BipartizeMethod,
+    parallelism: usize,
+) -> BipartizeOutcome {
     match method {
         BipartizeMethod::GreedySpanning => {
             let f = max_weight_spanning_forest(g);
@@ -73,11 +101,13 @@ pub fn bipartize(g: &EmbeddedGraph, method: BipartizeMethod) -> BipartizeOutcome
             finish(g, f.leftover)
         }
         BipartizeMethod::OptimalDual { tjoin, blocks } => {
-            if blocks {
-                bipartize_blocks(g, tjoin)
+            let instances = if blocks {
+                extract_block_instances(g)
             } else {
-                bipartize_components(g, tjoin)
-            }
+                extract_component_instances(g)
+            };
+            let deleted = solve_instances(&instances, tjoin, parallelism);
+            finish(g, deleted)
         }
     }
 }
@@ -92,17 +122,29 @@ fn finish(g: &EmbeddedGraph, mut deleted: Vec<EdgeId>) -> BipartizeOutcome {
     BipartizeOutcome { deleted, weight }
 }
 
-/// Optimal bipartization, one dual T-join per connected component. Faces
-/// are traced once globally; each component's faces are disjoint, so the
-/// dual decomposes for free.
-fn bipartize_components(g: &EmbeddedGraph, tjoin: TJoinMethod) -> BipartizeOutcome {
+/// One independent dual T-join to solve, with the mapping back from its
+/// dense edge ids to primal conflict-graph edges.
+struct DualTJoin {
+    inst: TJoinInstance,
+    primal_of_edge: Vec<EdgeId>,
+}
+
+/// Extracts one dual T-join instance per connected component that has odd
+/// faces. Faces are traced once globally; each component's faces are
+/// disjoint, so the dual decomposes for free.
+///
+/// Renumbering is fully dense: faces map to per-component local ids
+/// through a `Vec` indexed by global face id (the former per-component
+/// `HashMap` was the extraction hot spot on many-block layouts).
+fn extract_component_instances(g: &EmbeddedGraph) -> Vec<DualTJoin> {
     debug_assert!(aapsm_graph::crossing_pairs(g).is_planar());
     let faces = trace_faces(g);
     let dual = build_dual(g, &faces);
     if dual.t_set().is_empty() {
-        return finish(g, Vec::new());
+        return Vec::new();
     }
     let comps = connected_components(g);
+    let nc = comps.count;
     // Group dual edges (and odd-face T flags) by primal component.
     let mut comp_of_face = vec![u32::MAX; dual.face_count];
     for de in &dual.edges {
@@ -117,54 +159,69 @@ fn bipartize_components(g: &EmbeddedGraph, tjoin: TJoinMethod) -> BipartizeOutco
         let f = faces.left_face(b);
         comp_of_face[f as usize] = c;
     }
-    let mut deleted = Vec::new();
-    for c in 0..comps.count as u32 {
-        // Local face renumbering.
-        let local_faces: Vec<u32> = (0..dual.face_count as u32)
-            .filter(|&f| comp_of_face[f as usize] == c)
-            .collect();
-        if local_faces.is_empty() {
+    // Dense local face renumbering (ascending face id per component, like
+    // the historical per-component filter) and per-component T vectors.
+    let mut local_of_face = vec![0u32; dual.face_count];
+    let mut t: Vec<Vec<bool>> = vec![Vec::new(); nc];
+    let mut has_odd = vec![false; nc];
+    for f in 0..dual.face_count {
+        let c = comp_of_face[f];
+        if c == u32::MAX {
             continue;
         }
-        let t: Vec<bool> = local_faces
-            .iter()
-            .map(|&f| dual.odd_face[f as usize])
-            .collect();
-        if t.iter().all(|&b| !b) {
-            continue; // component already bipartite
-        }
-        let index_of: std::collections::HashMap<u32, usize> = local_faces
-            .iter()
-            .enumerate()
-            .map(|(i, &f)| (f, i))
-            .collect();
-        let mut primal_of_edge = Vec::new();
-        let mut edges = Vec::new();
-        for de in &dual.edges {
-            if comp_of_face[de.a as usize] == c {
-                edges.push((index_of[&de.a], index_of[&de.b], de.weight));
-                primal_of_edge.push(de.primal);
-            }
-        }
-        let inst = TJoinInstance::new(local_faces.len(), edges, t)
-            .expect("dual T-join instance is well-formed");
-        let join = solve(&inst, tjoin)
-            .expect("odd faces come in even numbers per component, so the T-join is feasible");
-        deleted.extend(join.edges.iter().map(|&ei| primal_of_edge[ei]));
+        let c = c as usize;
+        local_of_face[f] = t[c].len() as u32;
+        let odd = dual.odd_face[f];
+        t[c].push(odd);
+        has_odd[c] |= odd;
     }
-    finish(g, deleted)
+    // Per-component dual edge lists, only for components that need solving.
+    let mut edges: Vec<Vec<(usize, usize, i64)>> = vec![Vec::new(); nc];
+    let mut primal: Vec<Vec<EdgeId>> = vec![Vec::new(); nc];
+    for de in &dual.edges {
+        let c = comp_of_face[de.a as usize] as usize;
+        if has_odd[c] {
+            edges[c].push((
+                local_of_face[de.a as usize] as usize,
+                local_of_face[de.b as usize] as usize,
+                de.weight,
+            ));
+            primal[c].push(de.primal);
+        }
+    }
+    let mut instances = Vec::new();
+    for c in 0..nc {
+        if !has_odd[c] {
+            continue; // component absent from the drawing or already bipartite
+        }
+        let inst = TJoinInstance::new(
+            t[c].len(),
+            std::mem::take(&mut edges[c]),
+            std::mem::take(&mut t[c]),
+        )
+        .expect("dual T-join instance is well-formed");
+        instances.push(DualTJoin {
+            inst,
+            primal_of_edge: std::mem::take(&mut primal[c]),
+        });
+    }
+    instances
 }
 
-/// Optimal bipartization decomposed per biconnected block: each block's
-/// drawing is traced and dualized in isolation. Same optimum as the
-/// component decomposition (odd cycles never span blocks).
-fn bipartize_blocks(g: &EmbeddedGraph, tjoin: TJoinMethod) -> BipartizeOutcome {
+/// Extracts instances per biconnected block: each block's drawing is
+/// traced and dualized in isolation. Same optimum as the component
+/// decomposition (odd cycles never span blocks), different instance
+/// shapes — this is the paper's ablation axis.
+fn extract_block_instances(g: &EmbeddedGraph) -> Vec<DualTJoin> {
     let blocks = biconnected_components(g);
-    let mut deleted = Vec::new();
+    let mut instances = Vec::new();
     let mut scratch = g.clone();
     for block in &blocks {
         if block.len() < 3 {
-            continue; // a block with < 3 edges has no cycles... except parallel pairs
+            // A block with < 3 edges has no odd cycles: single edges and
+            // tree pairs are acyclic, and a parallel pair is an even
+            // 2-cycle.
+            continue;
         }
         // Restrict the scratch graph to this block.
         for e in g.alive_edges() {
@@ -173,14 +230,71 @@ fn bipartize_blocks(g: &EmbeddedGraph, tjoin: TJoinMethod) -> BipartizeOutcome {
         for &e in block {
             scratch.revive_edge(e);
         }
-        let outcome = bipartize_components(&scratch, tjoin);
-        deleted.extend(outcome.deleted);
+        instances.extend(extract_component_instances(&scratch));
     }
-    // Parallel-pair blocks (2 edges between the same nodes) form even
-    // cycles: never deleted. Blocks of size 2 that are not parallel are
-    // trees: no cycles. So the skip above is safe — but parallel pairs
-    // *are* cycles of length 2 (even), still safe.
-    finish(g, deleted)
+    instances
+}
+
+/// Solves the extracted instances and returns the merged primal deleted
+/// edges, in deterministic instance order regardless of `parallelism`.
+fn solve_instances(instances: &[DualTJoin], tjoin: TJoinMethod, parallelism: usize) -> Vec<EdgeId> {
+    let workers = effective_workers(parallelism, instances.len());
+    let mut deleted_per_instance: Vec<Vec<EdgeId>> = vec![Vec::new(); instances.len()];
+    if workers <= 1 {
+        let mut ctx = MatchingContext::new();
+        for (out, dt) in deleted_per_instance.iter_mut().zip(instances) {
+            *out = solve_one(dt, tjoin, &mut ctx);
+        }
+    } else {
+        // A shared atomic cursor hands out instances (self-balancing
+        // without pre-sorting by size). Each worker owns one arena for
+        // its whole batch and collects (index, result) pairs locally;
+        // placing them by index afterwards keeps the merge in instance
+        // order, so the outcome is independent of scheduling.
+        let cursor = std::sync::atomic::AtomicUsize::new(0);
+        let batches: Vec<Vec<(usize, Vec<EdgeId>)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut ctx = MatchingContext::new();
+                        let mut batch = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            if i >= instances.len() {
+                                break;
+                            }
+                            batch.push((i, solve_one(&instances[i], tjoin, &mut ctx)));
+                        }
+                        batch
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("bipartize worker panicked"))
+                .collect()
+        });
+        for (i, deleted) in batches.into_iter().flatten() {
+            deleted_per_instance[i] = deleted;
+        }
+    }
+    deleted_per_instance.into_iter().flatten().collect()
+}
+
+fn solve_one(dt: &DualTJoin, tjoin: TJoinMethod, ctx: &mut MatchingContext) -> Vec<EdgeId> {
+    let join = solve_with(&dt.inst, tjoin, ctx)
+        .expect("odd faces come in even numbers per component, so the T-join is feasible");
+    join.edges.iter().map(|&ei| dt.primal_of_edge[ei]).collect()
+}
+
+/// Resolves the `parallelism` knob (`0` = auto) against the instance count.
+fn effective_workers(parallelism: usize, instances: usize) -> usize {
+    let requested = if parallelism == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        parallelism
+    };
+    requested.min(instances).max(1)
 }
 
 /// Brute-force minimum-weight bipartization by subset enumeration (test
@@ -290,7 +404,7 @@ mod tests {
         }
         // Greedy parity deletes one edge too (any closing edge).
         let gp = bipartize(&g, BipartizeMethod::GreedyParity);
-        assert!(gp.weight >= 15 || gp.deleted.len() >= 1);
+        assert!(gp.weight >= 15 || !gp.deleted.is_empty());
         // Literal spanning-forest GB deletes |E| - (V-1) = 2 edges.
         let gb = bipartize(&g, BipartizeMethod::GreedySpanning);
         assert_eq!(gb.deleted.len(), 2);
@@ -303,7 +417,12 @@ mod tests {
             let n = rng.gen_range(4..12);
             let mut g = EmbeddedGraph::new();
             let nodes: Vec<_> = (0..n)
-                .map(|_| g.add_node(Point::new(rng.gen_range(-300..300), rng.gen_range(-300..300))))
+                .map(|_| {
+                    g.add_node(Point::new(
+                        rng.gen_range(-300..300),
+                        rng.gen_range(-300..300),
+                    ))
+                })
                 .collect();
             g.nudge_duplicate_positions();
             for _ in 0..rng.gen_range(3..18) {
@@ -327,7 +446,10 @@ mod tests {
                 assert!(two_color_excluding(&g, &out.deleted).is_ok());
             }
             // Greedy baselines are valid but possibly heavier.
-            for m in [BipartizeMethod::GreedyParity, BipartizeMethod::GreedySpanning] {
+            for m in [
+                BipartizeMethod::GreedyParity,
+                BipartizeMethod::GreedySpanning,
+            ] {
                 let out = bipartize(&g, m);
                 assert!(out.weight >= brute.weight, "trial {trial} {m:?}");
             }
@@ -341,7 +463,12 @@ mod tests {
             let n = rng.gen_range(6..25);
             let mut g = EmbeddedGraph::new();
             let nodes: Vec<_> = (0..n)
-                .map(|_| g.add_node(Point::new(rng.gen_range(-500..500), rng.gen_range(-500..500))))
+                .map(|_| {
+                    g.add_node(Point::new(
+                        rng.gen_range(-500..500),
+                        rng.gen_range(-500..500),
+                    ))
+                })
                 .collect();
             g.nudge_duplicate_positions();
             for _ in 0..rng.gen_range(5..40) {

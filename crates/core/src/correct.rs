@@ -13,8 +13,8 @@ use crate::{Conflict, ConstraintKind};
 use aapsm_cover::{solve_auto, CoverInstance};
 use aapsm_geom::{Axis, Interval};
 use aapsm_layout::{
-    apply_cuts, check_assignable, extract_phase_geometry, DesignRules, FeatureOrientation,
-    Layout, PhaseGeometry, SpaceCut,
+    apply_cuts, check_assignable, extract_phase_geometry, DesignRules, FeatureOrientation, Layout,
+    PhaseGeometry, SpaceCut,
 };
 
 /// Options of the correction planner.
@@ -282,10 +282,7 @@ pub fn plan_correction(
         .map(|c| {
             (
                 c.width.max(1),
-                c.covered
-                    .iter()
-                    .filter_map(|&i| element_of[i])
-                    .collect(),
+                c.covered.iter().filter_map(|&i| element_of[i]).collect(),
             )
         })
         .collect();
@@ -374,7 +371,12 @@ mod tests {
         let rules = DesignRules::default();
         let geom = extract_phase_geometry(l, &rules);
         let report = detect_conflicts(&geom, &DetectConfig::default());
-        let plan = plan_correction(&geom, &report.conflicts, &rules, &CorrectionOptions::default());
+        let plan = plan_correction(
+            &geom,
+            &report.conflicts,
+            &rules,
+            &CorrectionOptions::default(),
+        );
         let outcome = apply_correction(l, &plan, &rules);
         (plan, outcome)
     }
@@ -464,8 +466,12 @@ mod tests {
         let l = fixtures::gate_over_strap(&rules);
         let geom = extract_phase_geometry(&l, &rules);
         let report = detect_conflicts(&geom, &DetectConfig::default());
-        let plan =
-            plan_correction(&geom, &report.conflicts, &rules, &CorrectionOptions::default());
+        let plan = plan_correction(
+            &geom,
+            &report.conflicts,
+            &rules,
+            &CorrectionOptions::default(),
+        );
         // A cut never needs more than the full spacing rule plus the
         // deepest possible shifter interpenetration.
         let bound = rules.shifter_spacing + 2 * (rules.shifter_width + rules.shifter_overhang);

@@ -54,6 +54,11 @@ pub struct DetectConfig {
     pub planarize_order: PlanarizeOrder,
     /// Decompose bipartization per biconnected block (ablation).
     pub blocks: bool,
+    /// Worker threads for the bipartization stage: `0` = one per
+    /// available CPU, `1` = serial (the default), `k` = at most `k`.
+    /// Every setting produces bit-identical conflict sets; see
+    /// [`crate::bipartize_with`].
+    pub parallelism: usize,
 }
 
 impl Default for DetectConfig {
@@ -63,6 +68,7 @@ impl Default for DetectConfig {
             tjoin: TJoinMethod::default(),
             planarize_order: PlanarizeOrder::MinWeightFirst,
             blocks: false,
+            parallelism: 1,
         }
     }
 }
@@ -123,12 +129,13 @@ pub fn detect_conflicts(geom: &PhaseGeometry, config: &DetectConfig) -> DetectRe
     let build_time = t0.elapsed();
 
     let t1 = Instant::now();
-    let outcome = bipartize(
+    let outcome = crate::bipartize_with(
         &cg.graph,
         BipartizeMethod::OptimalDual {
             tjoin: config.tjoin,
             blocks: config.blocks,
         },
+        config.parallelism,
     );
     let bipartize_time = t1.elapsed();
 
@@ -168,9 +175,10 @@ pub fn detect_conflicts(geom: &PhaseGeometry, config: &DetectConfig) -> DetectRe
             });
         }
     }
-    let push_edges = |edges: &[EdgeId], source: ConflictSource,
-                          conflicts: &mut Vec<Conflict>,
-                          seen: &mut std::collections::HashSet<ConstraintKind>|
+    let push_edges = |edges: &[EdgeId],
+                      source: ConflictSource,
+                      conflicts: &mut Vec<Conflict>,
+                      seen: &mut std::collections::HashSet<ConstraintKind>|
      -> usize {
         let mut added = 0;
         for &e in edges {
@@ -194,8 +202,12 @@ pub fn detect_conflicts(geom: &PhaseGeometry, config: &DetectConfig) -> DetectRe
         }
         added
     };
-    let bipartize_conflicts =
-        push_edges(&outcome.deleted, ConflictSource::Bipartization, &mut conflicts, &mut seen);
+    let bipartize_conflicts = push_edges(
+        &outcome.deleted,
+        ConflictSource::Bipartization,
+        &mut conflicts,
+        &mut seen,
+    );
     let recheck_conflicts = push_edges(
         &recheck_conflict_edges,
         ConflictSource::Planarization,
@@ -457,10 +469,7 @@ mod tests {
     #[test]
     fn greedy_baselines_select_more() {
         let r = DesignRules::default();
-        let l = aapsm_layout::synth::generate(
-            &aapsm_layout::synth::SynthParams::default(),
-            &r,
-        );
+        let l = aapsm_layout::synth::generate(&aapsm_layout::synth::SynthParams::default(), &r);
         let geom = extract_phase_geometry(&l, &r);
         let pcg = detect_conflicts(&geom, &DetectConfig::default());
         let gb = detect_greedy(&geom, GraphKind::PhaseConflict, GreedyKind::Spanning);

@@ -5,8 +5,7 @@ use crate::{
     CorrectionReport, DetectConfig, DetectReport,
 };
 use aapsm_layout::{
-    check_assignable, extract_phase_geometry, DesignRules, Layout, PhaseAssignment,
-    PhaseGeometry,
+    check_assignable, extract_phase_geometry, DesignRules, Layout, PhaseAssignment, PhaseGeometry,
 };
 use std::fmt;
 
@@ -35,7 +34,11 @@ impl fmt::Display for FlowError {
         match self {
             FlowError::BadRules(msg) => write!(f, "invalid design rules: {msg}"),
             FlowError::Uncorrectable(v) => {
-                write!(f, "{} conflicts not correctable by space insertion", v.len())
+                write!(
+                    f,
+                    "{} conflicts not correctable by space insertion",
+                    v.len()
+                )
             }
         }
     }
@@ -139,8 +142,10 @@ mod tests {
 
     #[test]
     fn bad_rules_rejected() {
-        let mut rules = DesignRules::default();
-        rules.shifter_width = -1;
+        let rules = DesignRules {
+            shifter_width: -1,
+            ..DesignRules::default()
+        };
         assert!(matches!(
             run_flow(&fixtures::wire_row(2, 600), &rules, &FlowConfig::default()),
             Err(FlowError::BadRules(_))
@@ -150,10 +155,8 @@ mod tests {
     #[test]
     fn flow_on_synthetic_design() {
         let rules = DesignRules::default();
-        let layout = aapsm_layout::synth::generate(
-            &aapsm_layout::synth::SynthParams::default(),
-            &rules,
-        );
+        let layout =
+            aapsm_layout::synth::generate(&aapsm_layout::synth::SynthParams::default(), &rules);
         let res = run_flow(&layout, &rules, &FlowConfig::default()).unwrap();
         assert!(res.verified);
         assert!(res.correction.area_increase_pct >= 0.0);

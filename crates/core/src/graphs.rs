@@ -211,7 +211,10 @@ mod tests {
                 "single",
                 extract_phase_geometry(&fixtures::single_wire(&r), &r),
             ),
-            ("row", extract_phase_geometry(&fixtures::wire_row(6, 600), &r)),
+            (
+                "row",
+                extract_phase_geometry(&fixtures::wire_row(6, 600), &r),
+            ),
             (
                 "gate_over_strap",
                 extract_phase_geometry(&fixtures::gate_over_strap(&r), &r),

@@ -24,6 +24,31 @@
 //!
 //! The one-call entry point is [`run_flow`].
 //!
+//! # Parallelism and solver reuse
+//!
+//! The bipartization stage — the paper's Table 1 runtime comparison — is a
+//! decompose-then-solve pipeline: every independent dual T-join instance
+//! (per connected component, or per biconnected block with
+//! [`DetectConfig::blocks`]) is extracted first with dense `Vec`-based
+//! renumbering, then solved on worker threads. Real multi-row layouts
+//! produce many independent blocks, so the stage scales with cores.
+//!
+//! * **Knob**: [`DetectConfig::parallelism`] (reachable from
+//!   [`FlowConfig`] via its `detect` field) — `0` = one worker per
+//!   available CPU, `1` = serial (default), `k` = at most `k` workers.
+//!   Lower-level callers use [`bipartize_with`] directly.
+//! * **Determinism**: per-instance deleted-edge sets are merged in
+//!   instance order and sorted by edge id, so every parallelism degree
+//!   yields **bit-identical** conflict sets (property-tested in
+//!   `tests/parallel_equivalence.rs`).
+//! * **Allocation**: each worker owns one `aapsm_matching::MatchingContext`
+//!   — a reusable Blossom arena. Solving through a context allocates only
+//!   when an instance out-sizes everything the context has seen, so the
+//!   thousands of small gadget matchings of one flow stop hammering the
+//!   allocator. Sequential callers get the same benefit through a
+//!   per-thread context behind the free functions
+//!   (`aapsm_matching::with_thread_context` to hold it explicitly).
+//!
 //! # Example
 //!
 //! ```
@@ -45,7 +70,9 @@ mod detect;
 mod flow;
 mod graphs;
 
-pub use bipartize::{bipartize, brute_force_bipartize, BipartizeMethod, BipartizeOutcome};
+pub use bipartize::{
+    bipartize, bipartize_with, brute_force_bipartize, BipartizeMethod, BipartizeOutcome,
+};
 pub use correct::{
     apply_correction, plan_correction, CorrectionOptions, CorrectionPlan, CorrectionReport,
 };

@@ -1,0 +1,72 @@
+//! Property test: the parallel decompose-then-solve bipartization is
+//! bit-identical to the serial path — same deleted edge set (not merely
+//! the same weight) — across synthetic layouts, both decomposition modes
+//! and every T-join engine.
+
+use aapsm_core::{
+    bipartize_with, build_conflict_graph, planarize_graph, BipartizeMethod, GadgetKind, GraphKind,
+    TJoinMethod,
+};
+use aapsm_graph::{EmbeddedGraph, PlanarizeOrder};
+use aapsm_layout::synth::{generate, SynthParams};
+use aapsm_layout::{extract_phase_geometry, DesignRules};
+use proptest::prelude::*;
+
+/// A planarized phase conflict graph from a seeded synthetic layout.
+fn planarized_pcg() -> impl Strategy<Value = EmbeddedGraph> {
+    (0u64..1_000_000, 1usize..=3, 10usize..=30).prop_map(|(seed, rows, gates)| {
+        let rules = DesignRules::default();
+        let layout = generate(
+            &SynthParams {
+                rows,
+                gates_per_row: gates,
+                strap_frac: 0.7,
+                jog_frac: 0.08,
+                short_mid_frac: 0.06,
+                seed,
+                ..SynthParams::default()
+            },
+            &rules,
+        );
+        let geom = extract_phase_geometry(&layout, &rules);
+        let mut cg = build_conflict_graph(&geom, GraphKind::PhaseConflict);
+        planarize_graph(&mut cg, PlanarizeOrder::MinWeightFirst);
+        cg.graph
+    })
+}
+
+fn methods() -> Vec<TJoinMethod> {
+    vec![
+        TJoinMethod::Gadget(GadgetKind::Complete),
+        TJoinMethod::Gadget(GadgetKind::Optimized),
+        TJoinMethod::Gadget(GadgetKind::Generalized { max_group: 8 }),
+        TJoinMethod::ShortestPath,
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Serial (1), bounded (4) and auto (0) parallelism agree exactly.
+    #[test]
+    fn parallel_matches_serial(g in planarized_pcg()) {
+        for blocks in [false, true] {
+            for tjoin in methods() {
+                let method = BipartizeMethod::OptimalDual { tjoin, blocks };
+                let serial = bipartize_with(&g, method, 1);
+                for parallelism in [0usize, 2, 4] {
+                    let par = bipartize_with(&g, method, parallelism);
+                    prop_assert_eq!(
+                        &serial.deleted,
+                        &par.deleted,
+                        "deleted sets diverge: blocks={} tjoin={:?} parallelism={}",
+                        blocks,
+                        tjoin,
+                        parallelism
+                    );
+                    prop_assert_eq!(serial.weight, par.weight);
+                }
+            }
+        }
+    }
+}

@@ -34,8 +34,8 @@ impl Search<'_> {
     fn lower_bound(&self, covered: &[bool], banned: &[bool]) -> i64 {
         let mut used_set = vec![false; self.inst.set_count()];
         let mut bound = 0i64;
-        for e in 0..self.inst.universe_size() {
-            if covered[e] {
+        for (e, &cov) in covered.iter().enumerate() {
+            if cov {
                 continue;
             }
             let sets = self.inst.covering_sets(e);
@@ -56,7 +56,13 @@ impl Search<'_> {
         bound
     }
 
-    fn dfs(&mut self, covered: &mut [bool], banned: &mut [bool], chosen: &mut Vec<usize>, weight: i64) {
+    fn dfs(
+        &mut self,
+        covered: &mut [bool],
+        banned: &mut [bool],
+        chosen: &mut Vec<usize>,
+        weight: i64,
+    ) {
         self.nodes += 1;
         if self.nodes > self.node_limit {
             self.truncated = true;
@@ -68,8 +74,8 @@ impl Search<'_> {
         // Find the uncovered element with the fewest available covering
         // sets (fail-first).
         let mut pivot: Option<(usize, usize)> = None;
-        for e in 0..self.inst.universe_size() {
-            if covered[e] {
+        for (e, &cov) in covered.iter().enumerate() {
+            if cov {
                 continue;
             }
             let avail = self
@@ -81,7 +87,7 @@ impl Search<'_> {
             if avail == 0 {
                 return; // infeasible branch
             }
-            if pivot.map_or(true, |(_, a)| avail < a) {
+            if pivot.is_none_or(|(_, a)| avail < a) {
                 pivot = Some((e, avail));
                 if avail == 1 {
                     break;

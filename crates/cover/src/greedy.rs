@@ -15,7 +15,9 @@ pub fn solve_greedy(inst: &CoverInstance) -> CoverSolution {
     let n = inst.universe_size();
     let k = inst.set_count();
     let mut covered = vec![false; n];
-    let mut uncovered_left = (0..n).filter(|&e| !inst.covering_sets(e).is_empty()).count();
+    let mut uncovered_left = (0..n)
+        .filter(|&e| !inst.covering_sets(e).is_empty())
+        .count();
     let mut new_count: Vec<usize> = (0..k).map(|s| inst.elements(s).len()).collect();
     let mut chosen = Vec::new();
     let mut in_solution = vec![false; k];

@@ -114,7 +114,10 @@ mod tests {
                     assert!(sol.is_feasible(&inst), "trial {trial}");
                     assert_eq!(sol.weight, b, "trial {trial}");
                 }
-                (b, e) => panic!("trial {trial}: feasibility disagrees {b:?} vs {}", e.is_some()),
+                (b, e) => panic!(
+                    "trial {trial}: feasibility disagrees {b:?} vs {}",
+                    e.is_some()
+                ),
             }
         }
     }
@@ -138,10 +141,7 @@ mod tests {
 
     #[test]
     fn auto_prefers_exact_on_small_instances() {
-        let inst = CoverInstance::new(
-            2,
-            vec![(10, vec![0]), (10, vec![1]), (11, vec![0, 1])],
-        );
+        let inst = CoverInstance::new(2, vec![(10, vec![0]), (10, vec![1]), (11, vec![0, 1])]);
         let (sol, optimal) = solve_auto(&inst, 64);
         assert!(optimal);
         assert_eq!(sol.weight, 11);

@@ -5,11 +5,8 @@ use proptest::prelude::*;
 
 fn instance() -> impl Strategy<Value = CoverInstance> {
     (1usize..10).prop_flat_map(|n| {
-        proptest::collection::vec(
-            (1i64..50, proptest::collection::vec(0..n, 1..=n)),
-            1..9,
-        )
-        .prop_map(move |sets| CoverInstance::new(n, sets))
+        proptest::collection::vec((1i64..50, proptest::collection::vec(0..n, 1..=n)), 1..9)
+            .prop_map(move |sets| CoverInstance::new(n, sets))
     })
 }
 

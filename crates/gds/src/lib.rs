@@ -85,7 +85,10 @@ impl std::error::Error for GdsError {}
 
 fn push_record(out: &mut Vec<u8>, kind: (u8, u8), data: &[u8]) {
     let len = 4 + data.len();
-    assert!(len <= u16::MAX as usize && len % 2 == 0, "record too long or odd");
+    assert!(
+        len <= u16::MAX as usize && len.is_multiple_of(2),
+        "record too long or odd"
+    );
     out.extend_from_slice(&(len as u16).to_be_bytes());
     out.push(kind.0);
     out.push(kind.1);
@@ -199,7 +202,7 @@ pub fn read_gds(bytes: &[u8]) -> Result<Layout, GdsError> {
     let mut saw_endlib = false;
     while offset + 4 <= bytes.len() {
         let len = u16::from_be_bytes([bytes[offset], bytes[offset + 1]]) as usize;
-        if len < 4 || len % 2 != 0 {
+        if len < 4 || !len.is_multiple_of(2) {
             return Err(GdsError::BadRecordLength { offset });
         }
         if offset + len > bytes.len() {
@@ -317,7 +320,10 @@ mod tests {
     fn truncated_stream_detected() {
         let layout = Layout::from_rects(vec![Rect::new(0, 0, 10, 10)]);
         let bytes = write_gds(&layout, "T");
-        assert_eq!(read_gds(&bytes[..bytes.len() - 2]), Err(GdsError::Truncated));
+        assert_eq!(
+            read_gds(&bytes[..bytes.len() - 2]),
+            Err(GdsError::Truncated)
+        );
     }
 
     #[test]

@@ -46,6 +46,11 @@ impl Interval {
     }
 
     /// Length `hi - lo` (zero for a point interval).
+    ///
+    /// No `is_empty` companion on purpose: a closed interval always
+    /// contains at least its endpoint, so `len() == 0` means "point",
+    /// which [`Interval::is_point`] already states unambiguously.
+    #[allow(clippy::len_without_is_empty)]
     pub fn len(&self) -> i64 {
         self.hi - self.lo
     }
@@ -69,7 +74,7 @@ impl Interval {
     pub fn intersect(&self, other: &Interval) -> Option<Interval> {
         let lo = self.lo.max(other.lo);
         let hi = self.hi.min(other.hi);
-        (lo <= hi).then(|| Interval { lo, hi })
+        (lo <= hi).then_some(Interval { lo, hi })
     }
 
     /// The smallest interval containing both.

@@ -115,8 +115,7 @@ impl Point {
     /// Panics in debug builds if either vector is zero.
     pub fn cmp_angle(self, other: Point) -> std::cmp::Ordering {
         let (ha, hb) = (self.angle_half(), other.angle_half());
-        ha.cmp(&hb)
-            .then_with(|| 0i128.cmp(&self.cross(other)))
+        ha.cmp(&hb).then_with(|| 0i128.cmp(&self.cross(other)))
     }
 }
 
@@ -165,16 +164,34 @@ mod tests {
     fn orient_basic() {
         let o = Point::new(0, 0);
         let x = Point::new(10, 0);
-        assert_eq!(Point::orient(o, x, Point::new(5, 1)), Orientation::CounterClockwise);
-        assert_eq!(Point::orient(o, x, Point::new(5, -1)), Orientation::Clockwise);
-        assert_eq!(Point::orient(o, x, Point::new(20, 0)), Orientation::Collinear);
+        assert_eq!(
+            Point::orient(o, x, Point::new(5, 1)),
+            Orientation::CounterClockwise
+        );
+        assert_eq!(
+            Point::orient(o, x, Point::new(5, -1)),
+            Orientation::Clockwise
+        );
+        assert_eq!(
+            Point::orient(o, x, Point::new(20, 0)),
+            Orientation::Collinear
+        );
     }
 
     #[test]
     fn midpoint_rounds_consistently() {
-        assert_eq!(Point::new(0, 0).midpoint(Point::new(3, 3)), Point::new(1, 1));
-        assert_eq!(Point::new(-1, -1).midpoint(Point::new(0, 0)), Point::new(-1, -1));
-        assert_eq!(Point::new(2, 4).midpoint(Point::new(4, 8)), Point::new(3, 6));
+        assert_eq!(
+            Point::new(0, 0).midpoint(Point::new(3, 3)),
+            Point::new(1, 1)
+        );
+        assert_eq!(
+            Point::new(-1, -1).midpoint(Point::new(0, 0)),
+            Point::new(-1, -1)
+        );
+        assert_eq!(
+            Point::new(2, 4).midpoint(Point::new(4, 8)),
+            Point::new(3, 6)
+        );
     }
 
     #[test]
@@ -193,9 +210,15 @@ mod tests {
             assert_eq!(w[0].cmp_angle(w[1]), Ordering::Less, "{} !< {}", w[0], w[1]);
         }
         // Same direction, different magnitude: equal.
-        assert_eq!(Point::new(2, 2).cmp_angle(Point::new(5, 5)), Ordering::Equal);
+        assert_eq!(
+            Point::new(2, 2).cmp_angle(Point::new(5, 5)),
+            Ordering::Equal
+        );
         // Opposite directions are distinct.
-        assert_eq!(Point::new(1, 1).cmp_angle(Point::new(-1, -1)), Ordering::Less);
+        assert_eq!(
+            Point::new(1, 1).cmp_angle(Point::new(-1, -1)),
+            Ordering::Less
+        );
     }
 
     #[test]

@@ -63,7 +63,12 @@ impl Rect {
             x_lo < x_hi && y_lo < y_hi,
             "degenerate rect [{x_lo},{x_hi}]x[{y_lo},{y_hi}]"
         );
-        Rect { x_lo, y_lo, x_hi, y_hi }
+        Rect {
+            x_lo,
+            y_lo,
+            x_hi,
+            y_hi,
+        }
     }
 
     /// Creates a rectangle from two opposite corners in any order.
@@ -72,7 +77,12 @@ impl Rect {
     pub fn from_corners(a: Point, b: Point) -> Option<Self> {
         let (x_lo, x_hi) = (a.x.min(b.x), a.x.max(b.x));
         let (y_lo, y_hi) = (a.y.min(b.y), a.y.max(b.y));
-        (x_lo < x_hi && y_lo < y_hi).then(|| Rect { x_lo, y_lo, x_hi, y_hi })
+        (x_lo < x_hi && y_lo < y_hi).then_some(Rect {
+            x_lo,
+            y_lo,
+            x_hi,
+            y_hi,
+        })
     }
 
     /// Left edge.
@@ -202,7 +212,12 @@ impl Rect {
         let y_lo = self.y_lo.max(other.y_lo);
         let x_hi = self.x_hi.min(other.x_hi);
         let y_hi = self.y_hi.min(other.y_hi);
-        (x_lo < x_hi && y_lo < y_hi).then(|| Rect { x_lo, y_lo, x_hi, y_hi })
+        (x_lo < x_hi && y_lo < y_hi).then_some(Rect {
+            x_lo,
+            y_lo,
+            x_hi,
+            y_hi,
+        })
     }
 
     /// Center of the interaction region of two nearby rectangles.

@@ -104,14 +104,7 @@ pub fn two_color_excluding(
                     parent_node[v.index()] = Some(u);
                     queue.push_back(v);
                 } else if color[v.index()] == color[u.index()] {
-                    return Err(extract_odd_cycle(
-                        g,
-                        u,
-                        v,
-                        e,
-                        &parent_edge,
-                        &parent_node,
-                    ));
+                    return Err(extract_odd_cycle(g, u, v, e, &parent_edge, &parent_node));
                 }
             }
         }
@@ -148,8 +141,12 @@ fn extract_odd_cycle(
     let (nu, eu) = chain(u);
     let (nv, ev) = chain(v);
     // Find LCA: deepest common node. Chains end at the same BFS root.
-    let set: std::collections::HashMap<NodeId, usize> =
-        nu.iter().copied().enumerate().map(|(i, n)| (n, i)).collect();
+    let set: std::collections::HashMap<NodeId, usize> = nu
+        .iter()
+        .copied()
+        .enumerate()
+        .map(|(i, n)| (n, i))
+        .collect();
     let mut lca_idx_v = 0;
     let mut lca_idx_u = nu.len() - 1;
     for (i, n) in nv.iter().enumerate() {
@@ -283,7 +280,10 @@ mod tests {
                     *deg.entry(u).or_default() += 1;
                     *deg.entry(v).or_default() += 1;
                 }
-                assert!(deg.values().all(|&d| d % 2 == 0), "trial {trial}: not a closed walk");
+                assert!(
+                    deg.values().all(|&d| d % 2 == 0),
+                    "trial {trial}: not a closed walk"
+                );
             }
         }
     }

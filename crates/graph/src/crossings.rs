@@ -151,9 +151,7 @@ mod tests {
             let n = rng.gen_range(4..25);
             let mut g = EmbeddedGraph::new();
             let nodes: Vec<_> = (0..n)
-                .map(|_| {
-                    g.add_node(p(rng.gen_range(-500..500), rng.gen_range(-500..500)))
-                })
+                .map(|_| g.add_node(p(rng.gen_range(-500..500), rng.gen_range(-500..500))))
                 .collect();
             // nudge duplicates to keep drawings simple
             let mut gg = g.clone();

@@ -77,9 +77,7 @@ pub fn build_dual(g: &EmbeddedGraph, faces: &Faces) -> DualGraph {
             });
         }
     }
-    let odd_face = (0..faces.count as u32)
-        .map(|f| faces.is_odd(f))
-        .collect();
+    let odd_face = (0..faces.count as u32).map(|f| faces.is_odd(f)).collect();
     DualGraph {
         face_count: faces.count,
         edges,

@@ -63,7 +63,7 @@ pub fn trace_faces(g: &EmbeddedGraph) -> Faces {
     let source = |h: u32| -> NodeId {
         let e = EdgeId(h / 2);
         let (u, v) = g.endpoints(e);
-        if h % 2 == 0 {
+        if h.is_multiple_of(2) {
             u
         } else {
             v
@@ -72,7 +72,7 @@ pub fn trace_faces(g: &EmbeddedGraph) -> Faces {
     let target = |h: u32| -> NodeId {
         let e = EdgeId(h / 2);
         let (u, v) = g.endpoints(e);
-        if h % 2 == 0 {
+        if h.is_multiple_of(2) {
             v
         } else {
             u
@@ -287,8 +287,8 @@ mod tests {
 
     #[test]
     fn face_walk_lengths_sum_to_twice_edges() {
-        use rand::{Rng, SeedableRng};
         use crate::{planarize, PlanarizeOrder};
+        use rand::{Rng, SeedableRng};
         let mut rng = rand::rngs::StdRng::seed_from_u64(31);
         for _ in 0..20 {
             let n = rng.gen_range(4..40);

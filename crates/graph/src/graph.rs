@@ -82,7 +82,12 @@ impl EmbeddedGraph {
         assert_ne!(u, v, "self-loops are not allowed");
         assert!(u.index() < self.positions.len() && v.index() < self.positions.len());
         let id = EdgeId(self.edges.len() as u32);
-        self.edges.push(Edge { u, v, weight, alive: true });
+        self.edges.push(Edge {
+            u,
+            v,
+            weight,
+            alive: true,
+        });
         self.adj[u.index()].push(id);
         self.adj[v.index()].push(id);
         id

@@ -49,20 +49,25 @@ pub fn planarize(g: &mut EmbeddedGraph, order: PlanarizeOrder) -> PlanarizeResul
     let mut count = crossings.counts(edge_count);
 
     // Priority value per policy; lower = removed earlier. Recomputed lazily.
-    let priority = |g: &EmbeddedGraph, e: EdgeId, cnt: u32, order: PlanarizeOrder| -> (i64, i64) {
+    let priority = |g: &EmbeddedGraph, e: EdgeId, cnt: u32, order: PlanarizeOrder| -> (i128, i64) {
         match order {
-            PlanarizeOrder::MinWeightFirst => (g.weight(e), e.index() as i64),
-            PlanarizeOrder::MostCrossingsFirst => (-(cnt as i64), g.weight(e)),
+            PlanarizeOrder::MinWeightFirst => (g.weight(e) as i128, e.index() as i64),
+            PlanarizeOrder::MostCrossingsFirst => (-(cnt as i128), g.weight(e)),
             PlanarizeOrder::MinWeightPerCrossing => {
-                // Scale to avoid rationals: weight / count, compared via
-                // weight * 2^20 / count precomputed as integer ratio.
-                let ratio = (g.weight(e) << 20) / cnt.max(1) as i64;
+                // Scale to avoid rationals: weight / count compared as
+                // the integer ratio weight * 2^20 / count. The widening
+                // to i128 matters: in i64 the shift overflows for
+                // weights >= 2^43, inverting removal order (or
+                // panicking in debug builds).
+                let ratio = ((g.weight(e) as i128) << 20) / cnt.max(1) as i128;
                 (ratio, g.weight(e))
             }
         }
     };
 
-    let mut heap: BinaryHeap<Reverse<((i64, i64), u32, EdgeId)>> = BinaryHeap::new();
+    // (priority, crossing count at insertion, edge).
+    type HeapEntry = Reverse<((i128, i64), u32, EdgeId)>;
+    let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::new();
     for e in g.alive_edges() {
         let c = count[e.index()];
         if c > 0 {
@@ -186,6 +191,26 @@ mod tests {
             // Removed edges really were killed.
             assert!(res.removed.iter().all(|&e| !g.is_alive(e)));
         }
+    }
+
+    #[test]
+    fn weight_per_crossing_survives_huge_weights() {
+        // Regression: weights at and beyond 2^43 used to overflow the
+        // `weight << 20` ratio in MinWeightPerCrossing, flipping the
+        // removal order (debug builds panicked). The cheap edge of each
+        // crossing pair must still be the one removed.
+        let huge = 1i64 << 50;
+        let mut g = EmbeddedGraph::new();
+        let a = g.add_node(p(0, 0));
+        let b = g.add_node(p(100, 100));
+        let c = g.add_node(p(0, 100));
+        let d = g.add_node(p(100, 0));
+        let cheap = g.add_edge(a, b, huge);
+        let dear = g.add_edge(c, d, huge + 12345);
+        let res = planarize(&mut g, PlanarizeOrder::MinWeightPerCrossing);
+        assert_eq!(res.removed, vec![cheap]);
+        assert!(!g.is_alive(cheap));
+        assert!(g.is_alive(dear));
     }
 
     #[test]

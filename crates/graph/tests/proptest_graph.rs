@@ -4,8 +4,8 @@
 use aapsm_geom::Point;
 use aapsm_graph::{
     biconnected_components, build_dual, connected_components, crossing_pairs,
-    greedy_parity_subgraph, planarize, trace_faces, two_color, two_color_excluding,
-    EmbeddedGraph, ParityUnionFind, PlanarizeOrder,
+    greedy_parity_subgraph, planarize, trace_faces, two_color, two_color_excluding, EmbeddedGraph,
+    ParityUnionFind, PlanarizeOrder,
 };
 use proptest::prelude::*;
 

@@ -75,9 +75,9 @@ pub fn check_assignable(geom: &PhaseGeometry) -> Result<PhaseAssignment, Assigna
     }
     // Extract one concrete assignment: parity relative to each root.
     let mut phase = vec![0u8; n];
-    for s in 0..n {
+    for (s, ph) in phase.iter_mut().enumerate() {
         let (_, p) = uf.find(s);
-        phase[s] = p;
+        *ph = p;
     }
     Ok(PhaseAssignment { phase })
 }
@@ -165,8 +165,7 @@ mod tests {
             &Layout::from_rects(vec![strap, gate]),
             &DesignRules::default(),
         );
-        let AssignabilityWitness::OddCycle { overlap_index } =
-            check_assignable(&g).unwrap_err()
+        let AssignabilityWitness::OddCycle { overlap_index } = check_assignable(&g).unwrap_err()
         else {
             panic!("expected odd cycle");
         };

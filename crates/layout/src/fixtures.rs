@@ -129,10 +129,7 @@ mod tests {
         let r = rules();
         let g = extract_phase_geometry(&strap_under_bus(5, &r), &r);
         // The strap's high shifter merges with both shifters of each wire.
-        let strap_high = g.features[5]
-            .shifters
-            .expect("strap is critical")
-            .1;
+        let strap_high = g.features[5].shifters.expect("strap is critical").1;
         let deg = g
             .overlaps
             .iter()

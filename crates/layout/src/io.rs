@@ -54,8 +54,12 @@ pub fn parse_layout(text: &str) -> Result<Layout, ParseLayoutError> {
                             message: format!("bad {name}: {e}"),
                         })
                 };
-                let (x_lo, y_lo, x_hi, y_hi) =
-                    (coord("x_lo")?, coord("y_lo")?, coord("x_hi")?, coord("y_hi")?);
+                let (x_lo, y_lo, x_hi, y_hi) = (
+                    coord("x_lo")?,
+                    coord("y_lo")?,
+                    coord("x_hi")?,
+                    coord("y_hi")?,
+                );
                 if x_lo >= x_hi || y_lo >= y_hi {
                     return Err(ParseLayoutError {
                         line: i + 1,
@@ -98,10 +102,7 @@ mod tests {
 
     #[test]
     fn roundtrip() {
-        let l = Layout::from_rects(vec![
-            Rect::new(0, 0, 100, 400),
-            Rect::new(-50, -60, 70, 80),
-        ]);
+        let l = Layout::from_rects(vec![Rect::new(0, 0, 100, 400), Rect::new(-50, -60, 70, 80)]);
         let text = write_layout(&l);
         let back = parse_layout(&text).unwrap();
         assert_eq!(l, back);

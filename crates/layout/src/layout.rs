@@ -75,10 +75,7 @@ impl Layout {
 
     /// Bounding box of all rectangles.
     pub fn bbox(&self) -> Option<Rect> {
-        self.rects
-            .iter()
-            .copied()
-            .reduce(|a, b| a.hull(&b))
+        self.rects.iter().copied().reduce(|a, b| a.hull(&b))
     }
 
     /// Aggregate statistics.
@@ -180,10 +177,7 @@ mod tests {
     #[test]
     fn clean_layout_validates() {
         let rules = DesignRules::default();
-        let l = Layout::from_rects(vec![
-            Rect::new(0, 0, 100, 400),
-            Rect::new(400, 0, 500, 400),
-        ]);
+        let l = Layout::from_rects(vec![Rect::new(0, 0, 100, 400), Rect::new(400, 0, 500, 400)]);
         assert!(l.validate(&rules).is_empty());
     }
 

@@ -142,12 +142,32 @@ pub fn extract_phase_geometry(layout: &Layout, rules: &DesignRules) -> PhaseGeom
             let (w, o) = (rules.shifter_width, rules.shifter_overhang);
             let (low, high) = match orientation {
                 FeatureOrientation::Vertical => (
-                    Rect::new(rect.x_lo() - w, rect.y_lo() - o, rect.x_lo(), rect.y_hi() + o),
-                    Rect::new(rect.x_hi(), rect.y_lo() - o, rect.x_hi() + w, rect.y_hi() + o),
+                    Rect::new(
+                        rect.x_lo() - w,
+                        rect.y_lo() - o,
+                        rect.x_lo(),
+                        rect.y_hi() + o,
+                    ),
+                    Rect::new(
+                        rect.x_hi(),
+                        rect.y_lo() - o,
+                        rect.x_hi() + w,
+                        rect.y_hi() + o,
+                    ),
                 ),
                 FeatureOrientation::Horizontal => (
-                    Rect::new(rect.x_lo() - o, rect.y_lo() - w, rect.x_hi() + o, rect.y_lo()),
-                    Rect::new(rect.x_lo() - o, rect.y_hi(), rect.x_hi() + o, rect.y_hi() + w),
+                    Rect::new(
+                        rect.x_lo() - o,
+                        rect.y_lo() - w,
+                        rect.x_hi() + o,
+                        rect.y_lo(),
+                    ),
+                    Rect::new(
+                        rect.x_lo() - o,
+                        rect.y_hi(),
+                        rect.x_hi() + o,
+                        rect.y_hi() + w,
+                    ),
                 ),
             };
             let lo_id = geom.shifters.len();
@@ -268,7 +288,11 @@ fn corridor_blocked(
         (&sb.rect, &sa.rect)
     };
     let along = aapsm_geom::Interval::new(lo_rect.span(axis).hi(), hi_rect.span(axis).lo());
-    let perp = match sa.rect.span(axis.perp()).intersect(&sb.rect.span(axis.perp())) {
+    let perp = match sa
+        .rect
+        .span(axis.perp())
+        .intersect(&sb.rect.span(axis.perp()))
+    {
         Some(iv) => iv,
         None => return false,
     };

@@ -83,11 +83,15 @@ mod tests {
 
     #[test]
     fn invalid_rules_are_rejected() {
-        let mut r = DesignRules::default();
-        r.shifter_width = 0;
+        let r = DesignRules {
+            shifter_width: 0,
+            ..DesignRules::default()
+        };
         assert!(r.validate().is_err());
-        let mut r = DesignRules::default();
-        r.shifter_overhang = -1;
+        let r = DesignRules {
+            shifter_overhang: -1,
+            ..DesignRules::default()
+        };
         assert!(r.validate().is_err());
     }
 }

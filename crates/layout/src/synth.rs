@@ -62,7 +62,9 @@ impl SynthParams {
     pub fn approx_polygons(&self) -> usize {
         // Gates plus ~jog extras plus straps.
         let gates = self.rows * self.gates_per_row;
-        gates + (gates as f64 * self.jog_frac) as usize + (self.rows as f64 * self.strap_frac * 2.0) as usize
+        gates
+            + (gates as f64 * self.jog_frac) as usize
+            + (self.rows as f64 * self.strap_frac * 2.0) as usize
     }
 }
 
@@ -98,12 +100,7 @@ pub fn generate(params: &SynthParams, rules: &DesignRules) -> Layout {
                 // the site (offset <= 320 keeps next-site spacing legal).
                 let lower = Rect::new(x, y0, x + GATE_W, y0 + 900);
                 let offset = rng.gen_range(120..=320);
-                let upper = Rect::new(
-                    x + offset,
-                    y0 + 1100,
-                    x + offset + GATE_W,
-                    y0 + GATE_H,
-                );
+                let upper = Rect::new(x + offset, y0 + 1100, x + offset + GATE_W, y0 + GATE_H);
                 rects.push(lower);
                 rects.push(upper);
                 gates_placed += 2;
@@ -192,6 +189,27 @@ pub fn standard_suite() -> Vec<BenchDesign> {
         mk("d8", 80, 1400, 18),
         mk("fullchip", 128, 1250, 19),
     ]
+}
+
+/// The parallel-scaling suite: the same conflict-rich row recipe at 1×,
+/// 4× and 16× row counts. Rows are independent conflict blocks, so these
+/// designs scale the number of independent dual T-join instances — the
+/// axis the parallel bipartization (`DetectConfig::parallelism`) and the
+/// `bench_json` harness measure.
+pub fn scaling_suite() -> Vec<BenchDesign> {
+    let mk = |name, rows| BenchDesign {
+        name,
+        params: SynthParams {
+            rows,
+            gates_per_row: 120,
+            strap_frac: 0.75,
+            jog_frac: 0.08,
+            short_mid_frac: 0.06,
+            seed: 31,
+            ..SynthParams::default()
+        },
+    };
+    vec![mk("rows_x1", 4), mk("rows_x4", 16), mk("rows_x16", 64)]
 }
 
 /// The Table 2 layout-modification suite: smaller designs with a healthy

@@ -2,8 +2,8 @@
 
 use aapsm_geom::{Axis, Rect};
 use aapsm_layout::{
-    apply_cuts, check_assignable, extract_phase_geometry, parse_layout, write_layout,
-    DesignRules, Layout, SpaceCut,
+    apply_cuts, check_assignable, extract_phase_geometry, parse_layout, write_layout, DesignRules,
+    Layout, SpaceCut,
 };
 use proptest::prelude::*;
 

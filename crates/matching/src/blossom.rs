@@ -6,6 +6,15 @@
 //! `n+1..=2n` are (re)used for shrunken blossoms. The adjacency matrix
 //! stores, for every pair of *surface* nodes, the best concrete real-node
 //! edge connecting them, which makes blossom expansion bookkeeping local.
+//!
+//! The solver is an **arena**: [`Solver::reset`] rewinds it for a new
+//! instance while keeping every buffer's capacity, so a solver reused
+//! across the thousands of small gadget matchings of one AAPSM flow
+//! allocates only when an instance exceeds all previous sizes. On reset,
+//! only the `(n+1)²` real-node block of the matrix is sentinel-initialized;
+//! the blossom rows and columns (`n+1..2n+1`) are left stale and are fully
+//! (re)written by `add_blossom` before anything reads them, which is what
+//! makes skipping the classic O(cap²) whole-matrix initialization sound.
 
 use crate::Matching;
 
@@ -18,7 +27,7 @@ struct EdgeCell {
     w: i64,
 }
 
-struct Solver {
+pub(crate) struct Solver {
     n: usize,
     n_x: usize,
     cap: usize,
@@ -34,41 +43,102 @@ struct Solver {
     vis: Vec<u32>,
     vis_t: u32,
     q: std::collections::VecDeque<usize>,
+    w_max: i64,
+    grow_events: u64,
 }
 
 impl Solver {
-    fn new(n: usize) -> Self {
+    pub(crate) fn new() -> Self {
+        Solver {
+            n: 0,
+            n_x: 0,
+            cap: 0,
+            g: Vec::new(),
+            lab: Vec::new(),
+            mate: Vec::new(),
+            slack: Vec::new(),
+            st: Vec::new(),
+            pa: Vec::new(),
+            flower: Vec::new(),
+            flower_from: Vec::new(),
+            s: Vec::new(),
+            vis: Vec::new(),
+            vis_t: 0,
+            q: std::collections::VecDeque::new(),
+            w_max: 0,
+            grow_events: 0,
+        }
+    }
+
+    /// Largest node count an instance can have without forcing this solver
+    /// to allocate.
+    pub(crate) fn node_capacity(&self) -> usize {
+        self.lab.len().saturating_sub(1) / 2
+    }
+
+    /// How many times `reset` had to grow a buffer (for reuse tests).
+    pub(crate) fn grow_events(&self) -> u64 {
+        self.grow_events
+    }
+
+    /// Rewinds the arena for an `n`-node instance, growing buffers only
+    /// when `n` exceeds every previously seen size.
+    fn reset(&mut self, n: usize) {
+        self.n = n;
+        self.n_x = n;
         let cap = 2 * n + 1;
-        // Every cell starts as an absent edge that still knows its
-        // endpoints: slack arithmetic (`e_delta`) must see lab[u] + lab[v]
-        // for absent pairs, never the 0 sentinel's labels.
-        let mut g = vec![EdgeCell::default(); cap * cap];
-        for u in 0..cap {
-            for v in 0..cap {
-                g[u * cap + v] = EdgeCell {
+        self.cap = cap;
+        let mut grew = false;
+        if self.g.len() < cap * cap {
+            self.g.resize(cap * cap, EdgeCell::default());
+            grew = true;
+        }
+        if self.lab.len() < cap {
+            self.lab.resize(cap, 0);
+            self.mate.resize(cap, 0);
+            self.slack.resize(cap, 0);
+            self.st.resize(cap, 0);
+            self.pa.resize(cap, 0);
+            self.s.resize(cap, -1);
+            self.vis.resize(cap, 0);
+            self.flower.resize_with(cap, Vec::new);
+            grew = true;
+        }
+        if self.flower_from.len() < cap * (n + 1) {
+            self.flower_from.resize(cap * (n + 1), 0);
+            grew = true;
+        }
+        if grew {
+            self.grow_events += 1;
+        }
+        // Sentinel cells only for the real block (rows/cols 0..=n): an
+        // absent pair must still expose its endpoints so slack arithmetic
+        // (`e_delta`) sees lab[u] + lab[v]. Blossom rows/cols stay stale —
+        // `add_blossom` rewrites row/col `b` in full (w-clear pass, then
+        // the unconditional first-child copy) before any read.
+        for u in 0..=n {
+            let row = u * cap;
+            for (v, cell) in self.g[row..row + n + 1].iter_mut().enumerate() {
+                *cell = EdgeCell {
                     u: u as u32,
                     v: v as u32,
                     w: 0,
                 };
             }
         }
-        Solver {
-            n,
-            n_x: n,
-            cap,
-            g,
-            lab: vec![0; cap],
-            mate: vec![0; cap],
-            slack: vec![0; cap],
-            st: (0..cap).collect(),
-            pa: vec![0; cap],
-            flower: vec![Vec::new(); cap],
-            flower_from: vec![0; cap * (n + 1)],
-            s: vec![-1; cap],
-            vis: vec![0; cap],
-            vis_t: 0,
-            q: std::collections::VecDeque::new(),
+        for x in 0..cap {
+            self.lab[x] = 0;
+            self.mate[x] = 0;
+            self.slack[x] = 0;
+            self.st[x] = x;
+            self.pa[x] = 0;
+            self.s[x] = -1;
+            self.vis[x] = 0;
+            self.flower[x].clear();
         }
+        self.vis_t = 0;
+        self.q.clear();
+        self.w_max = 0;
     }
 
     #[inline]
@@ -135,8 +205,7 @@ impl Solver {
     }
 
     fn get_pr(&mut self, b: usize, xr: usize) -> usize {
-        let pr = self
-            .flower[b]
+        let pr = self.flower[b]
             .iter()
             .position(|&x| x == xr)
             .expect("xr is a child of blossom b");
@@ -412,17 +481,67 @@ impl Solver {
     }
 
     fn run(&mut self) {
-        let mut w_max = 0i64;
+        // `flower_from` needs no eager setup: its real-node rows are never
+        // read (every `ff` read is on a blossom id), and `add_blossom`
+        // zeroes a blossom's row before filling it.
         for u in 1..=self.n {
-            for v in 1..=self.n {
-                self.ff_set(u, v, if u == v { u } else { 0 });
-                w_max = w_max.max(self.g_at(u, v).w);
-            }
-        }
-        for u in 1..=self.n {
-            self.lab[u] = w_max;
+            self.lab[u] = self.w_max;
         }
         while self.matching_phase() {}
+    }
+
+    /// Computes a maximum weight matching on this arena (see
+    /// [`crate::MatchingContext::max_weight_matching`] for the contract).
+    pub(crate) fn solve_max_weight(&mut self, n: usize, edges: &[(usize, usize, i64)]) -> Matching {
+        if n == 0 {
+            return Matching {
+                mate: Vec::new(),
+                weight: 0,
+            };
+        }
+        self.reset(n);
+        for &(u, v, w) in edges {
+            assert!(u < n && v < n, "edge endpoint out of range");
+            assert_ne!(u, v, "self-loops are not allowed");
+            if w <= 0 {
+                continue;
+            }
+            let (iu, iv) = (u + 1, v + 1);
+            if w > self.g_at(iu, iv).w {
+                self.w_max = self.w_max.max(w);
+                self.g_set(
+                    iu,
+                    iv,
+                    EdgeCell {
+                        u: iu as u32,
+                        v: iv as u32,
+                        w,
+                    },
+                );
+                self.g_set(
+                    iv,
+                    iu,
+                    EdgeCell {
+                        u: iv as u32,
+                        v: iu as u32,
+                        w,
+                    },
+                );
+            }
+        }
+        self.run();
+        let mut weight = 0i64;
+        let mut mate = vec![None; n];
+        for u in 1..=n {
+            let m = self.mate[u];
+            if m != 0 {
+                mate[u - 1] = Some(m - 1);
+                if m < u {
+                    weight += self.g_at(u, m).w;
+                }
+            }
+        }
+        Matching { mate, weight }
     }
 }
 
@@ -434,58 +553,15 @@ impl Solver {
 /// O(n³) with an O(n²) dense matrix — intended for the per-component
 /// instances of the AAPSM flow (tens to a few hundred nodes each).
 ///
+/// Uses the calling thread's shared [`crate::MatchingContext`], so repeated
+/// calls reuse the solver arena; hold your own context (or use
+/// [`crate::with_thread_context`]) to make the reuse explicit.
+///
 /// # Panics
 ///
 /// Panics if an edge endpoint is out of range or a self-loop.
 pub fn max_weight_matching(n: usize, edges: &[(usize, usize, i64)]) -> Matching {
-    if n == 0 {
-        return Matching {
-            mate: Vec::new(),
-            weight: 0,
-        };
-    }
-    let mut solver = Solver::new(n);
-    for &(u, v, w) in edges {
-        assert!(u < n && v < n, "edge endpoint out of range");
-        assert_ne!(u, v, "self-loops are not allowed");
-        if w <= 0 {
-            continue;
-        }
-        let (iu, iv) = (u + 1, v + 1);
-        if w > solver.g_at(iu, iv).w {
-            solver.g_set(
-                iu,
-                iv,
-                EdgeCell {
-                    u: iu as u32,
-                    v: iv as u32,
-                    w,
-                },
-            );
-            solver.g_set(
-                iv,
-                iu,
-                EdgeCell {
-                    u: iv as u32,
-                    v: iu as u32,
-                    w,
-                },
-            );
-        }
-    }
-    solver.run();
-    let mut weight = 0i64;
-    let mut mate = vec![None; n];
-    for u in 1..=n {
-        let m = solver.mate[u];
-        if m != 0 {
-            mate[u - 1] = Some(m - 1);
-            if m < u {
-                weight += solver.g_at(u, m).w;
-            }
-        }
-    }
-    Matching { mate, weight }
+    crate::with_thread_context(|ctx| ctx.max_weight_matching(n, edges))
 }
 
 #[cfg(test)]

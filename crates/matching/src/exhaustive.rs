@@ -123,9 +123,9 @@ pub fn max_weight_matching(n: usize, edges: &[(usize, usize, i64)]) -> i64 {
         // Leave u unmatched.
         let skip = mask | (1 << u);
         dp[skip] = dp[skip].max(dp[mask]);
-        for v in (u + 1)..n {
+        for (v, &wuv) in w[u].iter().enumerate().skip(u + 1) {
             if mask & (1 << v) == 0 {
-                if let Some(wv) = w[u][v] {
+                if let Some(wv) = wuv {
                     let nm = mask | (1 << u) | (1 << v);
                     dp[nm] = dp[nm].max(dp[mask] + wv);
                 }

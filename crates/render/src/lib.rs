@@ -136,8 +136,8 @@ pub fn render_layout(
     if let Some(g) = geom {
         for (si, s) in g.shifters.iter().enumerate() {
             let fill = match phases.map(|p| p.phase[si]) {
-                Some(0) => "#7cb2e8",  // 0 degrees
-                Some(_) => "#e8897c",  // 180 degrees
+                Some(0) => "#7cb2e8", // 0 degrees
+                Some(_) => "#e8897c", // 180 degrees
                 None => "#c9c9c9",
             };
             c.rect(&s.rect, fill, "#888888", 0.55);
@@ -236,7 +236,12 @@ mod tests {
         let layout = fixtures::wire_row(3, 600);
         let geom = extract_phase_geometry(&layout, &rules);
         let phases = aapsm_layout::check_assignable(&geom).unwrap();
-        let svg = render_layout(&layout, Some(&geom), Some(&phases), &RenderOptions::default());
+        let svg = render_layout(
+            &layout,
+            Some(&geom),
+            Some(&phases),
+            &RenderOptions::default(),
+        );
         assert!(svg.contains("#7cb2e8") && svg.contains("#e8897c"));
     }
 

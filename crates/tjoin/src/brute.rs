@@ -27,8 +27,8 @@ pub fn solve_brute(inst: &TJoinInstance) -> Option<TJoin> {
                 }
             }
         }
-        for v in 0..n {
-            if (parity[v] == 1) != inst.t_set()[v] {
+        for (v, &p) in parity.iter().enumerate() {
+            if (p == 1) != inst.t_set()[v] {
                 continue 'subsets;
             }
         }

@@ -46,7 +46,7 @@
 //! ghost+dummy form.
 
 use crate::{TJoin, TJoinError, TJoinInstance};
-use aapsm_matching::min_weight_perfect_matching;
+use aapsm_matching::MatchingContext;
 
 /// Gadget decomposition policy.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -106,6 +106,9 @@ enum NodeMeta {
 /// Solves the T-join by the gadget reduction; also returns the matching
 /// instance size (for the size/runtime benches).
 ///
+/// Uses the calling thread's shared [`MatchingContext`]; see
+/// [`solve_gadget_with`] to control solver-arena reuse explicitly.
+///
 /// # Errors
 ///
 /// Returns [`TJoinError::Infeasible`] when some component has an odd
@@ -113,6 +116,20 @@ enum NodeMeta {
 pub fn solve_gadget(
     inst: &TJoinInstance,
     kind: GadgetKind,
+) -> Result<(TJoin, GadgetStats), TJoinError> {
+    aapsm_matching::with_thread_context(|ctx| solve_gadget_with(inst, kind, ctx))
+}
+
+/// [`solve_gadget`] against a caller-owned matching arena.
+///
+/// # Errors
+///
+/// Returns [`TJoinError::Infeasible`] when some component has an odd
+/// number of T-nodes.
+pub fn solve_gadget_with(
+    inst: &TJoinInstance,
+    kind: GadgetKind,
+    ctx: &mut MatchingContext,
 ) -> Result<(TJoin, GadgetStats), TJoinError> {
     inst.check_feasible()?;
     let n = inst.node_count();
@@ -122,13 +139,13 @@ pub fn solve_gadget(
     // ---- 1. Edge assignment with spanning-forest parity fix-up. ----
     let mut assigned_to: Vec<usize> = edges.iter().map(|&(u, v, _)| u.min(v)).collect();
     let mut defect = vec![false; n];
-    for v in 0..n {
+    for (v, d) in defect.iter_mut().enumerate() {
         let a = inst
             .incident(v)
             .iter()
             .filter(|&&e| assigned_to[e] == v)
             .count();
-        defect[v] = (a % 2 == 1) != inst.t_set()[v];
+        *d = (a % 2 == 1) != inst.t_set()[v];
     }
     // BFS forest.
     let mut parent_edge: Vec<Option<usize>> = vec![None; n];
@@ -275,7 +292,8 @@ pub fn solve_gadget(
     };
 
     // ---- 3. Perfect matching. ----
-    let matching = min_weight_perfect_matching(meta.len(), &medges)
+    let matching = ctx
+        .min_weight_perfect_matching(meta.len(), &medges)
         .expect("feasible T-join instance always yields a perfectly matchable gadget graph");
 
     // ---- 4. Extraction. ----
@@ -461,7 +479,10 @@ mod tests {
                     (None, Err(_)) => {}
                     (Some(b), Ok(j)) => {
                         assert!(inst.is_valid_join(&j), "trial {trial} {k:?}");
-                        assert_eq!(j.weight, b.weight, "trial {trial} {k:?} edges={edges:?} t={t:?}");
+                        assert_eq!(
+                            j.weight, b.weight,
+                            "trial {trial} {k:?} edges={edges:?} t={t:?}"
+                        );
                     }
                     (b, g) => panic!(
                         "trial {trial} {k:?}: feasibility disagrees brute={} got={}",
@@ -485,8 +506,7 @@ mod tests {
 
     #[test]
     fn parallel_bundles_use_explicit_nodes() {
-        let inst =
-            TJoinInstance::new(2, vec![(0, 1, 5), (0, 1, 2)], vec![false, false]).unwrap();
+        let inst = TJoinInstance::new(2, vec![(0, 1, 5), (0, 1, 2)], vec![false, false]).unwrap();
         let (j, stats) = solve_gadget(&inst, GadgetKind::Complete).unwrap();
         assert_eq!(j.weight, 0);
         // 2 edges x (true + ghost + dummy) = 6 nodes.

@@ -199,8 +199,7 @@ impl TJoinInstance {
             parity[v] ^= 1;
             weight += w;
         }
-        weight == join.weight
-            && (0..self.node_count).all(|v| (parity[v] == 1) == self.t[v])
+        weight == join.weight && (0..self.node_count).all(|v| (parity[v] == 1) == self.t[v])
     }
 }
 

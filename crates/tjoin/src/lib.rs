@@ -48,9 +48,11 @@ mod gadget;
 mod instance;
 mod shortest_path;
 
-pub use gadget::{solve_gadget, GadgetKind, GadgetStats};
+pub use gadget::{solve_gadget, solve_gadget_with, GadgetKind, GadgetStats};
 pub use instance::{TJoin, TJoinError, TJoinInstance};
-pub use shortest_path::solve_shortest_path;
+pub use shortest_path::{solve_shortest_path, solve_shortest_path_with};
+
+pub use aapsm_matching::MatchingContext;
 
 /// Which reduction to use for solving a T-join instance.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -71,14 +73,33 @@ impl Default for TJoinMethod {
 
 /// Solves a minimum-weight T-join instance with the chosen method.
 ///
+/// All methods bottom out in Blossom perfect matching; this entry point
+/// uses the calling thread's shared [`MatchingContext`]. Use [`solve_with`]
+/// to reuse a caller-owned solver arena across many instances (the
+/// parallel bipartization workers do).
+///
 /// # Errors
 ///
 /// Returns [`TJoinError::Infeasible`] when some connected component
 /// contains an odd number of T-nodes.
 pub fn solve(inst: &TJoinInstance, method: TJoinMethod) -> Result<TJoin, TJoinError> {
+    aapsm_matching::with_thread_context(|ctx| solve_with(inst, method, ctx))
+}
+
+/// [`solve`] against a caller-owned matching arena.
+///
+/// # Errors
+///
+/// Returns [`TJoinError::Infeasible`] when some connected component
+/// contains an odd number of T-nodes.
+pub fn solve_with(
+    inst: &TJoinInstance,
+    method: TJoinMethod,
+    ctx: &mut MatchingContext,
+) -> Result<TJoin, TJoinError> {
     match method {
-        TJoinMethod::Gadget(kind) => solve_gadget(inst, kind).map(|(join, _)| join),
-        TJoinMethod::ShortestPath => solve_shortest_path(inst),
+        TJoinMethod::Gadget(kind) => solve_gadget_with(inst, kind, ctx).map(|(join, _)| join),
+        TJoinMethod::ShortestPath => solve_shortest_path_with(inst, ctx),
     }
 }
 
@@ -128,15 +149,17 @@ mod tests {
     fn infeasible_odd_t_in_component() {
         let inst = TJoinInstance::new(3, vec![(0, 1, 1)], vec![true, false, true]).unwrap();
         for m in all_methods() {
-            assert!(matches!(solve(&inst, m), Err(TJoinError::Infeasible { .. })), "{m:?}");
+            assert!(
+                matches!(solve(&inst, m), Err(TJoinError::Infeasible { .. })),
+                "{m:?}"
+            );
         }
     }
 
     #[test]
     fn parallel_edges_supported() {
         // Two parallel edges; T = both endpoints: take the cheaper one.
-        let inst =
-            TJoinInstance::new(2, vec![(0, 1, 7), (0, 1, 3)], vec![true, true]).unwrap();
+        let inst = TJoinInstance::new(2, vec![(0, 1, 7), (0, 1, 3)], vec![true, true]).unwrap();
         for m in all_methods() {
             let j = solve(&inst, m).unwrap();
             assert_eq!(j.weight, 3, "{m:?}");

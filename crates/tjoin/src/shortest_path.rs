@@ -1,7 +1,7 @@
 //! The Edmonds–Johnson shortest-path reduction for minimum-weight T-joins.
 
 use crate::{TJoin, TJoinError, TJoinInstance};
-use aapsm_matching::min_weight_perfect_matching;
+use aapsm_matching::MatchingContext;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -16,11 +16,27 @@ use std::collections::BinaryHeap;
 /// and XOR-ing them preserves the degree parity while never increasing the
 /// weight, so the result is an optimal T-join.
 ///
+/// Uses the calling thread's shared [`MatchingContext`]; see
+/// [`solve_shortest_path_with`] to control solver-arena reuse explicitly.
+///
 /// # Errors
 ///
 /// Returns [`TJoinError::Infeasible`] when some component has an odd
 /// number of T-nodes.
 pub fn solve_shortest_path(inst: &TJoinInstance) -> Result<TJoin, TJoinError> {
+    aapsm_matching::with_thread_context(|ctx| solve_shortest_path_with(inst, ctx))
+}
+
+/// [`solve_shortest_path`] against a caller-owned matching arena.
+///
+/// # Errors
+///
+/// Returns [`TJoinError::Infeasible`] when some component has an odd
+/// number of T-nodes.
+pub fn solve_shortest_path_with(
+    inst: &TJoinInstance,
+    ctx: &mut MatchingContext,
+) -> Result<TJoin, TJoinError> {
     inst.check_feasible()?;
     let t_nodes: Vec<usize> = (0..inst.node_count())
         .filter(|&v| inst.t_set()[v])
@@ -44,14 +60,15 @@ pub fn solve_shortest_path(inst: &TJoinInstance) -> Result<TJoin, TJoinError> {
 
     // Complete graph over T-nodes (only pairs in the same component).
     let mut matching_edges = Vec::new();
-    for i in 0..t_nodes.len() {
+    for (i, dist_i) in dist_all.iter().enumerate() {
         for j in (i + 1)..t_nodes.len() {
-            if let Some(d) = dist_all[i][t_nodes[j]] {
+            if let Some(d) = dist_i[t_nodes[j]] {
                 matching_edges.push((i, j, d));
             }
         }
     }
-    let matching = min_weight_perfect_matching(t_nodes.len(), &matching_edges)
+    let matching = ctx
+        .min_weight_perfect_matching(t_nodes.len(), &matching_edges)
         .expect("even T per component guarantees a perfect matching");
 
     // XOR the matched shortest paths.
@@ -130,12 +147,8 @@ mod tests {
 
     #[test]
     fn zero_weight_edges_are_fine() {
-        let inst = TJoinInstance::new(
-            3,
-            vec![(0, 1, 0), (1, 2, 0)],
-            vec![true, false, true],
-        )
-        .unwrap();
+        let inst =
+            TJoinInstance::new(3, vec![(0, 1, 0), (1, 2, 0)], vec![true, false, true]).unwrap();
         let j = solve_shortest_path(&inst).unwrap();
         assert_eq!(j.weight, 0);
         assert!(inst.is_valid_join(&j));
@@ -144,12 +157,8 @@ mod tests {
 
     #[test]
     fn multiple_components_solved_independently() {
-        let inst = TJoinInstance::new(
-            4,
-            vec![(0, 1, 5), (2, 3, 7)],
-            vec![true, true, true, true],
-        )
-        .unwrap();
+        let inst = TJoinInstance::new(4, vec![(0, 1, 5), (2, 3, 7)], vec![true, true, true, true])
+            .unwrap();
         let j = solve_shortest_path(&inst).unwrap();
         assert_eq!(j.weight, 12);
     }

@@ -6,8 +6,8 @@
 //! Run with: `cargo run --example compare_graphs --release`
 
 use aapsm::core::{
-    build_feature_graph, build_phase_conflict_graph, detect_conflicts, detect_greedy,
-    DetectConfig, GreedyKind,
+    build_feature_graph, build_phase_conflict_graph, detect_conflicts, detect_greedy, DetectConfig,
+    GreedyKind,
 };
 use aapsm::prelude::*;
 

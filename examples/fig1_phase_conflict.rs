@@ -29,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         5
     );
     for c in &report.conflicts {
-        println!("  {:?} weight {} from {:?}", c.constraint, c.weight, c.source);
+        println!(
+            "  {:?} weight {} from {:?}",
+            c.constraint, c.weight, c.source
+        );
     }
 
     std::fs::create_dir_all("target/figures")?;

@@ -37,7 +37,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for c in &result.detection.conflicts {
         println!("  conflict: {:?} (weight {})", c.constraint, c.weight);
     }
-    println!("corrected layout verifies as assignable: {}", result.verified);
+    println!(
+        "corrected layout verifies as assignable: {}",
+        result.verified
+    );
 
     std::fs::create_dir_all("target/figures")?;
     let opts = RenderOptions::default();

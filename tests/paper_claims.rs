@@ -2,7 +2,7 @@
 //! reproduction suite (the quantitative record lives in EXPERIMENTS.md).
 
 use aapsm::core::{
-    detect_conflicts, detect_greedy, plan_correction, apply_correction, CorrectionOptions,
+    apply_correction, detect_conflicts, detect_greedy, plan_correction, CorrectionOptions,
     DetectConfig, GadgetKind, GraphKind, GreedyKind, TJoinMethod,
 };
 use aapsm::layout::synth;
