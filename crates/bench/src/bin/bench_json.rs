@@ -1,21 +1,28 @@
-//! Machine-readable perf tracking: times the detection hot path on the
-//! parallel-scaling suite and writes `BENCH_bipartize_scaling.json`.
+//! Machine-readable perf tracking for the detection pipeline.
 //!
-//! Run with `cargo run --release -p aapsm-bench --bin bench_json`. Each
-//! design is measured at three stages — conflict-graph build, greedy
-//! planarization, and the dual-T-join bipartization the paper's Table 1
-//! times — with the bipartization taken both serially (`parallelism = 1`)
-//! and on all available cores (`parallelism = 0`). The two bipartizations
-//! are asserted to produce byte-identical deleted-edge sets, so the
-//! speedup column can never come from a wrong answer. JSON is emitted by
-//! hand: the build environment has no registry access for serde.
+//! Run with `cargo run --release -p aapsm-bench --bin bench_json`. Writes
+//! two JSON snapshots (by hand — the build environment has no registry
+//! access for serde):
+//!
+//! * `BENCH_bipartize_scaling.json` — the historical back-end view:
+//!   conflict-graph build, greedy planarization, and serial-vs-parallel
+//!   dual-T-join bipartization (the stage the paper's Table 1 times).
+//! * `BENCH_detect_pipeline.json` — the full front-to-back view: every
+//!   pipeline stage (extract / build / planarize / bipartize) timed
+//!   serially (`parallelism = 1`) and on all available cores
+//!   (`parallelism = 0`), on the 1×/4×/16×/64× scaling suite.
+//!
+//! Every parallel stage output is asserted equal to its serial output
+//! before a row is written, so a speedup column can never come from a
+//! wrong answer; the `identical` fields record that the assertion ran.
 
-use aapsm_core::PlanarizeOrder;
 use aapsm_core::{
-    bipartize_with, build_conflict_graph, planarize_graph, BipartizeMethod, GraphKind, TJoinMethod,
+    bipartize_with, build_conflict_graph, build_conflict_graph_par, build_conflict_graph_tiled,
+    planarize_graph_par, BipartizeMethod, GraphKind, TJoinMethod, TileConfig,
 };
+use aapsm_core::{ConflictGraph, PlanarizeOrder};
 use aapsm_layout::synth::scaling_suite;
-use aapsm_layout::{extract_phase_geometry, DesignRules};
+use aapsm_layout::{extract_phase_geometry, extract_phase_geometry_par, DesignRules};
 use std::time::Instant;
 
 /// Fastest of `reps` runs, in seconds (min damps scheduler noise better
@@ -32,43 +39,162 @@ fn time_best<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
     (best, last.expect("reps >= 1"))
 }
 
+/// Times planarization over pre-cloned inputs (so the clone cost stays out
+/// of the measurement) and returns the fastest time, the removed set and
+/// the final graph of the last run.
+fn time_planarize(
+    reps: usize,
+    cg0: &ConflictGraph,
+    parallelism: usize,
+) -> (
+    f64,
+    Vec<aapsm_core::ConflictGraph>,
+    Vec<aapsm_graph::EdgeId>,
+) {
+    let mut inputs: Vec<_> = (0..reps).map(|_| cg0.clone()).collect();
+    let mut best = f64::INFINITY;
+    let mut removed = Vec::new();
+    for cg in &mut inputs {
+        let t = Instant::now();
+        removed = planarize_graph_par(cg, PlanarizeOrder::MinWeightFirst, parallelism);
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    (best, inputs, removed)
+}
+
+/// One stage's serial/parallel measurement, in milliseconds.
+struct Stage {
+    name: &'static str,
+    serial_ms: f64,
+    parallel_ms: f64,
+}
+
+impl Stage {
+    /// From seconds as returned by [`time_best`].
+    fn from_secs(name: &'static str, serial_s: f64, parallel_s: f64) -> Stage {
+        Stage {
+            name,
+            serial_ms: serial_s * 1e3,
+            parallel_ms: parallel_s * 1e3,
+        }
+    }
+
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "\"{}\": {{\"serial_ms\": {:.3}, \"parallel_ms\": {:.3}, ",
+                "\"speedup\": {:.3}, \"identical\": true}}"
+            ),
+            self.name,
+            self.serial_ms,
+            self.parallel_ms,
+            self.serial_ms / self.parallel_ms.max(1e-12),
+        )
+    }
+}
+
 fn main() {
     let rules = DesignRules::default();
     let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let reps = 3;
-    let mut rows_json = Vec::new();
+    let reps = 5;
+    let mut legacy_rows = Vec::new();
+    let mut pipeline_rows = Vec::new();
 
     for design in scaling_suite() {
         eprintln!("measuring {} ...", design.name);
         let layout = aapsm_layout::synth::generate(&design.params, &rules);
-        let geom = extract_phase_geometry(&layout, &rules);
 
-        let (build_s, cg0) = time_best(reps, || {
+        // ---- Stage 1: phase-geometry extraction. ----
+        let (extract_serial_s, geom) = time_best(reps, || extract_phase_geometry(&layout, &rules));
+        let (extract_parallel_s, geom_par) =
+            time_best(reps, || extract_phase_geometry_par(&layout, &rules, 0));
+        assert_eq!(
+            geom, geom_par,
+            "{}: parallel extraction diverged from serial",
+            design.name
+        );
+
+        // ---- Stage 2: conflict-graph build. ----
+        let (build_serial_s, cg0) = time_best(reps, || {
             build_conflict_graph(&geom, GraphKind::PhaseConflict)
         });
-        // Pre-clone the inputs so planarize_ms times planarization alone,
-        // not the graph deep-clone.
-        let mut planarize_inputs: Vec<_> = (0..reps).map(|_| cg0.clone()).collect();
-        let mut planarize_s = f64::INFINITY;
-        for cg in &mut planarize_inputs {
-            let t = Instant::now();
-            planarize_graph(cg, PlanarizeOrder::MinWeightFirst);
-            planarize_s = planarize_s.min(t.elapsed().as_secs_f64());
-        }
-        let cg = planarize_inputs.pop().expect("reps >= 1");
+        // The pipeline entry point: on a single-core runner this resolves
+        // to the serial builders (tiling buys nothing without a second
+        // worker), on multi-core it runs the tile-sharded build.
+        let (build_parallel_s, cg_par) = time_best(reps, || {
+            build_conflict_graph_par(&geom, GraphKind::PhaseConflict, 0)
+        });
+        assert_eq!(
+            cg0, cg_par,
+            "{}: parallel build diverged from serial",
+            design.name
+        );
+        // Exercise the tile-sharded path explicitly regardless of core
+        // count, so identical:true always covers the stitch.
+        let tile_cfg = TileConfig {
+            tiles: 3,
+            parallelism: 0,
+        };
+        let cg_tiled = build_conflict_graph_tiled(&geom, GraphKind::PhaseConflict, &tile_cfg);
+        assert_eq!(
+            cg0, cg_tiled,
+            "{}: tile-sharded build diverged from serial",
+            design.name
+        );
+
+        // ---- Stage 3: planarization (parallel crossing sweep). ----
+        let (planarize_serial_s, mut serial_out, removed_serial) = time_planarize(reps, &cg0, 1);
+        let (planarize_parallel_s, parallel_out, removed_parallel) = time_planarize(reps, &cg0, 0);
+        assert_eq!(
+            removed_serial, removed_parallel,
+            "{}: parallel planarization diverged from serial",
+            design.name
+        );
+        assert_eq!(serial_out.last(), parallel_out.last());
+        let cg = serial_out.pop().expect("reps >= 1");
+
+        // ---- Stage 4: bipartization. ----
         let method = BipartizeMethod::OptimalDual {
             tjoin: TJoinMethod::default(),
             blocks: false,
         };
-        let (serial_s, serial) = time_best(reps, || bipartize_with(&cg.graph, method, 1));
-        let (parallel_s, parallel) = time_best(reps, || bipartize_with(&cg.graph, method, 0));
+        let (bipartize_serial_s, serial) = time_best(reps, || bipartize_with(&cg.graph, method, 1));
+        let (bipartize_parallel_s, parallel) =
+            time_best(reps, || bipartize_with(&cg.graph, method, 0));
         assert_eq!(
             serial.deleted, parallel.deleted,
             "{}: parallel bipartization diverged from serial",
             design.name
         );
 
-        rows_json.push(format!(
+        let stages = [
+            Stage::from_secs("extract", extract_serial_s, extract_parallel_s),
+            Stage::from_secs("build", build_serial_s, build_parallel_s),
+            Stage::from_secs("planarize", planarize_serial_s, planarize_parallel_s),
+            Stage::from_secs("bipartize", bipartize_serial_s, bipartize_parallel_s),
+        ];
+        let total_serial_ms: f64 = stages.iter().map(|s| s.serial_ms).sum();
+        let total_parallel_ms: f64 = stages.iter().map(|s| s.parallel_ms).sum();
+        let stage_json: Vec<String> = stages.iter().map(|s| s.json()).collect();
+        pipeline_rows.push(format!(
+            concat!(
+                "    {{\"design\": \"{}\", \"rows\": {}, \"polygons\": {}, ",
+                "\"graph_nodes\": {}, \"graph_edges\": {}, \"conflicts\": {}, ",
+                "\"stages\": {{{}}}, ",
+                "\"total_serial_ms\": {:.3}, \"total_parallel_ms\": {:.3}, ",
+                "\"identical\": true}}"
+            ),
+            design.name,
+            design.params.rows,
+            layout.len(),
+            cg.graph.node_count(),
+            cg.graph.alive_edge_count(),
+            serial.deleted.len(),
+            stage_json.join(", "),
+            total_serial_ms,
+            total_parallel_ms,
+        ));
+        legacy_rows.push(format!(
             concat!(
                 "    {{\"design\": \"{}\", \"rows\": {}, \"polygons\": {}, ",
                 "\"graph_nodes\": {}, \"graph_edges\": {}, \"conflicts\": {}, ",
@@ -82,30 +208,47 @@ fn main() {
             cg.graph.node_count(),
             cg.graph.alive_edge_count(),
             serial.deleted.len(),
-            build_s * 1e3,
-            planarize_s * 1e3,
-            serial_s * 1e3,
-            parallel_s * 1e3,
-            serial_s / parallel_s.max(1e-12),
+            build_serial_s * 1e3,
+            planarize_serial_s * 1e3,
+            bipartize_serial_s * 1e3,
+            bipartize_parallel_s * 1e3,
+            bipartize_serial_s / bipartize_parallel_s.max(1e-12),
         ));
         eprintln!(
-            "  bipartize: serial {:.2} ms, parallel {:.2} ms ({:.2}x on {} workers)",
-            serial_s * 1e3,
-            parallel_s * 1e3,
-            serial_s / parallel_s.max(1e-12),
+            "  extract {:.2}/{:.2} ms, build {:.2}/{:.2} ms, planarize {:.2}/{:.2} ms, bipartize {:.2}/{:.2} ms (serial/parallel, {} workers)",
+            extract_serial_s * 1e3,
+            extract_parallel_s * 1e3,
+            build_serial_s * 1e3,
+            build_parallel_s * 1e3,
+            planarize_serial_s * 1e3,
+            planarize_parallel_s * 1e3,
+            bipartize_serial_s * 1e3,
+            bipartize_parallel_s * 1e3,
             workers
         );
     }
 
-    let json = format!
-(
-        "{{\n  \"bench\": \"bipartize_scaling\",\n  \"workers\": {},\n  \"reps\": {},\n  \"designs\": [\n{}\n  ]\n}}\n",
-        workers,
-        reps,
-        rows_json.join(",\n")
-    );
-    let path = "BENCH_bipartize_scaling.json";
-    std::fs::write(path, &json).expect("write bench JSON");
-    println!("{json}");
-    eprintln!("wrote {path}");
+    for (bench, path, rows) in [
+        (
+            "bipartize_scaling",
+            "BENCH_bipartize_scaling.json",
+            &legacy_rows,
+        ),
+        (
+            "detect_pipeline",
+            "BENCH_detect_pipeline.json",
+            &pipeline_rows,
+        ),
+    ] {
+        let json = format!(
+            "{{\n  \"bench\": \"{}\",\n  \"workers\": {},\n  \"reps\": {},\n  \"designs\": [\n{}\n  ]\n}}\n",
+            bench,
+            workers,
+            reps,
+            rows.join(",\n")
+        );
+        std::fs::write(path, &json).expect("write bench JSON");
+        println!("{json}");
+        eprintln!("wrote {path}");
+    }
 }

@@ -235,50 +235,36 @@ fn extract_block_instances(g: &EmbeddedGraph) -> Vec<DualTJoin> {
     instances
 }
 
+/// Minimum total dual-edge work before auto parallelism spawns threads.
+///
+/// Below this, the whole solve takes well under a millisecond, so thread
+/// spawn/join overhead dominates any speedup — the `BENCH_bipartize_scaling`
+/// regression at many tiny instances. Applies only to `parallelism = 0`
+/// (an explicit worker count is honored) and is purely a scheduling
+/// decision: results are bit-identical either way.
+const SERIAL_FALLBACK_DUAL_EDGES: usize = 2048;
+
 /// Solves the extracted instances and returns the merged primal deleted
 /// edges, in deterministic instance order regardless of `parallelism`.
+///
+/// Adaptive: under auto parallelism, tiny total instance work (see
+/// [`SERIAL_FALLBACK_DUAL_EDGES`]) keeps the solve on the calling thread.
 fn solve_instances(instances: &[DualTJoin], tjoin: TJoinMethod, parallelism: usize) -> Vec<EdgeId> {
-    let workers = effective_workers(parallelism, instances.len());
-    let mut deleted_per_instance: Vec<Vec<EdgeId>> = vec![Vec::new(); instances.len()];
-    if workers <= 1 {
-        let mut ctx = MatchingContext::new();
-        for (out, dt) in deleted_per_instance.iter_mut().zip(instances) {
-            *out = solve_one(dt, tjoin, &mut ctx);
-        }
+    let total_dual_edges: usize = instances.iter().map(|dt| dt.inst.edges().len()).sum();
+    let workers = if parallelism == 0 && total_dual_edges < SERIAL_FALLBACK_DUAL_EDGES {
+        1
     } else {
-        // A shared atomic cursor hands out instances (self-balancing
-        // without pre-sorting by size). Each worker owns one arena for
-        // its whole batch and collects (index, result) pairs locally;
-        // placing them by index afterwards keeps the merge in instance
-        // order, so the outcome is independent of scheduling.
-        let cursor = std::sync::atomic::AtomicUsize::new(0);
-        let batches: Vec<Vec<(usize, Vec<EdgeId>)>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    scope.spawn(|| {
-                        let mut ctx = MatchingContext::new();
-                        let mut batch = Vec::new();
-                        loop {
-                            let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                            if i >= instances.len() {
-                                break;
-                            }
-                            batch.push((i, solve_one(&instances[i], tjoin, &mut ctx)));
-                        }
-                        batch
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("bipartize worker panicked"))
-                .collect()
-        });
-        for (i, deleted) in batches.into_iter().flatten() {
-            deleted_per_instance[i] = deleted;
-        }
-    }
-    deleted_per_instance.into_iter().flatten().collect()
+        effective_workers(parallelism, instances.len())
+    };
+    // Each worker owns one arena for its whole batch; results merge in
+    // instance order (see `par_map_indexed`), so the outcome is
+    // independent of scheduling.
+    aapsm_geom::par_map_indexed(instances.len(), workers, MatchingContext::new, |ctx, i| {
+        solve_one(&instances[i], tjoin, ctx)
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 fn solve_one(dt: &DualTJoin, tjoin: TJoinMethod, ctx: &mut MatchingContext) -> Vec<EdgeId> {
@@ -289,12 +275,9 @@ fn solve_one(dt: &DualTJoin, tjoin: TJoinMethod, ctx: &mut MatchingContext) -> V
 
 /// Resolves the `parallelism` knob (`0` = auto) against the instance count.
 fn effective_workers(parallelism: usize, instances: usize) -> usize {
-    let requested = if parallelism == 0 {
-        std::thread::available_parallelism().map_or(1, |n| n.get())
-    } else {
-        parallelism
-    };
-    requested.min(instances).max(1)
+    aapsm_geom::resolve_workers(parallelism)
+        .min(instances)
+        .max(1)
 }
 
 /// Brute-force minimum-weight bipartization by subset enumeration (test

@@ -65,7 +65,8 @@ pub fn detect_dark_field(layout: &Layout, rules: &DesignRules) -> DarkFieldRepor
     }
     let mut pairs = Vec::new();
     let s2 = (spacing as i128) * (spacing as i128);
-    for (ka, kb) in grid.candidate_pairs() {
+    // Streaming traversal: the candidate set is never materialized.
+    grid.for_each_candidate_pair(|ka, kb| {
         let (ia, ra, na) = critical[ka as usize];
         let (ib, rb, nb) = critical[kb as usize];
         let gap = ra.euclid_gap_sq(&rb);
@@ -74,7 +75,7 @@ pub fn detect_dark_field(layout: &Layout, rules: &DesignRules) -> DarkFieldRepor
             g.add_edge(na, nb, deficit.max(1));
             pairs.push((ia, ib, deficit.max(1)));
         }
-    }
+    });
     g.nudge_duplicate_positions();
     let constraint_count = pairs.len();
 

@@ -54,10 +54,13 @@ pub struct DetectConfig {
     pub planarize_order: PlanarizeOrder,
     /// Decompose bipartization per biconnected block (ablation).
     pub blocks: bool,
-    /// Worker threads for the bipartization stage: `0` = one per
+    /// Worker threads for the whole pipeline — the tile-sharded
+    /// conflict-graph build, the sharded crossing sweep feeding
+    /// planarization, and the bipartization solve: `0` = one per
     /// available CPU, `1` = serial (the default), `k` = at most `k`.
     /// Every setting produces bit-identical conflict sets; see
-    /// [`crate::bipartize_with`].
+    /// [`crate::bipartize_with`], [`crate::build_conflict_graph_tiled`]
+    /// and [`aapsm_graph::crossing_pairs_par`].
     pub parallelism: usize,
 }
 
@@ -121,11 +124,15 @@ impl DetectReport {
 /// build graph → planarize → optimal bipartization → Step-3 recheck.
 pub fn detect_conflicts(geom: &PhaseGeometry, config: &DetectConfig) -> DetectReport {
     let t0 = Instant::now();
-    let mut cg = build_conflict_graph(geom, config.graph);
-    let crossings_before = aapsm_graph::crossing_pairs(&cg.graph).pairs.len();
+    let mut cg = crate::graphs::build_conflict_graph_par(geom, config.graph, config.parallelism);
+    // One sweep serves both the statistics and planarization.
+    let crossings = aapsm_graph::crossing_pairs_par(&cg.graph, config.parallelism);
+    let crossings_before = crossings.pairs.len();
     let graph_nodes = cg.graph.node_count();
     let graph_edges = cg.graph.alive_edge_count();
-    let p_set = crate::graphs::planarize_graph(&mut cg, config.planarize_order);
+    let p_set =
+        aapsm_graph::planarize_with_crossings(&mut cg.graph, config.planarize_order, &crossings)
+            .removed;
     let build_time = t0.elapsed();
 
     let t1 = Instant::now();

@@ -5,7 +5,8 @@ use crate::{
     CorrectionReport, DetectConfig, DetectReport,
 };
 use aapsm_layout::{
-    check_assignable, extract_phase_geometry, DesignRules, Layout, PhaseAssignment, PhaseGeometry,
+    check_assignable, extract_phase_geometry, extract_phase_geometry_par, DesignRules, Layout,
+    PhaseAssignment, PhaseGeometry,
 };
 use std::fmt;
 
@@ -83,7 +84,9 @@ pub fn run_flow(
     config: &FlowConfig,
 ) -> Result<FlowResult, FlowError> {
     rules.validate().map_err(FlowError::BadRules)?;
-    let geometry = extract_phase_geometry(layout, rules);
+    // The front-end shares the detection parallelism knob; every degree is
+    // bit-identical (see `extract_phase_geometry_par`).
+    let geometry = extract_phase_geometry_par(layout, rules, config.detect.parallelism);
     let detection = detect_conflicts(&geometry, &config.detect);
     let plan = plan_correction(&geometry, &detection.conflicts, rules, &config.correct);
     if !plan.uncorrectable.is_empty() {

@@ -30,7 +30,7 @@ pub enum EdgeConstraint {
 
 /// A conflict graph: the embedded graph plus the constraint each edge
 /// represents.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ConflictGraph {
     /// The embedded multigraph (positions in layout dbu).
     pub graph: EmbeddedGraph,
@@ -76,7 +76,7 @@ impl ConflictGraph {
     }
 }
 
-fn flank_weight_for(geom: &PhaseGeometry) -> i64 {
+pub(crate) fn flank_weight_for(geom: &PhaseGeometry) -> i64 {
     geom.overlaps.iter().map(|o| o.weight).sum::<i64>() + 1
 }
 
@@ -85,6 +85,37 @@ pub fn build_conflict_graph(geom: &PhaseGeometry, kind: GraphKind) -> ConflictGr
     match kind {
         GraphKind::PhaseConflict => build_phase_conflict_graph(geom),
         GraphKind::Feature => build_feature_graph(geom),
+    }
+}
+
+/// [`build_conflict_graph`] with an explicit parallelism degree: when the
+/// resolved worker count is 1 (including `parallelism = 0` on a
+/// single-core machine) or the constraint set is tiny, the serial
+/// builders run directly — tiling buys nothing without a second worker or
+/// enough work to amortize thread spawn — otherwise the build routes
+/// through the tile-sharded pipeline
+/// ([`crate::build_conflict_graph_tiled`]). Both paths produce
+/// bit-identical graphs.
+pub fn build_conflict_graph_par(
+    geom: &PhaseGeometry,
+    kind: GraphKind,
+    parallelism: usize,
+) -> ConflictGraph {
+    /// Minimum constraints (overlaps + flanks) before auto parallelism
+    /// routes through tiling; mirrors the bipartize stage's serial
+    /// fallback. An explicit degree is honored.
+    const SERIAL_FALLBACK_CONSTRAINTS: usize = 2048;
+    let constraints = geom.overlaps.len() + geom.critical_count();
+    if aapsm_geom::resolve_workers(parallelism) <= 1
+        || (parallelism == 0 && constraints < SERIAL_FALLBACK_CONSTRAINTS)
+    {
+        build_conflict_graph(geom, kind)
+    } else {
+        crate::shard::build_conflict_graph_tiled(
+            geom,
+            kind,
+            &crate::shard::TileConfig::for_parallelism(parallelism),
+        )
     }
 }
 
@@ -102,7 +133,9 @@ pub fn build_conflict_graph(geom: &PhaseGeometry, kind: GraphKind) -> ConflictGr
 /// phases; a 2-path forces equality, a direct edge inequality).
 pub fn build_phase_conflict_graph(geom: &PhaseGeometry) -> ConflictGraph {
     let mut graph = EmbeddedGraph::new();
-    let mut edge_constraint = Vec::new();
+    let edges = 2 * geom.overlaps.len() + geom.critical_count();
+    graph.reserve(geom.shifters.len() + geom.overlaps.len(), edges);
+    let mut edge_constraint = Vec::with_capacity(edges);
     let flank_weight = flank_weight_for(geom);
 
     let shifter_nodes: Vec<_> = geom
@@ -150,7 +183,12 @@ pub fn build_phase_conflict_graph(geom: &PhaseGeometry) -> ConflictGraph {
 /// paper draws in Figure 2 / Table 1.
 pub fn build_feature_graph(geom: &PhaseGeometry) -> ConflictGraph {
     let mut graph = EmbeddedGraph::new();
-    let mut edge_constraint = Vec::new();
+    graph.reserve(
+        geom.shifters.len() + geom.critical_count(),
+        2 * geom.critical_count() + 2 * geom.overlaps.len(),
+    );
+    let mut edge_constraint =
+        Vec::with_capacity(2 * geom.critical_count() + 2 * geom.overlaps.len());
     let flank_weight = flank_weight_for(geom);
 
     let shifter_nodes: Vec<_> = geom
@@ -196,6 +234,16 @@ pub fn build_feature_graph(geom: &PhaseGeometry) -> ConflictGraph {
 /// the removed edges — the potential conflict set *P*.
 pub fn planarize_graph(cg: &mut ConflictGraph, order: PlanarizeOrder) -> Vec<EdgeId> {
     planarize(&mut cg.graph, order).removed
+}
+
+/// [`planarize_graph`] with an explicit parallelism degree for the
+/// initial crossing sweep; bit-identical at every degree.
+pub fn planarize_graph_par(
+    cg: &mut ConflictGraph,
+    order: PlanarizeOrder,
+    parallelism: usize,
+) -> Vec<EdgeId> {
+    aapsm_graph::planarize_par(&mut cg.graph, order, parallelism).removed
 }
 
 #[cfg(test)]

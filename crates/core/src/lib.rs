@@ -26,21 +26,27 @@
 //!
 //! # Parallelism and solver reuse
 //!
-//! The bipartization stage — the paper's Table 1 runtime comparison — is a
-//! decompose-then-solve pipeline: every independent dual T-join instance
-//! (per connected component, or per biconnected block with
-//! [`DetectConfig::blocks`]) is extracted first with dense `Vec`-based
-//! renumbering, then solved on worker threads. Real multi-row layouts
-//! produce many independent blocks, so the stage scales with cores.
+//! The **whole pipeline** is decompose-then-solve behind one knob,
+//! [`DetectConfig::parallelism`] (reachable from [`FlowConfig`] via its
+//! `detect` field): `0` = one worker per available CPU, `1` = serial
+//! (default), `k` = at most `k` workers. Every degree yields
+//! **bit-identical** results (property-tested in
+//! `tests/parallel_equivalence.rs`).
 //!
-//! * **Knob**: [`DetectConfig::parallelism`] (reachable from
-//!   [`FlowConfig`] via its `detect` field) — `0` = one worker per
-//!   available CPU, `1` = serial (default), `k` = at most `k` workers.
+//! * **Front-end**: phase-geometry extraction and the planarization
+//!   crossing sweep shard the spatial grid's occupied cells into
+//!   contiguous bands (`aapsm_geom::GridIndex::par_collect_pairs`), with
+//!   per-band buffers merged in band order; the conflict graph itself can
+//!   be built tile-sharded ([`build_conflict_graph_tiled`]) — the layout
+//!   bounding box is cut into K×K tiles whose per-tile node/edge lists
+//!   (dense local renumbering) are stitched into the canonical graph.
+//! * **Back-end**: every independent dual T-join instance (per connected
+//!   component, or per biconnected block with [`DetectConfig::blocks`])
+//!   is extracted first with dense `Vec`-based renumbering, then solved
+//!   on worker threads; per-instance deleted-edge sets are merged in
+//!   instance order and sorted by edge id. Tiny instance sets fall back
+//!   to the calling thread adaptively (thread spawn would dominate).
 //!   Lower-level callers use [`bipartize_with`] directly.
-//! * **Determinism**: per-instance deleted-edge sets are merged in
-//!   instance order and sorted by edge id, so every parallelism degree
-//!   yields **bit-identical** conflict sets (property-tested in
-//!   `tests/parallel_equivalence.rs`).
 //! * **Allocation**: each worker owns one `aapsm_matching::MatchingContext`
 //!   — a reusable Blossom arena. Solving through a context allocates only
 //!   when an instance out-sizes everything the context has seen, so the
@@ -69,6 +75,7 @@ pub mod darkfield;
 mod detect;
 mod flow;
 mod graphs;
+mod shard;
 
 pub use bipartize::{
     bipartize, bipartize_with, brute_force_bipartize, BipartizeMethod, BipartizeOutcome,
@@ -82,9 +89,11 @@ pub use detect::{
 };
 pub use flow::{run_flow, FlowConfig, FlowError, FlowResult};
 pub use graphs::{
-    build_conflict_graph, build_feature_graph, build_phase_conflict_graph, planarize_graph,
-    ConflictGraph, GraphKind, GraphStats,
+    build_conflict_graph, build_conflict_graph_par, build_feature_graph,
+    build_phase_conflict_graph, planarize_graph, planarize_graph_par, ConflictGraph, GraphKind,
+    GraphStats,
 };
+pub use shard::{build_conflict_graph_tiled, TileConfig};
 
 pub use aapsm_graph::PlanarizeOrder;
 pub use aapsm_tjoin::{GadgetKind, TJoinMethod};

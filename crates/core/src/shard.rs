@@ -1,0 +1,483 @@
+//! Tile-sharded conflict-graph construction — the full-chip scaling
+//! primitive of the detection front-end.
+//!
+//! The layout bounding box (over shifter centers) is cut into a K×K tile
+//! grid. Every graph *constraint* has a geometric **anchor point** — the
+//! midpoint of its two shifter centers for an overlap, the feature center
+//! for a flanking constraint — and is **owned** by the unique tile whose
+//! core contains that anchor. Each tile builds its own node/edge lists
+//! with dense local renumbering, in parallel, and the tiles are stitched
+//! into one [`ConflictGraph`].
+//!
+//! # Tile / halo / stitching invariants
+//!
+//! 1. **Ownership partition.** Tile cores partition the bounding box
+//!    (half-open in both axes, closed on the high boundary), so every
+//!    constraint is owned by exactly one tile and no constraint is lost or
+//!    duplicated — stitching needs no cross-tile dedup.
+//! 2. **Halo locality.** A tile may reference shifters it does not own:
+//!    the endpoints of an owned constraint. Overlapping shifters lie
+//!    within [`aapsm_layout::DesignRules::shifter_spacing`] of each other
+//!    and a feature's own shifters flank it directly, so every referenced
+//!    shifter center lies within one constraint-interaction radius of the
+//!    tile core — the tile's *halo*. Tile inputs are therefore local:
+//!    a distributed implementation would ship each tile only its core
+//!    plus halo geometry.
+//! 3. **Dense local renumbering.** Within a tile, nodes get consecutive
+//!    local ids in first-use order; edges reference local ids. Each local
+//!    node records its canonical global id, which is closed-form from the
+//!    serial construction order (shifter nodes first, then per-constraint
+//!    nodes in constraint order), so local ids never leak across tiles.
+//! 4. **Bit-identical stitching.** Stitching scatters each tile's edges
+//!    into their canonical global edge slots and emits nodes and edges in
+//!    exactly the serial order. The stitched graph — node ids, positions,
+//!    edge ids, endpoint orientation, weights, constraints, adjacency —
+//!    is **bit-identical** to [`crate::build_conflict_graph`] for every
+//!    tile count and parallelism degree (property-tested in
+//!    `tests/parallel_equivalence.rs`).
+
+use crate::graphs::{flank_weight_for, ConflictGraph, EdgeConstraint, GraphKind};
+use aapsm_geom::{resolve_workers, Point};
+use aapsm_graph::EmbeddedGraph;
+use aapsm_layout::PhaseGeometry;
+
+/// Configuration of the tile-sharded build.
+#[derive(Clone, Copy, Debug)]
+pub struct TileConfig {
+    /// Tiles per axis (K of the K×K grid); `0` = choose from the worker
+    /// count (smallest K with K² ≥ 4·workers, capped at 64).
+    pub tiles: usize,
+    /// Worker threads: `0` = one per available CPU, `1` = build the tiles
+    /// on the calling thread, `k` = at most `k` workers.
+    pub parallelism: usize,
+}
+
+impl Default for TileConfig {
+    fn default() -> Self {
+        TileConfig {
+            tiles: 0,
+            parallelism: 1,
+        }
+    }
+}
+
+impl TileConfig {
+    /// A configuration that auto-sizes the tile grid for `parallelism`
+    /// workers.
+    pub fn for_parallelism(parallelism: usize) -> Self {
+        TileConfig {
+            tiles: 0,
+            parallelism,
+        }
+    }
+
+    fn tiles_per_axis(&self) -> usize {
+        if self.tiles > 0 {
+            return self.tiles;
+        }
+        let workers = resolve_workers(self.parallelism);
+        let mut k = 1usize;
+        while k * k < 4 * workers && k < 64 {
+            k += 1;
+        }
+        k
+    }
+}
+
+/// A tile's locally-renumbered slice of the conflict graph.
+struct TileGraph {
+    /// Canonical global node id per local id, in first-use order.
+    global_of_local: Vec<u32>,
+    /// Node position per local id.
+    pos: Vec<Point>,
+    /// Edges as `(local u, local v, weight, constraint)`, tile-local order.
+    edges: Vec<(u32, u32, i64, EdgeConstraint)>,
+    /// Canonical global edge id per tile edge.
+    global_edge: Vec<u32>,
+}
+
+impl TileGraph {
+    fn new() -> Self {
+        TileGraph {
+            global_of_local: Vec::new(),
+            pos: Vec::new(),
+            edges: Vec::new(),
+            global_edge: Vec::new(),
+        }
+    }
+
+    /// Dense local id of a global node, interning it on first use.
+    fn local(
+        &mut self,
+        global: u32,
+        pos: Point,
+        interned: &mut aapsm_geom::FxHashMap<u32, u32>,
+    ) -> u32 {
+        *interned.entry(global).or_insert_with(|| {
+            let l = self.global_of_local.len() as u32;
+            self.global_of_local.push(global);
+            self.pos.push(pos);
+            l
+        })
+    }
+
+    fn push_edge(&mut self, u: u32, v: u32, w: i64, c: EdgeConstraint, gid: u32) {
+        self.edges.push((u, v, w, c));
+        self.global_edge.push(gid);
+    }
+}
+
+/// The K×K tiling of the shifter-center bounding box.
+struct Tiling {
+    x0: i64,
+    y0: i64,
+    w: i64,
+    h: i64,
+    k: i64,
+}
+
+impl Tiling {
+    fn over(centers: impl Iterator<Item = Point>, k: usize) -> Option<Tiling> {
+        let mut bounds: Option<(i64, i64, i64, i64)> = None;
+        for c in centers {
+            let b = bounds.get_or_insert((c.x, c.y, c.x, c.y));
+            b.0 = b.0.min(c.x);
+            b.1 = b.1.min(c.y);
+            b.2 = b.2.max(c.x);
+            b.3 = b.3.max(c.y);
+        }
+        let (x0, y0, x1, y1) = bounds?;
+        Some(Tiling {
+            x0,
+            y0,
+            w: x1 - x0 + 1,
+            h: y1 - y0 + 1,
+            k: k as i64,
+        })
+    }
+
+    fn tile_count(&self) -> usize {
+        (self.k * self.k) as usize
+    }
+
+    /// The tile owning an anchor point (clamped to the grid, so anchors on
+    /// the high boundary land in the last tile).
+    fn tile_of(&self, p: Point) -> usize {
+        let tx = ((p.x - self.x0) as i128 * self.k as i128 / self.w as i128)
+            .clamp(0, self.k as i128 - 1) as i64;
+        let ty = ((p.y - self.y0) as i128 * self.k as i128 / self.h as i128)
+            .clamp(0, self.k as i128 - 1) as i64;
+        (ty * self.k + tx) as usize
+    }
+}
+
+/// Canonical global id layout of a conflict graph, precomputed so tiles
+/// can emit global node/edge ids without coordination.
+struct IdLayout {
+    shifters: usize,
+    node_count: usize,
+    edge_count: usize,
+    /// PCG: overlap node of `oi` = `shifters + oi`; first overlap edge =
+    /// `2 * oi`; flank edge of the r-th critical feature = `flank_base + r`.
+    /// FG: feature node of the r-th critical feature = `shifters + r`;
+    /// conflict node of the r-th same-side overlap = `conflict_base + r`;
+    /// overlap edges start at `overlap_edge_offset[oi]`.
+    flank_base: u32,
+    conflict_base: u32,
+    crit_rank: Vec<u32>,
+    overlap_edge_offset: Vec<u32>,
+    /// FG only: same-side rank per overlap (undefined for opposite-side).
+    ss_rank: Vec<u32>,
+}
+
+fn id_layout(geom: &PhaseGeometry, kind: GraphKind) -> IdLayout {
+    let s = geom.shifters.len();
+    let o = geom.overlaps.len();
+    let mut crit_rank = vec![0u32; geom.features.len()];
+    let mut criticals = 0u32;
+    for (fi, f) in geom.features.iter().enumerate() {
+        crit_rank[fi] = criticals;
+        if f.shifters.is_some() {
+            criticals += 1;
+        }
+    }
+    match kind {
+        GraphKind::PhaseConflict => IdLayout {
+            shifters: s,
+            node_count: s + o,
+            edge_count: 2 * o + criticals as usize,
+            flank_base: 2 * o as u32,
+            conflict_base: 0,
+            crit_rank,
+            overlap_edge_offset: Vec::new(),
+            ss_rank: Vec::new(),
+        },
+        GraphKind::Feature => {
+            let mut overlap_edge_offset = vec![0u32; o];
+            let mut ss_rank = vec![0u32; o];
+            let mut cursor = 2 * criticals;
+            let mut same_side = 0u32;
+            for (oi, ov) in geom.overlaps.iter().enumerate() {
+                overlap_edge_offset[oi] = cursor;
+                ss_rank[oi] = same_side;
+                let ss = geom.shifters[ov.a].side == geom.shifters[ov.b].side;
+                cursor += if ss { 2 } else { 1 };
+                same_side += ss as u32;
+            }
+            IdLayout {
+                shifters: s,
+                node_count: s + criticals as usize + same_side as usize,
+                edge_count: cursor as usize,
+                flank_base: 0,
+                conflict_base: (s + criticals as usize) as u32,
+                crit_rank,
+                overlap_edge_offset,
+                ss_rank,
+            }
+        }
+    }
+}
+
+/// Builds the tile's slice: its owned overlaps and critical features, with
+/// locally-renumbered nodes and canonical global ids.
+fn build_tile(
+    geom: &PhaseGeometry,
+    kind: GraphKind,
+    ids: &IdLayout,
+    flank_weight: i64,
+    owned_overlaps: &[u32],
+    owned_features: &[u32],
+) -> TileGraph {
+    let mut tg = TileGraph::new();
+    let mut interned = aapsm_geom::FxHashMap::default();
+    let s = ids.shifters as u32;
+    let center = |si: usize| geom.shifters[si].rect.center();
+    match kind {
+        GraphKind::PhaseConflict => {
+            for &oi in owned_overlaps {
+                let o = &geom.overlaps[oi as usize];
+                let (ca, cb) = (center(o.a), center(o.b));
+                let la = tg.local(o.a as u32, ca, &mut interned);
+                let lb = tg.local(o.b as u32, cb, &mut interned);
+                let ln = tg.local(s + oi, ca.midpoint(cb), &mut interned);
+                let c = EdgeConstraint::Overlap(oi as usize);
+                tg.push_edge(la, ln, o.weight, c, 2 * oi);
+                tg.push_edge(ln, lb, o.weight, c, 2 * oi + 1);
+            }
+            for &fi in owned_features {
+                let (lo, hi) = geom.features[fi as usize]
+                    .shifters
+                    .expect("owned features are critical");
+                let la = tg.local(lo as u32, center(lo), &mut interned);
+                let lb = tg.local(hi as u32, center(hi), &mut interned);
+                let gid = ids.flank_base + ids.crit_rank[fi as usize];
+                tg.push_edge(
+                    la,
+                    lb,
+                    flank_weight,
+                    EdgeConstraint::Flank(fi as usize),
+                    gid,
+                );
+            }
+        }
+        GraphKind::Feature => {
+            for &fi in owned_features {
+                let f = &geom.features[fi as usize];
+                let (lo, hi) = f.shifters.expect("owned features are critical");
+                let rank = ids.crit_rank[fi as usize];
+                let la = tg.local(lo as u32, center(lo), &mut interned);
+                let lf = tg.local(s + rank, f.rect.center(), &mut interned);
+                let lb = tg.local(hi as u32, center(hi), &mut interned);
+                let c = EdgeConstraint::Flank(fi as usize);
+                tg.push_edge(la, lf, flank_weight, c, 2 * rank);
+                tg.push_edge(lf, lb, flank_weight, c, 2 * rank + 1);
+            }
+            for &oi in owned_overlaps {
+                let o = &geom.overlaps[oi as usize];
+                let (sa, sb) = (&geom.shifters[o.a], &geom.shifters[o.b]);
+                let la = tg.local(o.a as u32, center(o.a), &mut interned);
+                let lb = tg.local(o.b as u32, center(o.b), &mut interned);
+                let c = EdgeConstraint::Overlap(oi as usize);
+                let gid = ids.overlap_edge_offset[oi as usize];
+                if sa.side == sb.side {
+                    let ln = tg.local(
+                        ids.conflict_base + ids.ss_rank[oi as usize],
+                        sa.rect.overlap_region_center(&sb.rect),
+                        &mut interned,
+                    );
+                    tg.push_edge(la, ln, o.weight, c, gid);
+                    tg.push_edge(ln, lb, o.weight, c, gid + 1);
+                } else {
+                    tg.push_edge(la, lb, o.weight, c, gid);
+                }
+            }
+        }
+    }
+    tg
+}
+
+/// Builds a conflict graph by the tile-sharded pipeline. The result is
+/// bit-identical to [`crate::build_conflict_graph`] for every
+/// [`TileConfig`]; see the module docs for the invariants that make the
+/// stitch exact.
+pub fn build_conflict_graph_tiled(
+    geom: &PhaseGeometry,
+    kind: GraphKind,
+    config: &TileConfig,
+) -> ConflictGraph {
+    let k = config.tiles_per_axis();
+    let Some(tiling) = Tiling::over(geom.shifters.iter().map(|s| s.rect.center()), k) else {
+        // No shifters — nothing to shard.
+        return crate::graphs::build_conflict_graph(geom, kind);
+    };
+    let ids = id_layout(geom, kind);
+    let flank_weight = flank_weight_for(geom);
+
+    // ---- Ownership assignment (anchor point → tile). ----
+    let mut tile_overlaps: Vec<Vec<u32>> = vec![Vec::new(); tiling.tile_count()];
+    let mut tile_features: Vec<Vec<u32>> = vec![Vec::new(); tiling.tile_count()];
+    for (oi, o) in geom.overlaps.iter().enumerate() {
+        let anchor = geom.shifters[o.a]
+            .rect
+            .center()
+            .midpoint(geom.shifters[o.b].rect.center());
+        tile_overlaps[tiling.tile_of(anchor)].push(oi as u32);
+    }
+    for (fi, f) in geom.features.iter().enumerate() {
+        if f.shifters.is_some() {
+            tile_features[tiling.tile_of(f.rect.center())].push(fi as u32);
+        }
+    }
+
+    // ---- Per-tile builds (parallel). ----
+    let occupied: Vec<usize> = (0..tiling.tile_count())
+        .filter(|&t| !tile_overlaps[t].is_empty() || !tile_features[t].is_empty())
+        .collect();
+    let workers = resolve_workers(config.parallelism)
+        .min(occupied.len())
+        .max(1);
+    let tiles: Vec<TileGraph> = aapsm_geom::par_map_indexed(
+        occupied.len(),
+        workers,
+        || (),
+        |(), i| {
+            let t = occupied[i];
+            build_tile(
+                geom,
+                kind,
+                &ids,
+                flank_weight,
+                &tile_overlaps[t],
+                &tile_features[t],
+            )
+        },
+    );
+
+    // ---- Stitch: scatter into canonical slots, emit in serial order. ----
+    let mut positions: Vec<Point> = Vec::with_capacity(ids.node_count);
+    positions.extend(geom.shifters.iter().map(|s| s.rect.center()));
+    positions.resize(ids.node_count, Point::new(0, 0));
+    let mut edge_slots: Vec<Option<(u32, u32, i64, EdgeConstraint)>> = vec![None; ids.edge_count];
+    for tg in &tiles {
+        for (k, &(lu, lv, w, c)) in tg.edges.iter().enumerate() {
+            let gu = tg.global_of_local[lu as usize];
+            let gv = tg.global_of_local[lv as usize];
+            let slot = &mut edge_slots[tg.global_edge[k] as usize];
+            debug_assert!(slot.is_none(), "edge owned by two tiles");
+            *slot = Some((gu, gv, w, c));
+        }
+        for (l, &g) in tg.global_of_local.iter().enumerate() {
+            positions[g as usize] = tg.pos[l];
+        }
+    }
+    let mut graph = EmbeddedGraph::new();
+    graph.reserve(ids.node_count, ids.edge_count);
+    for &p in &positions {
+        graph.add_node(p);
+    }
+    let mut edge_constraint = Vec::with_capacity(ids.edge_count);
+    for slot in edge_slots {
+        let (u, v, w, c) = slot.expect("every canonical edge is owned by exactly one tile");
+        graph.add_edge(aapsm_graph::NodeId(u), aapsm_graph::NodeId(v), w);
+        edge_constraint.push(c);
+    }
+    graph.nudge_duplicate_positions();
+    ConflictGraph {
+        graph,
+        kind,
+        edge_constraint,
+        flank_weight,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graphs::build_conflict_graph;
+    use aapsm_layout::{extract_phase_geometry, fixtures, DesignRules};
+
+    fn geoms() -> Vec<PhaseGeometry> {
+        let r = DesignRules::default();
+        let mut out = vec![
+            extract_phase_geometry(&fixtures::single_wire(&r), &r),
+            extract_phase_geometry(&fixtures::wire_row(6, 600), &r),
+            extract_phase_geometry(&fixtures::gate_over_strap(&r), &r),
+            extract_phase_geometry(&fixtures::strap_under_bus(5, &r), &r),
+        ];
+        let l = aapsm_layout::synth::generate(
+            &aapsm_layout::synth::SynthParams {
+                rows: 3,
+                gates_per_row: 40,
+                strap_frac: 0.6,
+                jog_frac: 0.08,
+                short_mid_frac: 0.05,
+                ..Default::default()
+            },
+            &r,
+        );
+        out.push(extract_phase_geometry(&l, &r));
+        out
+    }
+
+    #[test]
+    fn tiled_build_is_bit_identical_to_serial() {
+        for (gi, geom) in geoms().iter().enumerate() {
+            for kind in [GraphKind::PhaseConflict, GraphKind::Feature] {
+                let serial = build_conflict_graph(geom, kind);
+                for tiles in [1usize, 2, 3, 7] {
+                    for parallelism in [1usize, 0, 4] {
+                        let cfg = TileConfig { tiles, parallelism };
+                        let tiled = build_conflict_graph_tiled(geom, kind, &cfg);
+                        assert_eq!(
+                            tiled, serial,
+                            "geom {gi} {kind:?} tiles {tiles} parallelism {parallelism}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_geometry_falls_back() {
+        let geom = PhaseGeometry::default();
+        let cfg = TileConfig::for_parallelism(4);
+        let cg = build_conflict_graph_tiled(&geom, GraphKind::PhaseConflict, &cfg);
+        assert_eq!(cg.graph.node_count(), 0);
+        assert_eq!(cg.graph.edge_count(), 0);
+    }
+
+    #[test]
+    fn auto_tile_count_grows_with_workers() {
+        assert_eq!(TileConfig::for_parallelism(1).tiles_per_axis(), 2);
+        assert!(TileConfig::for_parallelism(4).tiles_per_axis() >= 4);
+        assert_eq!(
+            TileConfig {
+                tiles: 5,
+                parallelism: 1
+            }
+            .tiles_per_axis(),
+            5
+        );
+    }
+}

@@ -1,22 +1,32 @@
-//! Property test: the parallel decompose-then-solve bipartization is
-//! bit-identical to the serial path — same deleted edge set (not merely
-//! the same weight) — across synthetic layouts, both decomposition modes
-//! and every T-join engine.
+//! Property tests: every parallel path of the detection pipeline is
+//! bit-identical to its serial counterpart — same bytes, not merely the
+//! same weight — across random synthetic layouts and `parallelism`
+//! ∈ {1, 2, 4, 8} (plus `0` = auto):
+//!
+//! * the sharded crossing sweep (`crossing_pairs_par`),
+//! * the sharded merge-constraint scan (`extract_phase_geometry_par`),
+//! * the tile-sharded conflict-graph build (`build_conflict_graph_tiled`),
+//! * the crossing sweep feeding planarization (`planarize_graph_par`),
+//! * the decompose-then-solve bipartization (`bipartize_with`), both
+//!   decomposition modes and every T-join engine,
+//! * and the end-to-end `detect_conflicts` report.
 
 use aapsm_core::{
-    bipartize_with, build_conflict_graph, planarize_graph, BipartizeMethod, GadgetKind, GraphKind,
-    TJoinMethod,
+    bipartize_with, build_conflict_graph, build_conflict_graph_tiled, detect_conflicts,
+    planarize_graph, planarize_graph_par, BipartizeMethod, DetectConfig, GadgetKind, GraphKind,
+    TJoinMethod, TileConfig,
 };
-use aapsm_graph::{EmbeddedGraph, PlanarizeOrder};
+use aapsm_graph::{crossing_pairs, crossing_pairs_par, EmbeddedGraph, PlanarizeOrder};
 use aapsm_layout::synth::{generate, SynthParams};
-use aapsm_layout::{extract_phase_geometry, DesignRules};
+use aapsm_layout::{extract_phase_geometry, extract_phase_geometry_par, DesignRules, Layout};
 use proptest::prelude::*;
 
-/// A planarized phase conflict graph from a seeded synthetic layout.
-fn planarized_pcg() -> impl Strategy<Value = EmbeddedGraph> {
+const DEGREES: [usize; 4] = [0, 2, 4, 8];
+
+/// A random conflict-rich synthetic layout.
+fn synth_layout() -> impl Strategy<Value = Layout> {
     (0u64..1_000_000, 1usize..=3, 10usize..=30).prop_map(|(seed, rows, gates)| {
-        let rules = DesignRules::default();
-        let layout = generate(
+        generate(
             &SynthParams {
                 rows,
                 gates_per_row: gates,
@@ -26,8 +36,15 @@ fn planarized_pcg() -> impl Strategy<Value = EmbeddedGraph> {
                 seed,
                 ..SynthParams::default()
             },
-            &rules,
-        );
+            &DesignRules::default(),
+        )
+    })
+}
+
+/// A planarized phase conflict graph from a seeded synthetic layout.
+fn planarized_pcg() -> impl Strategy<Value = EmbeddedGraph> {
+    synth_layout().prop_map(|layout| {
+        let rules = DesignRules::default();
         let geom = extract_phase_geometry(&layout, &rules);
         let mut cg = build_conflict_graph(&geom, GraphKind::PhaseConflict);
         planarize_graph(&mut cg, PlanarizeOrder::MinWeightFirst);
@@ -67,6 +84,99 @@ proptest! {
                     prop_assert_eq!(serial.weight, par.weight);
                 }
             }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The sharded merge-constraint scan of phase-geometry extraction is
+    /// bit-identical to serial at every parallelism degree.
+    #[test]
+    fn parallel_extraction_matches_serial(layout in synth_layout()) {
+        let rules = DesignRules::default();
+        let serial = extract_phase_geometry(&layout, &rules);
+        for parallelism in DEGREES {
+            let par = extract_phase_geometry_par(&layout, &rules, parallelism);
+            prop_assert_eq!(&par, &serial, "parallelism {}", parallelism);
+        }
+    }
+
+    /// The sharded crossing sweep is bit-identical to serial on both
+    /// conflict-graph reductions, and so is the planarization built on it.
+    #[test]
+    fn parallel_crossing_sweep_matches_serial(layout in synth_layout()) {
+        let rules = DesignRules::default();
+        let geom = extract_phase_geometry(&layout, &rules);
+        for kind in [GraphKind::PhaseConflict, GraphKind::Feature] {
+            let cg = build_conflict_graph(&geom, kind);
+            let serial = crossing_pairs(&cg.graph);
+            for parallelism in DEGREES {
+                prop_assert_eq!(
+                    &crossing_pairs_par(&cg.graph, parallelism),
+                    &serial,
+                    "{:?} parallelism {}",
+                    kind,
+                    parallelism
+                );
+            }
+            let mut serial_cg = cg.clone();
+            let serial_removed = planarize_graph(&mut serial_cg, PlanarizeOrder::MinWeightFirst);
+            for parallelism in DEGREES {
+                let mut par_cg = cg.clone();
+                let par_removed =
+                    planarize_graph_par(&mut par_cg, PlanarizeOrder::MinWeightFirst, parallelism);
+                prop_assert_eq!(&par_removed, &serial_removed);
+                prop_assert_eq!(&par_cg, &serial_cg);
+            }
+        }
+    }
+
+    /// The tile-sharded conflict-graph build stitches to a graph
+    /// bit-identical to the serial builders for every tile count and
+    /// parallelism degree, on both reductions.
+    #[test]
+    fn tiled_build_matches_serial(layout in synth_layout()) {
+        let rules = DesignRules::default();
+        let geom = extract_phase_geometry(&layout, &rules);
+        for kind in [GraphKind::PhaseConflict, GraphKind::Feature] {
+            let serial = build_conflict_graph(&geom, kind);
+            for tiles in [0usize, 1, 3, 6] {
+                for parallelism in DEGREES {
+                    let cfg = TileConfig { tiles, parallelism };
+                    let tiled = build_conflict_graph_tiled(&geom, kind, &cfg);
+                    prop_assert_eq!(
+                        &tiled,
+                        &serial,
+                        "{:?} tiles {} parallelism {}",
+                        kind,
+                        tiles,
+                        parallelism
+                    );
+                }
+            }
+        }
+    }
+
+    /// End to end: the full detection report is identical at every
+    /// parallelism degree (conflicts, sources, weights and counts).
+    #[test]
+    fn parallel_detection_matches_serial(layout in synth_layout()) {
+        let rules = DesignRules::default();
+        let serial_geom = extract_phase_geometry(&layout, &rules);
+        let serial = detect_conflicts(&serial_geom, &DetectConfig::default());
+        for parallelism in DEGREES {
+            let geom = extract_phase_geometry_par(&layout, &rules, parallelism);
+            prop_assert_eq!(&geom, &serial_geom);
+            let report = detect_conflicts(
+                &geom,
+                &DetectConfig {
+                    parallelism,
+                    ..DetectConfig::default()
+                },
+            );
+            prop_assert_eq!(&report.conflicts, &serial.conflicts, "parallelism {}", parallelism);
         }
     }
 }

@@ -1,4 +1,4 @@
-use std::collections::HashMap;
+use crate::fxhash::FxHashMap;
 
 /// A uniform spatial hash over `i64` space.
 ///
@@ -10,6 +10,16 @@ use std::collections::HashMap;
 /// The cell size should be on the order of the query interaction distance
 /// (e.g. the shifter spacing rule, or the typical edge length); queries then
 /// touch O(1) cells per item in well-behaved layouts.
+///
+/// # Streaming pair enumeration
+///
+/// Pair traversal is *streaming*: [`GridIndex::for_each_candidate_pair`]
+/// visits every intersecting pair exactly once without materializing the
+/// pair set, and [`GridIndex::shards`] partitions the occupied cells into
+/// contiguous bands so disjoint slices of the traversal can run on worker
+/// threads ([`GridIndex::par_collect_pairs`]). Exactly-once reporting
+/// needs no dedup set: a pair is *owned* by the single cell containing the
+/// min-corner of its boxes' intersection, and only that cell reports it.
 ///
 /// ```
 /// use aapsm_geom::GridIndex;
@@ -24,9 +34,99 @@ use std::collections::HashMap;
 #[derive(Clone, Debug, Default)]
 pub struct GridIndex {
     cell: i64,
-    cells: HashMap<(i64, i64), Vec<u32>>,
+    cells: FxHashMap<(i64, i64), Vec<u32>>,
     /// Bounding ranges per inserted id, in insertion order.
     boxes: Vec<(i64, i64, i64, i64)>,
+}
+
+/// A partition of a grid's occupied cells into contiguous bands, produced
+/// by [`GridIndex::shards`].
+///
+/// Cells are ordered lexicographically by cell coordinate; a shard is a
+/// contiguous range of that order. Every occupied cell belongs to exactly
+/// one shard, and every candidate pair is owned by exactly one cell, so
+/// the shards induce a disjoint, exhaustive partition of the pair
+/// traversal — the basis of the parallel detection front-end.
+#[derive(Clone, Debug)]
+pub struct GridShards {
+    keys: Vec<(i64, i64)>,
+    /// `count() + 1` offsets into `keys`; shard `s` covers
+    /// `keys[bounds[s]..bounds[s + 1]]`.
+    bounds: Vec<usize>,
+}
+
+impl GridShards {
+    /// Number of shards.
+    pub fn count(&self) -> usize {
+        self.bounds.len() - 1
+    }
+}
+
+/// Resolves a `parallelism` knob: `0` = one worker per available CPU,
+/// otherwise the value itself (at least 1).
+pub fn resolve_workers(parallelism: usize) -> usize {
+    if parallelism == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        parallelism
+    }
+}
+
+/// Maps `f` over `0..count` on at most `workers` scoped threads and
+/// returns the results **in index order** — the shared worker-pool
+/// scaffold of every parallel stage in this workspace.
+///
+/// Indices are handed out through an atomic cursor (self-balancing
+/// without pre-sorting by size); each worker owns one `init()` state for
+/// its whole batch (a solver arena, say) and buffers `(index, result)`
+/// pairs locally, and the buffers are stitched by index afterwards, so
+/// the output is independent of scheduling. `workers <= 1` (or a single
+/// item) runs inline on the calling thread with the same one `init()`.
+///
+/// # Panics
+///
+/// Propagates panics from `f` (workers are joined with `expect`).
+pub fn par_map_indexed<T, S, I, F>(count: usize, workers: usize, init: I, f: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    if workers <= 1 || count <= 1 {
+        let mut state = init();
+        return (0..count).map(|i| f(&mut state, i)).collect();
+    }
+    let cursor = std::sync::atomic::AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
+    let batches: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers.min(count))
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut state = init();
+                    let mut batch = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= count {
+                            break;
+                        }
+                        batch.push((i, f(&mut state, i)));
+                    }
+                    batch
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel map worker panicked"))
+            .collect()
+    });
+    for (i, out) in batches.into_iter().flatten() {
+        slots[i] = Some(out);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index is produced exactly once"))
+        .collect()
 }
 
 impl GridIndex {
@@ -39,7 +139,7 @@ impl GridIndex {
         assert!(cell_size > 0, "cell size must be positive");
         GridIndex {
             cell: cell_size,
-            cells: HashMap::new(),
+            cells: FxHashMap::default(),
             boxes: Vec::new(),
         }
     }
@@ -105,30 +205,122 @@ impl GridIndex {
         out
     }
 
-    /// All unordered pairs `(i, j)` with `i < j` whose bounding ranges
-    /// intersect. Each pair is reported exactly once.
-    pub fn candidate_pairs(&self) -> Vec<(u32, u32)> {
-        let mut pairs = Vec::new();
-        let mut seen: HashMap<u64, ()> = HashMap::new();
-        for ids in self.cells.values() {
+    /// The cell owning the pair `(a, b)`: the one containing the min-corner
+    /// of the intersection of their bounding ranges. Both boxes cover that
+    /// cell, so both ids appear in its list and the owner reports the pair
+    /// exactly once across the whole traversal.
+    fn owner_cell(&self, a: usize, b: usize) -> (i64, i64) {
+        let (ba, bb) = (self.boxes[a], self.boxes[b]);
+        (
+            ba.0.max(bb.0).div_euclid(self.cell),
+            ba.1.max(bb.1).div_euclid(self.cell),
+        )
+    }
+
+    /// Partitions the occupied cells into at most `count` contiguous bands
+    /// of near-equal cell population (lexicographic cell order).
+    pub fn shards(&self, count: usize) -> GridShards {
+        let mut keys: Vec<(i64, i64)> = self.cells.keys().copied().collect();
+        keys.sort_unstable();
+        let count = count.clamp(1, keys.len().max(1));
+        let bounds = (0..=count).map(|s| s * keys.len() / count).collect();
+        GridShards { keys, bounds }
+    }
+
+    /// Streams the candidate pairs owned by shard `shard` of `shards`, in
+    /// deterministic (cell, insertion) order. Each intersecting pair `(i, j)`
+    /// with `i < j` is reported by exactly one shard, exactly once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= shards.count()` or `shards` came from a
+    /// different (or since-mutated) index.
+    pub fn for_each_candidate_pair_in_shard(
+        &self,
+        shards: &GridShards,
+        shard: usize,
+        mut f: impl FnMut(u32, u32),
+    ) {
+        for key in &shards.keys[shards.bounds[shard]..shards.bounds[shard + 1]] {
+            let ids = &self.cells[key];
             for (k, &i) in ids.iter().enumerate() {
                 for &j in &ids[k + 1..] {
                     let (a, b) = if i < j { (i, j) } else { (j, i) };
-                    if a == b {
-                        continue;
-                    }
-                    let key = (a as u64) << 32 | b as u64;
-                    if seen.contains_key(&key) {
-                        continue;
-                    }
-                    if ranges_touch(self.boxes[a as usize], self.boxes[b as usize]) {
-                        seen.insert(key, ());
-                        pairs.push((a, b));
+                    if ranges_touch(self.boxes[a as usize], self.boxes[b as usize])
+                        && self.owner_cell(a as usize, b as usize) == *key
+                    {
+                        f(a, b);
                     }
                 }
             }
         }
+    }
+
+    /// Streams all unordered intersecting pairs `(i, j)` with `i < j`,
+    /// each exactly once, without materializing the pair set.
+    pub fn for_each_candidate_pair(&self, mut f: impl FnMut(u32, u32)) {
+        let shards = self.shards(1);
+        for s in 0..shards.count() {
+            self.for_each_candidate_pair_in_shard(&shards, s, &mut f);
+        }
+    }
+
+    /// All unordered pairs `(i, j)` with `i < j` whose bounding ranges
+    /// intersect. Each pair is reported exactly once.
+    ///
+    /// Materializing convenience over [`GridIndex::for_each_candidate_pair`];
+    /// hot paths should prefer the streaming or sharded traversal.
+    pub fn candidate_pairs(&self) -> Vec<(u32, u32)> {
+        let mut pairs = Vec::new();
+        self.for_each_candidate_pair(|a, b| pairs.push((a, b)));
         pairs
+    }
+
+    /// Sharded parallel pair traversal: applies `map` to every candidate
+    /// pair and collects the `Some` results **in shard order**, so the
+    /// output is bit-identical for every `parallelism` degree (`0` = one
+    /// worker per CPU, `1` = run on the calling thread, `k` = at most `k`
+    /// workers).
+    ///
+    /// Shards are handed to workers through an atomic cursor
+    /// (self-balancing); each worker buffers its `(shard, results)` pairs
+    /// locally and the buffers are stitched by shard index afterwards.
+    pub fn par_collect_pairs<T, F>(&self, parallelism: usize, map: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(u32, u32) -> Option<T> + Sync,
+    {
+        /// Minimum indexed items before auto parallelism spawns threads:
+        /// below this the whole sweep takes well under a millisecond and
+        /// thread spawn/join overhead dominates. Applies only to
+        /// `parallelism = 0` — an explicit degree is honored — and is
+        /// purely a scheduling decision: results are bit-identical.
+        const SERIAL_FALLBACK_ITEMS: usize = 2048;
+        let workers = resolve_workers(parallelism);
+        if workers <= 1
+            || self.cells.len() <= 1
+            || (parallelism == 0 && self.len() < SERIAL_FALLBACK_ITEMS)
+        {
+            let mut out = Vec::new();
+            self.for_each_candidate_pair(|a, b| out.extend(map(a, b)));
+            return out;
+        }
+        // Over-shard relative to the worker count so one dense band cannot
+        // serialize the traversal; merge in shard order.
+        let shards = self.shards(workers * 4);
+        par_map_indexed(
+            shards.count(),
+            workers,
+            || (),
+            |(), s| {
+                let mut out = Vec::new();
+                self.for_each_candidate_pair_in_shard(&shards, s, |a, b| out.extend(map(a, b)));
+                out
+            },
+        )
+        .into_iter()
+        .flatten()
+        .collect()
     }
 }
 
@@ -152,20 +344,24 @@ mod tests {
         out
     }
 
+    fn random_boxes(seed: u64, n: usize) -> Vec<(i64, i64, i64, i64)> {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let x = rng.gen_range(-1000..1000);
+                let y = rng.gen_range(-1000..1000);
+                let w = rng.gen_range(1..300);
+                let h = rng.gen_range(1..300);
+                (x, y, x + w, y + h)
+            })
+            .collect()
+    }
+
     #[test]
     fn pairs_match_brute_force() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-        for _ in 0..20 {
-            let boxes: Vec<_> = (0..60)
-                .map(|_| {
-                    let x = rng.gen_range(-1000..1000);
-                    let y = rng.gen_range(-1000..1000);
-                    let w = rng.gen_range(1..300);
-                    let h = rng.gen_range(1..300);
-                    (x, y, x + w, y + h)
-                })
-                .collect();
+        for seed in 0..20 {
+            let boxes = random_boxes(seed, 60);
             let mut grid = GridIndex::new(128);
             for (i, b) in boxes.iter().enumerate() {
                 grid.insert(i as u32, *b);
@@ -176,6 +372,70 @@ mod tests {
             want.sort_unstable();
             assert_eq!(got, want);
         }
+    }
+
+    #[test]
+    fn streaming_reports_each_pair_exactly_once() {
+        for seed in [3u64, 17, 40] {
+            let boxes = random_boxes(seed, 80);
+            let mut grid = GridIndex::new(100);
+            for (i, b) in boxes.iter().enumerate() {
+                grid.insert(i as u32, *b);
+            }
+            let mut counts: std::collections::HashMap<(u32, u32), usize> =
+                std::collections::HashMap::new();
+            grid.for_each_candidate_pair(|a, b| {
+                assert!(a < b);
+                *counts.entry((a, b)).or_default() += 1;
+            });
+            assert!(counts.values().all(|&c| c == 1), "seed {seed}");
+            let mut got: Vec<_> = counts.into_keys().collect();
+            got.sort_unstable();
+            let mut want = brute_pairs(&boxes);
+            want.sort_unstable();
+            assert_eq!(got, want, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn shards_partition_the_traversal() {
+        let boxes = random_boxes(11, 120);
+        let mut grid = GridIndex::new(96);
+        for (i, b) in boxes.iter().enumerate() {
+            grid.insert(i as u32, *b);
+        }
+        let serial = grid.candidate_pairs();
+        for count in [1, 2, 3, 5, 8, 1000] {
+            let shards = grid.shards(count);
+            assert!(shards.count() >= 1);
+            let mut sharded = Vec::new();
+            for s in 0..shards.count() {
+                grid.for_each_candidate_pair_in_shard(&shards, s, |a, b| sharded.push((a, b)));
+            }
+            // Shard-order concatenation equals the serial streaming order.
+            assert_eq!(sharded, serial, "shard count {count}");
+        }
+    }
+
+    #[test]
+    fn par_collect_is_bit_identical_to_serial() {
+        let boxes = random_boxes(29, 150);
+        let mut grid = GridIndex::new(128);
+        for (i, b) in boxes.iter().enumerate() {
+            grid.insert(i as u32, *b);
+        }
+        let serial = grid.par_collect_pairs(1, |a, b| Some((a, b)));
+        assert_eq!(serial, grid.candidate_pairs());
+        for parallelism in [0usize, 2, 4, 8] {
+            let par = grid.par_collect_pairs(parallelism, |a, b| Some((a, b)));
+            assert_eq!(par, serial, "parallelism {parallelism}");
+        }
+        // Filtering maps stay deterministic too.
+        let odd = |a: u32, b: u32| ((a + b) % 2 == 1).then_some((a, b));
+        assert_eq!(
+            grid.par_collect_pairs(4, odd),
+            grid.par_collect_pairs(1, odd)
+        );
     }
 
     #[test]

@@ -31,13 +31,15 @@
 //! assert!(s.crosses(&t)); // proper interior crossing
 //! ```
 
+pub mod fxhash;
 mod grid;
 mod interval;
 mod point;
 mod rect;
 mod segment;
 
-pub use grid::GridIndex;
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
+pub use grid::{par_map_indexed, resolve_workers, GridIndex, GridShards};
 pub use interval::Interval;
 pub use point::{Orientation, Point};
 pub use rect::{Axis, Rect};

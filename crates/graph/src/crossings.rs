@@ -2,11 +2,33 @@ use crate::{EdgeId, EmbeddedGraph};
 use aapsm_geom::GridIndex;
 
 /// The set of crossing edge pairs of a straight-line drawing.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct CrossingSet {
     /// Unordered crossing pairs, each reported once with the smaller edge
     /// id first.
     pub pairs: Vec<(EdgeId, EdgeId)>,
+}
+
+/// Crossing adjacency in CSR (offsets + data) form: one flat `data` array
+/// of partners with a per-edge offset table, instead of one heap `Vec` per
+/// edge. Built once per planarization and read on its hot removal loop.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CrossingAdjacency {
+    offsets: Vec<u32>,
+    data: Vec<EdgeId>,
+}
+
+impl CrossingAdjacency {
+    /// The edges crossing `e`.
+    pub fn neighbors(&self, e: EdgeId) -> &[EdgeId] {
+        let (lo, hi) = (self.offsets[e.index()], self.offsets[e.index() + 1]);
+        &self.data[lo as usize..hi as usize]
+    }
+
+    /// Number of edges the table covers.
+    pub fn edge_count(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
 }
 
 impl CrossingSet {
@@ -25,14 +47,26 @@ impl CrossingSet {
         counts
     }
 
-    /// Adjacency: for each edge, the edges it crosses.
-    pub fn partners(&self, edge_count: usize) -> Vec<Vec<EdgeId>> {
-        let mut adj = vec![Vec::new(); edge_count];
+    /// Adjacency: for each edge, the edges it crosses, as a flat CSR table
+    /// (two counting passes, no per-edge heap allocation).
+    pub fn partners(&self, edge_count: usize) -> CrossingAdjacency {
+        let mut offsets = vec![0u32; edge_count + 1];
         for &(a, b) in &self.pairs {
-            adj[a.index()].push(b);
-            adj[b.index()].push(a);
+            offsets[a.index() + 1] += 1;
+            offsets[b.index() + 1] += 1;
         }
-        adj
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+        let mut cursor = offsets.clone();
+        let mut data = vec![EdgeId(0); self.pairs.len() * 2];
+        for &(a, b) in &self.pairs {
+            data[cursor[a.index()] as usize] = b;
+            cursor[a.index()] += 1;
+            data[cursor[b.index()] as usize] = a;
+            cursor[b.index()] += 1;
+        }
+        CrossingAdjacency { offsets, data }
     }
 }
 
@@ -45,6 +79,17 @@ impl CrossingSet {
 /// collinear containments *do*, so that the planarized drawing is a proper
 /// plane graph with a well-defined rotation system.
 pub fn crossing_pairs(g: &EmbeddedGraph) -> CrossingSet {
+    crossing_pairs_par(g, 1)
+}
+
+/// [`crossing_pairs`] with an explicit parallelism degree (`0` = one
+/// worker per CPU, `1` = serial, `k` = at most `k` workers).
+///
+/// The sweep shards the spatial grid's occupied cells into contiguous
+/// bands ([`GridIndex::par_collect_pairs`]); workers test segment pairs in
+/// disjoint bands and per-band buffers are merged in band order, so the
+/// result is **bit-identical to serial** at every degree.
+pub fn crossing_pairs_par(g: &EmbeddedGraph, parallelism: usize) -> CrossingSet {
     let mut extents: Vec<i64> = g
         .alive_edges()
         .map(|e| {
@@ -58,7 +103,7 @@ pub fn crossing_pairs(g: &EmbeddedGraph) -> CrossingSet {
     let mid = extents.len() / 2;
     extents.select_nth_unstable(mid);
     let cell = extents[mid].max(16);
-    crossing_pairs_with_cell(g, cell)
+    crossing_pairs_with_cell_par(g, cell, parallelism)
 }
 
 /// Finds all crossing pairs among alive edges with an explicit grid cell
@@ -68,14 +113,27 @@ pub fn crossing_pairs(g: &EmbeddedGraph) -> CrossingSet {
 ///
 /// Panics if `cell <= 0`.
 pub fn crossing_pairs_with_cell(g: &EmbeddedGraph, cell: i64) -> CrossingSet {
+    crossing_pairs_with_cell_par(g, cell, 1)
+}
+
+/// [`crossing_pairs_with_cell`] with an explicit parallelism degree; see
+/// [`crossing_pairs_par`] for the sharding and determinism contract.
+///
+/// # Panics
+///
+/// Panics if `cell <= 0`.
+pub fn crossing_pairs_with_cell_par(
+    g: &EmbeddedGraph,
+    cell: i64,
+    parallelism: usize,
+) -> CrossingSet {
     let alive: Vec<EdgeId> = g.alive_edges().collect();
     let mut grid = GridIndex::new(cell);
     for (i, &e) in alive.iter().enumerate() {
         let (x_lo, y_lo, x_hi, y_hi) = g.segment(e).bbox_ranges();
         grid.insert(i as u32, (x_lo, y_lo, x_hi, y_hi));
     }
-    let mut pairs = Vec::new();
-    for (ia, ib) in grid.candidate_pairs() {
+    let mut pairs = grid.par_collect_pairs(parallelism, |ia, ib| {
         let (ea, eb) = (alive[ia as usize], alive[ib as usize]);
         // Edges sharing a graph node share that segment endpoint, which
         // [`Segment::crosses`] already discounts; edges that *additionally*
@@ -87,11 +145,14 @@ pub fn crossing_pairs_with_cell(g: &EmbeddedGraph, cell: i64) -> CrossingSet {
             } else {
                 (eb, ea)
             };
-            pairs.push((lo, hi));
+            Some((lo, hi))
+        } else {
+            None
         }
-    }
+    });
+    // The grid streams each candidate pair exactly once, so no dedup is
+    // needed; sort for the canonical edge-id order the callers rely on.
     pairs.sort_unstable();
-    pairs.dedup();
     CrossingSet { pairs }
 }
 
@@ -176,6 +237,59 @@ mod tests {
             }
             brute.sort_unstable();
             assert_eq!(fast, brute);
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_is_bit_identical() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        for _ in 0..10 {
+            let n = rng.gen_range(6..30);
+            let mut g = EmbeddedGraph::new();
+            let nodes: Vec<_> = (0..n)
+                .map(|_| g.add_node(p(rng.gen_range(-600..600), rng.gen_range(-600..600))))
+                .collect();
+            g.nudge_duplicate_positions();
+            for _ in 0..rng.gen_range(5..50) {
+                let u = rng.gen_range(0..n);
+                let v = rng.gen_range(0..n);
+                if u != v {
+                    g.add_edge(nodes[u], nodes[v], 1);
+                }
+            }
+            let serial = crossing_pairs(&g);
+            for parallelism in [0usize, 2, 4, 8] {
+                assert_eq!(crossing_pairs_par(&g, parallelism), serial);
+            }
+        }
+    }
+
+    #[test]
+    fn csr_partners_match_pairs() {
+        let mut g = EmbeddedGraph::new();
+        let a = g.add_node(p(0, 0));
+        let b = g.add_node(p(100, 100));
+        let c = g.add_node(p(0, 100));
+        let d = g.add_node(p(100, 0));
+        let e1 = g.add_edge(a, b, 1);
+        let e2 = g.add_edge(c, d, 1);
+        let mid_l = g.add_node(p(-50, 50));
+        let mid_r = g.add_node(p(150, 50));
+        let e3 = g.add_edge(mid_l, mid_r, 1); // horizontal through both
+        let cs = crossing_pairs(&g);
+        let adj = cs.partners(g.edge_count());
+        assert_eq!(adj.edge_count(), 3);
+        let mut n1: Vec<_> = adj.neighbors(e1).to_vec();
+        n1.sort_unstable();
+        assert_eq!(n1, vec![e2, e3]);
+        let mut n3: Vec<_> = adj.neighbors(e3).to_vec();
+        n3.sort_unstable();
+        assert_eq!(n3, vec![e1, e2]);
+        // Degree bookkeeping agrees with counts().
+        let counts = cs.counts(g.edge_count());
+        for e in [e1, e2, e3] {
+            assert_eq!(adj.neighbors(e).len(), counts[e.index()] as usize);
         }
     }
 

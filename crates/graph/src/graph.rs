@@ -35,7 +35,7 @@ impl fmt::Display for EdgeId {
     }
 }
 
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 struct Edge {
     u: NodeId,
     v: NodeId,
@@ -52,7 +52,7 @@ struct Edge {
 ///
 /// Self-loops are rejected; parallel edges are allowed (they arise naturally
 /// when a shifter pair is constrained both by flanking and by overlap).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct EmbeddedGraph {
     positions: Vec<Point>,
     edges: Vec<Edge>,
@@ -63,6 +63,14 @@ impl EmbeddedGraph {
     /// Creates an empty graph.
     pub fn new() -> Self {
         EmbeddedGraph::default()
+    }
+
+    /// Pre-allocates for `nodes` additional nodes and `edges` additional
+    /// edges (the conflict-graph builders know both counts up front).
+    pub fn reserve(&mut self, nodes: usize, edges: usize) {
+        self.positions.reserve(nodes);
+        self.adj.reserve(nodes);
+        self.edges.reserve(edges);
     }
 
     /// Adds a node at `pos` and returns its id.
@@ -213,8 +221,11 @@ impl EmbeddedGraph {
     /// and does not meaningfully change which edges cross. Returns how many
     /// nodes were moved.
     pub fn nudge_duplicate_positions(&mut self) -> usize {
-        use std::collections::HashSet;
-        let mut seen: HashSet<Point> = HashSet::with_capacity(self.positions.len());
+        let mut seen: aapsm_geom::FxHashSet<Point> =
+            aapsm_geom::FxHashSet::with_capacity_and_hasher(
+                self.positions.len(),
+                aapsm_geom::FxBuildHasher::default(),
+            );
         let spiral: [(i64, i64); 8] = [
             (1, 0),
             (0, 1),

@@ -42,10 +42,33 @@ impl PlanarizeResult {
 /// paper's flow; the removed set is the *potential conflict set P*, which
 /// Step 3 later re-examines against the bipartization coloring.
 pub fn planarize(g: &mut EmbeddedGraph, order: PlanarizeOrder) -> PlanarizeResult {
-    let crossings = crossing_pairs(g);
+    planarize_par(g, order, 1)
+}
+
+/// [`planarize`] with an explicit parallelism degree for the initial
+/// crossing sweep (`0` = one worker per CPU, `1` = serial). The greedy
+/// removal loop itself is inherently sequential; results are bit-identical
+/// at every degree because the sweep is ([`crate::crossing_pairs_par`]).
+pub fn planarize_par(
+    g: &mut EmbeddedGraph,
+    order: PlanarizeOrder,
+    parallelism: usize,
+) -> PlanarizeResult {
+    let crossings = crate::crossing_pairs_par(g, parallelism);
+    planarize_with_crossings(g, order, &crossings)
+}
+
+/// [`planarize`] over a precomputed crossing set of the *current* alive
+/// subgraph — callers that already ran the sweep (e.g. for statistics)
+/// avoid paying it twice.
+pub fn planarize_with_crossings(
+    g: &mut EmbeddedGraph,
+    order: PlanarizeOrder,
+    crossings: &crate::CrossingSet,
+) -> PlanarizeResult {
     let initial = crossings.pairs.len();
     let edge_count = g.edge_count();
-    let mut partners = crossings.partners(edge_count);
+    let partners = crossings.partners(edge_count);
     let mut count = crossings.counts(edge_count);
 
     // Priority value per policy; lower = removed earlier. Recomputed lazily.
@@ -89,8 +112,9 @@ pub fn planarize(g: &mut EmbeddedGraph, order: PlanarizeOrder) -> PlanarizeResul
         g.kill_edge(e);
         removed.push(e);
         count[e.index()] = 0;
-        let ps = std::mem::take(&mut partners[e.index()]);
-        for p in ps {
+        // Each edge is killed at most once, so every CSR row is walked at
+        // most once from here.
+        for &p in partners.neighbors(e) {
             if g.is_alive(p) && count[p.index()] > 0 {
                 count[p.index()] -= 1;
             }

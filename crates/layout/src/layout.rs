@@ -101,7 +101,8 @@ impl Layout {
             );
         }
         let mut out = Vec::new();
-        for (a, b) in grid.candidate_pairs() {
+        // Streaming traversal: the candidate set is never materialized.
+        grid.for_each_candidate_pair(|a, b| {
             let (ra, rb) = (self.rects[a as usize], self.rects[b as usize]);
             if ra.overlaps(&rb) {
                 out.push(LayoutViolation::Overlap {
@@ -119,7 +120,7 @@ impl Layout {
                     });
                 }
             }
-        }
+        });
         out
     }
 }

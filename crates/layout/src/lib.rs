@@ -41,8 +41,8 @@ pub use assign::{check_assignable, AssignabilityWitness, PhaseAssignment};
 pub use io::{parse_layout, write_layout, ParseLayoutError};
 pub use layout::{Layout, LayoutStats, LayoutViolation};
 pub use phase_geom::{
-    extract_phase_geometry, DirectConflict, Feature, FeatureOrientation, OverlapPair,
-    PhaseGeometry, Shifter, Side,
+    extract_phase_geometry, extract_phase_geometry_par, DirectConflict, Feature,
+    FeatureOrientation, OverlapPair, PhaseGeometry, Shifter, Side,
 };
 pub use rules::DesignRules;
 pub use transform::{apply_cuts, SpaceCut};

@@ -99,7 +99,7 @@ pub struct DirectConflict {
 
 /// The complete phase geometry extracted from a layout: features,
 /// shifters, and merge (overlap) constraints.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct PhaseGeometry {
     /// All features, in layout rectangle order.
     pub features: Vec<Feature>,
@@ -128,6 +128,30 @@ impl PhaseGeometry {
 /// preserving the paper's conflict classes (shared shifters at line
 /// crossings, line-end jogs, short middle lines).
 pub fn extract_phase_geometry(layout: &Layout, rules: &DesignRules) -> PhaseGeometry {
+    extract_phase_geometry_par(layout, rules, 1)
+}
+
+/// One hit of the merge-constraint scan, tagged by kind so the sharded
+/// traversal can stream both outputs through one buffer.
+enum ScanHit {
+    Overlap(OverlapPair),
+    Direct(DirectConflict),
+}
+
+/// [`extract_phase_geometry`] with an explicit parallelism degree (`0` =
+/// one worker per CPU, `1` = serial, `k` = at most `k` workers).
+///
+/// Feature classification and shifter generation are a cheap sequential
+/// pass; the shifter/feature merge-constraint scan — the extraction hot
+/// path on full-chip inputs — runs over contiguous spatial-grid bands on
+/// worker threads ([`aapsm_geom::GridIndex::par_collect_pairs`]), with
+/// per-band buffers merged in band order. The result is **bit-identical
+/// to serial** at every parallelism degree.
+pub fn extract_phase_geometry_par(
+    layout: &Layout,
+    rules: &DesignRules,
+    parallelism: usize,
+) -> PhaseGeometry {
     let mut geom = PhaseGeometry::default();
 
     // ---- Features and shifters. ----
@@ -209,35 +233,43 @@ pub fn extract_phase_geometry(layout: &Layout, rules: &DesignRules) -> PhaseGeom
         );
     }
 
-    // ---- Merge constraints. ----
+    // ---- Merge constraints (sharded parallel scan). ----
     let spacing_sq = (rules.shifter_spacing as i128) * (rules.shifter_spacing as i128);
-    for (ia, ib) in shifter_grid.candidate_pairs() {
+    let shifters = &geom.shifters;
+    let features = &geom.features;
+    let hits = shifter_grid.par_collect_pairs(parallelism, |ia, ib| {
         let (a, b) = (ia as usize, ib as usize);
-        let (sa, sb) = (geom.shifters[a], geom.shifters[b]);
+        let (sa, sb) = (shifters[a], shifters[b]);
         let gap_sq = sa.rect.euclid_gap_sq(&sb.rect);
         if gap_sq >= spacing_sq {
-            continue;
+            return None;
         }
-        if corridor_blocked(&geom, &feature_grid, rules, &sa, &sb) {
-            continue;
+        if corridor_blocked(features, &feature_grid, rules, &sa, &sb) {
+            return None;
         }
         let gap_x = sa.rect.x_gap(&sb.rect);
         let gap_y = sa.rect.y_gap(&sb.rect);
         let weight = (rules.shifter_spacing - gap_x.max(gap_y)).max(1);
-        if sa.feature == sb.feature {
-            geom.direct_conflicts.push(DirectConflict {
+        Some(if sa.feature == sb.feature {
+            ScanHit::Direct(DirectConflict {
                 feature: sa.feature,
                 weight,
-            });
+            })
         } else {
             let (a, b) = if a < b { (a, b) } else { (b, a) };
-            geom.overlaps.push(OverlapPair {
+            ScanHit::Overlap(OverlapPair {
                 a,
                 b,
                 gap_x,
                 gap_y,
                 weight,
-            });
+            })
+        })
+    });
+    for hit in hits {
+        match hit {
+            ScanHit::Overlap(o) => geom.overlaps.push(o),
+            ScanHit::Direct(d) => geom.direct_conflicts.push(d),
         }
     }
     geom.overlaps.sort_by_key(|o| (o.a, o.b));
@@ -264,7 +296,7 @@ pub fn extract_phase_geometry(layout: &Layout, rules: &DesignRules) -> PhaseGeom
 /// * diagonal / corner interactions (no meaningful perpendicular overlap)
 ///   are never blocked.
 fn corridor_blocked(
-    geom: &PhaseGeometry,
+    features: &[Feature],
     feature_grid: &GridIndex,
     rules: &DesignRules,
     sa: &Shifter,
@@ -323,9 +355,9 @@ fn corridor_blocked(
             corridor.y_hi(),
         ))
         .into_iter()
-        .filter(|&fi| geom.features[fi as usize].rect.overlaps(&corridor))
+        .filter(|&fi| features[fi as usize].rect.overlaps(&corridor))
         .map(|fi| {
-            let span = geom.features[fi as usize].rect.span(axis.perp());
+            let span = features[fi as usize].rect.span(axis.perp());
             (span.lo().max(perp.lo()), span.hi().min(perp.hi()))
         })
         .collect();
@@ -479,6 +511,30 @@ mod tests {
         // gap_y is negative too (same y span): weight = 280 - max(-160, gap_y).
         assert!(o.weight > 280);
         assert!(!o.correctable_by_vertical_space());
+    }
+
+    #[test]
+    fn parallel_extraction_is_bit_identical() {
+        let r = rules();
+        let l = crate::synth::generate(
+            &crate::synth::SynthParams {
+                rows: 2,
+                gates_per_row: 40,
+                strap_frac: 0.6,
+                jog_frac: 0.08,
+                short_mid_frac: 0.06,
+                ..Default::default()
+            },
+            &r,
+        );
+        let serial = extract_phase_geometry(&l, &r);
+        for parallelism in [0usize, 2, 4, 8] {
+            assert_eq!(
+                extract_phase_geometry_par(&l, &r, parallelism),
+                serial,
+                "parallelism {parallelism}"
+            );
+        }
     }
 
     #[test]

@@ -192,10 +192,11 @@ pub fn standard_suite() -> Vec<BenchDesign> {
 }
 
 /// The parallel-scaling suite: the same conflict-rich row recipe at 1×,
-/// 4× and 16× row counts. Rows are independent conflict blocks, so these
-/// designs scale the number of independent dual T-join instances — the
-/// axis the parallel bipartization (`DetectConfig::parallelism`) and the
-/// `bench_json` harness measure.
+/// 4×, 16× and 64× row counts. Rows are independent conflict blocks, so
+/// these designs scale the number of independent dual T-join instances
+/// and the spatial extent the sharded front-end (crossing sweep,
+/// merge-constraint scan, tile-sharded graph build) decomposes — the axes
+/// `DetectConfig::parallelism` and the `bench_json` harness measure.
 pub fn scaling_suite() -> Vec<BenchDesign> {
     let mk = |name, rows| BenchDesign {
         name,
@@ -209,7 +210,12 @@ pub fn scaling_suite() -> Vec<BenchDesign> {
             ..SynthParams::default()
         },
     };
-    vec![mk("rows_x1", 4), mk("rows_x4", 16), mk("rows_x16", 64)]
+    vec![
+        mk("rows_x1", 4),
+        mk("rows_x4", 16),
+        mk("rows_x16", 64),
+        mk("rows_x64", 256),
+    ]
 }
 
 /// The Table 2 layout-modification suite: smaller designs with a healthy
