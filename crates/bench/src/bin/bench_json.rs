@@ -18,11 +18,12 @@
 
 use aapsm_core::{
     bipartize_with, build_conflict_graph, build_conflict_graph_par, build_conflict_graph_tiled,
-    planarize_graph_par, BipartizeMethod, GraphKind, TJoinMethod, TileConfig,
+    detect_conflicts, plan_correction, planarize_graph_par, BipartizeMethod, CorrectionOptions,
+    DetectConfig, GraphKind, RedetectEngine, TJoinMethod, TileConfig,
 };
 use aapsm_core::{ConflictGraph, PlanarizeOrder};
 use aapsm_layout::synth::scaling_suite;
-use aapsm_layout::{extract_phase_geometry, extract_phase_geometry_par, DesignRules};
+use aapsm_layout::{apply_cuts, extract_phase_geometry, extract_phase_geometry_par, DesignRules};
 use std::time::Instant;
 
 /// Fastest of `reps` runs, in seconds (min damps scheduler noise better
@@ -167,6 +168,77 @@ fn main() {
             design.name
         );
 
+        // ---- Stage 5: incremental re-detect of the correction loop.
+        // Two rounds are measured against a from-scratch extract+detect
+        // of the corrected layout, both asserted identical first:
+        // `local` corrects one conflict (the ECO / near-convergence
+        // shape the engine exists for), `full` corrects every conflict
+        // at once (whole-chip cuts — the engine's adaptive fallback must
+        // keep it at rough parity with scratch). ----
+        let detect_cfg = DetectConfig {
+            parallelism: 0,
+            ..DetectConfig::default()
+        };
+        let mut engine = RedetectEngine::new(rules, detect_cfg);
+        let round0 = engine.detect_full(&layout);
+        assert!(
+            round0.conflict_count() > 0,
+            "{}: scaling designs are expected to need correction",
+            design.name
+        );
+        let measure_redetect = |conflict_count: usize, label: &str| {
+            let plan = plan_correction(
+                engine.geometry().expect("detected"),
+                &round0.conflicts[..conflict_count],
+                &rules,
+                &CorrectionOptions::default(),
+            );
+            assert!(
+                !plan.cuts.is_empty(),
+                "{}: {label} plan is empty",
+                design.name
+            );
+            let modified = apply_cuts(&layout, &plan.cuts);
+            let (scratch_s, scratch) = time_best(reps, || {
+                let geom = extract_phase_geometry_par(&modified, &rules, 0);
+                let report = detect_conflicts(&geom, &detect_cfg);
+                (geom, report)
+            });
+            // Each rep replays from a clone of the post-round-0 state
+            // (the clone cost stays out of the measurement).
+            let mut engines: Vec<RedetectEngine> = (0..reps).map(|_| engine.clone()).collect();
+            let mut incremental_s = f64::INFINITY;
+            let mut report = None;
+            for e in &mut engines {
+                let t = Instant::now();
+                let r = e.redetect_after_correction(&modified, &plan.cuts);
+                incremental_s = incremental_s.min(t.elapsed().as_secs_f64());
+                report = Some(r);
+            }
+            let report = report.expect("reps >= 1");
+            let last = engines.last().expect("reps >= 1");
+            assert_eq!(
+                last.geometry(),
+                Some(&scratch.0),
+                "{}: {label} incremental re-extraction diverged from scratch",
+                design.name
+            );
+            assert_eq!(
+                report.conflicts, scratch.1.conflicts,
+                "{}: {label} incremental re-detect diverged from scratch",
+                design.name
+            );
+            assert_eq!(report.stats.crossings, scratch.1.stats.crossings);
+            assert_eq!(
+                report.stats.planarize_removed,
+                scratch.1.stats.planarize_removed
+            );
+            (scratch_s, incremental_s, *last.last_stats())
+        };
+        let (local_scratch_s, local_incremental_s, local_stats) = measure_redetect(1, "local");
+        let (full_scratch_s, full_incremental_s, _) =
+            measure_redetect(round0.conflict_count(), "full");
+
         let stages = [
             Stage::from_secs("extract", extract_serial_s, extract_parallel_s),
             Stage::from_secs("build", build_serial_s, build_parallel_s),
@@ -175,7 +247,32 @@ fn main() {
         ];
         let total_serial_ms: f64 = stages.iter().map(|s| s.serial_ms).sum();
         let total_parallel_ms: f64 = stages.iter().map(|s| s.parallel_ms).sum();
-        let stage_json: Vec<String> = stages.iter().map(|s| s.json()).collect();
+        let mut stage_json: Vec<String> = stages.iter().map(|s| s.json()).collect();
+        stage_json.push(format!(
+            concat!(
+                "\"incremental_redetect\": {{",
+                "\"local_scratch_ms\": {:.3}, \"local_incremental_ms\": {:.3}, ",
+                "\"local_speedup\": {:.3}, ",
+                "\"full_scratch_ms\": {:.3}, \"full_incremental_ms\": {:.3}, ",
+                "\"full_speedup\": {:.3}, ",
+                "\"overlaps_reused\": {}, \"pairs_rescanned\": {}, ",
+                "\"tiles_reused\": {}, \"tiles_rebuilt\": {}, ",
+                "\"solve_hits\": {}, \"solve_misses\": {}, ",
+                "\"identical\": true}}"
+            ),
+            local_scratch_s * 1e3,
+            local_incremental_s * 1e3,
+            local_scratch_s / local_incremental_s.max(1e-12),
+            full_scratch_s * 1e3,
+            full_incremental_s * 1e3,
+            full_scratch_s / full_incremental_s.max(1e-12),
+            local_stats.reused_overlaps,
+            local_stats.rescanned_pairs,
+            local_stats.tiles_reused,
+            local_stats.tiles_rebuilt,
+            local_stats.solve_hits,
+            local_stats.solve_misses,
+        ));
         pipeline_rows.push(format!(
             concat!(
                 "    {{\"design\": \"{}\", \"rows\": {}, \"polygons\": {}, ",
@@ -225,6 +322,15 @@ fn main() {
             bipartize_serial_s * 1e3,
             bipartize_parallel_s * 1e3,
             workers
+        );
+        eprintln!(
+            "  redetect: local {:.2}/{:.2} ms ({:.2}x), full round {:.2}/{:.2} ms ({:.2}x) (scratch/incremental)",
+            local_scratch_s * 1e3,
+            local_incremental_s * 1e3,
+            local_scratch_s / local_incremental_s.max(1e-12),
+            full_scratch_s * 1e3,
+            full_incremental_s * 1e3,
+            full_scratch_s / full_incremental_s.max(1e-12),
         );
     }
 

@@ -129,6 +129,181 @@ struct DualTJoin {
     primal_of_edge: Vec<EdgeId>,
 }
 
+/// Memoization key of a dual T-join instance: its full canonical bytes
+/// (T-set plus dense edge list with weights). Collisions are impossible —
+/// equal keys *are* equal instances — so a hit may reuse the cached
+/// solution unconditionally: the solvers are deterministic functions of
+/// the instance (property-tested parallel == serial), independent of the
+/// worker arena they run in.
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct InstanceKey {
+    t: Vec<bool>,
+    edges: Vec<(usize, usize, i64)>,
+}
+
+impl InstanceKey {
+    fn of(inst: &TJoinInstance) -> InstanceKey {
+        InstanceKey {
+            t: inst.t_set().to_vec(),
+            edges: inst.edges().to_vec(),
+        }
+    }
+}
+
+#[derive(Clone)]
+struct CachedJoin {
+    /// Local instance edge indices of the minimum T-join.
+    edges: Vec<usize>,
+    /// Generation of the last solve/hit (for eviction).
+    last_used: u64,
+}
+
+/// A cross-round memo of dual T-join solutions, keyed by exact instance
+/// bytes.
+///
+/// In a detect→correct→re-detect loop, most connected components are
+/// untouched by a correction round: their extracted instances — dense
+/// local renumbering, weights, T-set — are byte-identical to the previous
+/// round's (the flank weight is bucketed to a power of two in
+/// `flank_weight_for` precisely so a few removed overlaps elsewhere do
+/// not reweight every flank edge). Solving is the dominant pipeline cost,
+/// so replaying those solutions is the back-end half of the incremental
+/// re-detect. Entries idle for [`SolveCache::MAX_IDLE_GENERATIONS`]
+/// rounds are evicted.
+///
+/// A cache must only ever be used with **one** [`TJoinMethod`]/`blocks`
+/// configuration: different solvers may return different (equally
+/// optimal) joins, and mixing them would break bit-identity with the
+/// uncached path. [`crate::RedetectEngine`] owns one cache per fixed
+/// configuration, which enforces this.
+#[derive(Clone, Default)]
+pub struct SolveCache {
+    map: std::collections::HashMap<InstanceKey, CachedJoin>,
+    generation: u64,
+    /// Instances answered from the cache in the last call.
+    pub hits: usize,
+    /// Instances solved fresh in the last call.
+    pub misses: usize,
+}
+
+impl SolveCache {
+    /// Rounds an entry may go unused before eviction. One round of slack
+    /// lets a component blink out of the conflict set (a cut can erase
+    /// it) and come back unchanged.
+    const MAX_IDLE_GENERATIONS: u64 = 2;
+
+    /// Creates an empty cache.
+    pub fn new() -> SolveCache {
+        SolveCache::default()
+    }
+
+    /// Number of retained solutions.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache holds no solutions.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+impl std::fmt::Debug for SolveCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SolveCache")
+            .field("entries", &self.map.len())
+            .field("generation", &self.generation)
+            .field("hits", &self.hits)
+            .field("misses", &self.misses)
+            .finish()
+    }
+}
+
+/// [`bipartize_with`] for the optimal-dual method, memoizing per-instance
+/// solutions in `cache`. Bit-identical to the uncached path (see
+/// [`SolveCache`]); hit/miss counts are left in the cache's public
+/// counters.
+pub fn bipartize_with_cache(
+    g: &EmbeddedGraph,
+    tjoin: TJoinMethod,
+    blocks: bool,
+    parallelism: usize,
+    cache: &mut SolveCache,
+) -> BipartizeOutcome {
+    let instances = if blocks {
+        extract_block_instances(g)
+    } else {
+        extract_component_instances(g)
+    };
+    cache.generation += 1;
+    cache.hits = 0;
+    cache.misses = 0;
+
+    // Split into cached and to-solve instances.
+    let mut deleted_per_instance: Vec<Option<Vec<EdgeId>>> = vec![None; instances.len()];
+    let mut unsolved: Vec<usize> = Vec::new();
+    let mut keys: Vec<Option<InstanceKey>> = vec![None; instances.len()];
+    for (i, dt) in instances.iter().enumerate() {
+        let key = InstanceKey::of(&dt.inst);
+        if let Some(entry) = cache.map.get_mut(&key) {
+            entry.last_used = cache.generation;
+            deleted_per_instance[i] = Some(
+                entry
+                    .edges
+                    .iter()
+                    .map(|&ei| dt.primal_of_edge[ei])
+                    .collect(),
+            );
+            cache.hits += 1;
+        } else {
+            keys[i] = Some(key);
+            unsolved.push(i);
+        }
+    }
+    cache.misses = unsolved.len();
+
+    // Solve the misses with the same scheduling policy as the uncached
+    // path, then file their joins.
+    let miss_dual_edges: usize = unsolved
+        .iter()
+        .map(|&i| instances[i].inst.edges().len())
+        .sum();
+    let workers = if parallelism == 0 && miss_dual_edges < SERIAL_FALLBACK_DUAL_EDGES {
+        1
+    } else {
+        effective_workers(parallelism, unsolved.len())
+    };
+    let joins: Vec<Vec<usize>> =
+        aapsm_geom::par_map_indexed(unsolved.len(), workers, MatchingContext::new, |ctx, k| {
+            let dt = &instances[unsolved[k]];
+            solve_with(&dt.inst, tjoin, ctx)
+                .expect("odd faces come in even numbers per component, so the T-join is feasible")
+                .edges
+        });
+    for (k, join) in unsolved.iter().zip(joins) {
+        let dt = &instances[*k];
+        deleted_per_instance[*k] = Some(join.iter().map(|&ei| dt.primal_of_edge[ei]).collect());
+        cache.map.insert(
+            keys[*k].take().expect("key retained for every miss"),
+            CachedJoin {
+                edges: join,
+                last_used: cache.generation,
+            },
+        );
+    }
+
+    let generation = cache.generation;
+    cache
+        .map
+        .retain(|_, v| generation - v.last_used < SolveCache::MAX_IDLE_GENERATIONS);
+
+    let deleted: Vec<EdgeId> = deleted_per_instance
+        .into_iter()
+        .flat_map(|d| d.expect("every instance solved or cached"))
+        .collect();
+    finish(g, deleted)
+}
+
 /// Extracts one dual T-join instance per connected component that has odd
 /// faces. Faces are traced once globally; each component's faces are
 /// disjoint, so the dual decomposes for free.
@@ -437,6 +612,71 @@ mod tests {
                 assert!(out.weight >= brute.weight, "trial {trial} {m:?}");
             }
         }
+    }
+
+    #[test]
+    fn cached_bipartize_is_bit_identical_and_hits_on_replay() {
+        // Two far-apart triangles: two components, each with an odd face
+        // forcing one deletion.
+        let mut g = EmbeddedGraph::new();
+        for ox in [0i64, 10_000] {
+            let a = g.add_node(Point::new(ox, 0));
+            let b = g.add_node(Point::new(ox + 100, 0));
+            let c = g.add_node(Point::new(ox + 50, 80));
+            g.add_edge(a, b, 5);
+            g.add_edge(b, c, 3);
+            g.add_edge(c, a, 2);
+        }
+        let tjoin = TJoinMethod::default();
+        let plain = bipartize_with(
+            &g,
+            BipartizeMethod::OptimalDual {
+                tjoin,
+                blocks: false,
+            },
+            1,
+        );
+        let mut cache = SolveCache::new();
+        let first = bipartize_with_cache(&g, tjoin, false, 1, &mut cache);
+        assert_eq!(first.deleted, plain.deleted);
+        assert_eq!(first.weight, plain.weight);
+        assert_eq!(cache.hits, 0);
+        assert!(cache.misses > 0);
+        // Replaying the identical graph answers everything from cache.
+        let second = bipartize_with_cache(&g, tjoin, false, 2, &mut cache);
+        assert_eq!(second.deleted, plain.deleted);
+        assert_eq!(cache.misses, 0);
+        assert!(cache.hits > 0);
+        // Parallel cached solve stays bit-identical too.
+        let mut cache2 = SolveCache::new();
+        let par = bipartize_with_cache(&g, tjoin, false, 4, &mut cache2);
+        assert_eq!(par.deleted, plain.deleted);
+    }
+
+    #[test]
+    fn solve_cache_evicts_idle_entries() {
+        let mut g1 = EmbeddedGraph::new();
+        let a = g1.add_node(Point::new(0, 0));
+        let b = g1.add_node(Point::new(100, 0));
+        let c = g1.add_node(Point::new(50, 80));
+        g1.add_edge(a, b, 5);
+        g1.add_edge(b, c, 3);
+        g1.add_edge(c, a, 2);
+        let mut g2 = EmbeddedGraph::new();
+        let d = g2.add_node(Point::new(0, 0));
+        let e = g2.add_node(Point::new(90, 0));
+        let f = g2.add_node(Point::new(45, 70));
+        g2.add_edge(d, e, 9);
+        g2.add_edge(e, f, 8);
+        g2.add_edge(f, d, 7);
+        let mut cache = SolveCache::new();
+        bipartize_with_cache(&g1, TJoinMethod::default(), false, 1, &mut cache);
+        assert_eq!(cache.len(), 1);
+        // g1's entry survives one idle round, then is evicted.
+        bipartize_with_cache(&g2, TJoinMethod::default(), false, 1, &mut cache);
+        assert_eq!(cache.len(), 2);
+        bipartize_with_cache(&g2, TJoinMethod::default(), false, 1, &mut cache);
+        assert_eq!(cache.len(), 1);
     }
 
     #[test]

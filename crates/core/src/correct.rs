@@ -105,6 +105,18 @@ pub fn plan_correction(
     rules: &DesignRules,
     options: &CorrectionOptions,
 ) -> CorrectionPlan {
+    if conflicts.is_empty() {
+        // Nothing to correct: skip the forbidden-span setup entirely (an
+        // empty set cover is trivially optimal). Every already-assignable
+        // round of the flow's convergence loop takes this path.
+        return CorrectionPlan {
+            cuts: Vec::new(),
+            corrected: Vec::new(),
+            uncorrectable: Vec::new(),
+            max_conflicts_single_line: 0,
+            cover_optimal: true,
+        };
+    }
     // Forbidden spans per axis: a cut may not pass through the interior of
     // a feature's *width* span (a vertical cut through a vertical feature
     // would widen it). Merged and sorted for binary search.
@@ -336,6 +348,31 @@ fn tag_axis(t: u8) -> Axis {
     }
 }
 
+impl CorrectionReport {
+    /// Builds a report from the modified layout and the original
+    /// bounding-box area — the one place the area-increase accounting
+    /// lives ([`apply_correction`] and `run_flow` both end here).
+    pub(crate) fn from_modified(
+        modified: Layout,
+        area_before: i128,
+        verified: bool,
+    ) -> CorrectionReport {
+        let area_after = modified.stats().bbox_area;
+        let area_increase_pct = if area_before > 0 {
+            (area_after - area_before) as f64 / area_before as f64 * 100.0
+        } else {
+            0.0
+        };
+        CorrectionReport {
+            modified,
+            area_before,
+            area_after,
+            area_increase_pct,
+            verified,
+        }
+    }
+}
+
 /// Applies a correction plan and verifies the result by re-extraction.
 pub fn apply_correction(
     layout: &Layout,
@@ -344,21 +381,9 @@ pub fn apply_correction(
 ) -> CorrectionReport {
     let area_before = layout.stats().bbox_area;
     let modified = apply_cuts(layout, &plan.cuts);
-    let area_after = modified.stats().bbox_area;
     let verified = plan.uncorrectable.is_empty()
         && check_assignable(&extract_phase_geometry(&modified, rules)).is_ok();
-    let area_increase_pct = if area_before > 0 {
-        (area_after - area_before) as f64 / area_before as f64 * 100.0
-    } else {
-        0.0
-    };
-    CorrectionReport {
-        modified,
-        area_before,
-        area_after,
-        area_increase_pct,
-        verified,
-    }
+    CorrectionReport::from_modified(modified, area_before, verified)
 }
 
 #[cfg(test)]
@@ -457,6 +482,133 @@ mod tests {
             outcome.area_increase_pct < 25.0,
             "area increase {:.2}% looks wrong",
             outcome.area_increase_pct
+        );
+    }
+
+    #[test]
+    fn uncorrectable_bucket_collects_flank_direct_and_blocked_overlaps() {
+        use crate::ConflictSource;
+        use aapsm_geom::Rect;
+        // Two facing wires whose only separating interval is fully
+        // covered by a wide (non-critical) wall's forbidden x-span, plus
+        // hand-made flank/direct conflicts: all three conflict kinds land
+        // in `uncorrectable`, in input order.
+        let rules = DesignRules::default();
+        let layout = Layout::from_rects(vec![
+            Rect::new(0, 0, 100, 2000),       // A (critical)
+            Rect::new(600, 0, 700, 2000),     // B (critical)
+            Rect::new(99, -9000, 601, -7000), // wall: outlaws x in (99, 601)
+        ]);
+        let geom = extract_phase_geometry(&layout, &rules);
+        let oi = geom
+            .overlaps
+            .iter()
+            .position(|o| o.gap_x >= 0)
+            .expect("facing pair exists");
+        let conflicts = vec![
+            Conflict {
+                constraint: ConstraintKind::Overlap(oi),
+                weight: geom.overlaps[oi].weight,
+                source: ConflictSource::Bipartization,
+            },
+            Conflict {
+                constraint: ConstraintKind::Flank(0),
+                weight: 1,
+                source: ConflictSource::Planarization,
+            },
+            Conflict {
+                constraint: ConstraintKind::Direct(1),
+                weight: 1,
+                source: ConflictSource::Degenerate,
+            },
+        ];
+        let plan = plan_correction(&geom, &conflicts, &rules, &CorrectionOptions::default());
+        assert_eq!(plan.uncorrectable, vec![0, 1, 2]);
+        assert!(plan.cuts.is_empty());
+        assert!(plan.corrected.is_empty());
+        assert_eq!(plan.max_conflicts_single_line, 0);
+    }
+
+    #[test]
+    fn cover_optimal_flips_exactly_at_the_exact_cover_limit() {
+        // The bus fixture yields a multi-candidate cover; scanning the
+        // limit must show greedy (not proven optimal) below a single
+        // threshold and exact above it, with both sides still correcting
+        // every conflict.
+        let rules = DesignRules::default();
+        let l = fixtures::strap_under_bus(6, &rules);
+        let geom = extract_phase_geometry(&l, &rules);
+        let report = detect_conflicts(&geom, &DetectConfig::default());
+        let plan_at = |limit: usize| {
+            plan_correction(
+                &geom,
+                &report.conflicts,
+                &rules,
+                &CorrectionOptions {
+                    exact_cover_limit: limit,
+                },
+            )
+        };
+        let mut flip = None;
+        let mut prev_optimal = false;
+        for limit in 0..=64 {
+            let plan = plan_at(limit);
+            assert!(plan.uncorrectable.is_empty());
+            assert_eq!(
+                plan.corrected.len(),
+                report.conflict_count(),
+                "limit {limit}: every conflict stays corrected"
+            );
+            if plan.cover_optimal && !prev_optimal {
+                assert!(flip.is_none(), "optimality must flip exactly once");
+                flip = Some(limit);
+            }
+            assert!(
+                plan.cover_optimal || flip.is_none(),
+                "limit {limit}: optimality must be monotone in the limit"
+            );
+            prev_optimal = plan.cover_optimal;
+        }
+        let flip = flip.expect("some limit admits the exact solver");
+        assert!(flip > 0, "limit 0 must force the greedy fallback");
+        // The exact side can only improve (or match) the greedy weight.
+        let greedy = plan_at(flip - 1);
+        let exact = plan_at(flip);
+        assert!(!greedy.cover_optimal && exact.cover_optimal);
+        let width = |p: &CorrectionPlan| p.inserted_width(Axis::X) + p.inserted_width(Axis::Y);
+        assert!(width(&exact) <= width(&greedy));
+    }
+
+    #[test]
+    fn inserted_width_accounts_per_axis() {
+        // Two independent conflicts far apart: one needs a vertical
+        // space (Axis::X), the other a horizontal one (Axis::Y); the
+        // plan must report both axes separately and their sum must match
+        // the cut list.
+        let rules = DesignRules::default();
+        let mut rects = fixtures::short_middle_wire(&rules).rects().to_vec(); // X-cut conflict
+        for r in fixtures::stacked_jog(&rules).rects() {
+            // Far above, out of interaction range.
+            rects.push(aapsm_geom::Rect::new(
+                r.x_lo() + 20_000,
+                r.y_lo() + 20_000,
+                r.x_hi() + 20_000,
+                r.y_hi() + 20_000,
+            ));
+        }
+        let l = Layout::from_rects(rects);
+        let (plan, outcome) = correct_layout(&l);
+        assert!(plan.uncorrectable.is_empty());
+        assert!(outcome.verified);
+        let wx = plan.inserted_width(Axis::X);
+        let wy = plan.inserted_width(Axis::Y);
+        assert!(wx > 0, "short-middle needs a vertical space: {plan:?}");
+        assert!(wy > 0, "the jog needs a horizontal space: {plan:?}");
+        assert_eq!(wx + wy, plan.cuts.iter().map(|c| c.width).sum::<i64>());
+        assert_eq!(
+            plan.cuts.iter().filter(|c| c.axis == Axis::X).count()
+                + plan.cuts.iter().filter(|c| c.axis == Axis::Y).count(),
+            plan.grid_line_count()
         );
     }
 

@@ -127,23 +127,49 @@ pub fn detect_conflicts(geom: &PhaseGeometry, config: &DetectConfig) -> DetectRe
     let mut cg = crate::graphs::build_conflict_graph_par(geom, config.graph, config.parallelism);
     // One sweep serves both the statistics and planarization.
     let crossings = aapsm_graph::crossing_pairs_par(&cg.graph, config.parallelism);
+    finish_pipeline(geom, &mut cg, &crossings, config, t0, None)
+}
+
+/// The shared back half of the detection pipeline: planarize over a
+/// precomputed crossing set, bipartize (optionally through a
+/// [`crate::SolveCache`]), run the Step-3 recheck and assemble the
+/// report. [`detect_conflicts`] and the incremental
+/// [`crate::RedetectEngine`] both end here, so their reports cannot
+/// diverge once graph and crossing set agree.
+pub(crate) fn finish_pipeline(
+    geom: &PhaseGeometry,
+    cg: &mut crate::ConflictGraph,
+    crossings: &aapsm_graph::CrossingSet,
+    config: &DetectConfig,
+    t0: Instant,
+    cache: Option<&mut crate::SolveCache>,
+) -> DetectReport {
     let crossings_before = crossings.pairs.len();
     let graph_nodes = cg.graph.node_count();
     let graph_edges = cg.graph.alive_edge_count();
     let p_set =
-        aapsm_graph::planarize_with_crossings(&mut cg.graph, config.planarize_order, &crossings)
+        aapsm_graph::planarize_with_crossings(&mut cg.graph, config.planarize_order, crossings)
             .removed;
     let build_time = t0.elapsed();
 
     let t1 = Instant::now();
-    let outcome = crate::bipartize_with(
-        &cg.graph,
-        BipartizeMethod::OptimalDual {
-            tjoin: config.tjoin,
-            blocks: config.blocks,
-        },
-        config.parallelism,
-    );
+    let outcome = match cache {
+        Some(cache) => crate::bipartize_with_cache(
+            &cg.graph,
+            config.tjoin,
+            config.blocks,
+            config.parallelism,
+            cache,
+        ),
+        None => crate::bipartize_with(
+            &cg.graph,
+            BipartizeMethod::OptimalDual {
+                tjoin: config.tjoin,
+                blocks: config.blocks,
+            },
+            config.parallelism,
+        ),
+    };
     let bipartize_time = t1.elapsed();
 
     // Step 3: re-check the planarization victims against the coloring of

@@ -1,22 +1,50 @@
-//! The one-call end-to-end flow: extract → detect → correct → assign.
+//! The one-call end-to-end flow: a detect → correct → **re-detect**
+//! convergence loop over the incremental [`crate::RedetectEngine`],
+//! followed by phase assignment.
 
 use crate::{
-    apply_correction, detect_conflicts, plan_correction, CorrectionOptions, CorrectionPlan,
-    CorrectionReport, DetectConfig, DetectReport,
+    plan_correction, CorrectionOptions, CorrectionPlan, CorrectionReport, DetectConfig,
+    DetectReport, RedetectEngine,
 };
 use aapsm_layout::{
-    check_assignable, extract_phase_geometry, extract_phase_geometry_par, DesignRules, Layout,
-    PhaseAssignment, PhaseGeometry,
+    apply_cuts, check_assignable, DesignRules, Layout, PhaseAssignment, PhaseGeometry,
 };
 use std::fmt;
 
 /// Configuration of [`run_flow`].
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug)]
 pub struct FlowConfig {
     /// Detection pipeline configuration.
     pub detect: DetectConfig,
     /// Correction planner options.
     pub correct: CorrectionOptions,
+    /// Maximum detect→correct rounds. Round `k+1` re-verifies round
+    /// `k`'s cuts incrementally; the loop ends early once a round
+    /// detects no conflicts. Space insertion can *unblock* a previously
+    /// feature-blocked shifter corridor (the stretched geometry opens a
+    /// clear sightline), so a single round is not always enough.
+    pub max_rounds: usize,
+}
+
+impl Default for FlowConfig {
+    fn default() -> Self {
+        FlowConfig {
+            detect: DetectConfig::default(),
+            correct: CorrectionOptions::default(),
+            max_rounds: 8,
+        }
+    }
+}
+
+/// One round of the detect→correct→re-detect loop.
+#[derive(Clone, Copy, Debug)]
+pub struct FlowRound {
+    /// Conflicts the round detected.
+    pub conflicts: usize,
+    /// End-to-end spaces it inserted (0 on the converged round).
+    pub cuts: usize,
+    /// Whether detection ran incrementally (round 0 never does).
+    pub incremental: bool,
 }
 
 /// Errors of the end-to-end flow.
@@ -24,9 +52,14 @@ pub struct FlowConfig {
 pub enum FlowError {
     /// The design rules are inconsistent.
     BadRules(String),
-    /// Some conflicts could not be corrected by space insertion (indices
-    /// into the detection report's conflicts); the caller should route
-    /// them to feature widening / mask splitting.
+    /// Some of the *first* detection round's conflicts could not be
+    /// corrected by space insertion (indices into that round's report —
+    /// the `detection` the caller would have received); the caller
+    /// should route them to feature widening / mask splitting.
+    /// Uncorrectable conflicts that only *appear* in a later round (cut
+    /// geometry can create them) do not error: the flow returns its
+    /// partial result with `verified == false` and the leftover count in
+    /// the final [`FlowRound`].
     Uncorrectable(Vec<usize>),
 }
 
@@ -52,16 +85,32 @@ impl std::error::Error for FlowError {}
 pub struct FlowResult {
     /// Extracted phase geometry of the input layout.
     pub geometry: PhaseGeometry,
-    /// Conflict detection report.
+    /// Conflict detection report of the first round.
     pub detection: DetectReport,
-    /// Correction plan (empty when the layout was already assignable).
+    /// First-round correction plan (empty when the layout was already
+    /// assignable). Later rounds' cut counts are in [`FlowResult::rounds`].
     pub plan: CorrectionPlan,
-    /// Correction application report (the modified layout and areas).
+    /// Cumulative correction report: the final layout and the overall
+    /// area change.
     pub correction: CorrectionReport,
     /// Phase assignment of the corrected layout.
     pub assignment: PhaseAssignment,
     /// Whether the corrected layout verifies as phase-assignable.
     pub verified: bool,
+    /// The detect→correct rounds the loop ran, in order.
+    pub rounds: Vec<FlowRound>,
+}
+
+impl FlowResult {
+    /// Number of detect rounds run (≥ 1).
+    pub fn round_count(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Conflicts detected in the final round (0 when converged).
+    pub fn final_conflicts(&self) -> usize {
+        self.rounds.last().map_or(0, |r| r.conflicts)
+    }
 }
 
 /// Runs the full bright-field AAPSM flow on a layout:
@@ -70,7 +119,15 @@ pub struct FlowResult {
 /// 2. detect the minimal conflict set (phase conflict graph →
 ///    planarization → dual-T-join bipartization → recheck),
 /// 3. plan and apply end-to-end space insertion,
-/// 4. phase-assign the corrected layout.
+/// 4. **re-detect incrementally** and repeat from 3 until no conflicts
+///    remain (or [`FlowConfig::max_rounds`] is hit — the result then has
+///    `verified == false`),
+/// 5. phase-assign the corrected layout.
+///
+/// Re-detection reuses the prior round's extraction state, tile
+/// decomposition, crossing set and dual-T-join solutions
+/// ([`RedetectEngine`]); every round's report is bit-identical to a
+/// from-scratch detection of the round's layout.
 ///
 /// # Errors
 ///
@@ -84,27 +141,82 @@ pub fn run_flow(
     config: &FlowConfig,
 ) -> Result<FlowResult, FlowError> {
     rules.validate().map_err(FlowError::BadRules)?;
-    // The front-end shares the detection parallelism knob; every degree is
-    // bit-identical (see `extract_phase_geometry_par`).
-    let geometry = extract_phase_geometry_par(layout, rules, config.detect.parallelism);
-    let detection = detect_conflicts(&geometry, &config.detect);
-    let plan = plan_correction(&geometry, &detection.conflicts, rules, &config.correct);
-    if !plan.uncorrectable.is_empty() {
-        return Err(FlowError::Uncorrectable(plan.uncorrectable));
-    }
-    let correction = apply_correction(layout, &plan, rules);
-    let corrected_geom = extract_phase_geometry(&correction.modified, rules);
-    let assignment = match check_assignable(&corrected_geom) {
-        Ok(a) => a,
-        Err(_) => {
-            // Correction failed verification; return the trivial
-            // assignment with verified = false so callers can inspect.
-            PhaseAssignment {
-                phase: vec![0; corrected_geom.shifters.len()],
-            }
+    let mut engine = RedetectEngine::new(*rules, config.detect);
+    let mut current = layout.clone();
+    let mut rounds: Vec<FlowRound> = Vec::new();
+    let mut first: Option<(PhaseGeometry, DetectReport, CorrectionPlan)> = None;
+    let mut report = engine.detect_full(&current);
+    let mut recorded_final = false;
+    for _correction_round in 0..config.max_rounds.max(1) {
+        let geometry = engine.geometry().expect("detection ran");
+        let plan = plan_correction(geometry, &report.conflicts, rules, &config.correct);
+        if first.is_none() {
+            first = Some((geometry.clone(), report.clone(), plan.clone()));
         }
+        if report.conflict_count() == 0 {
+            rounds.push(FlowRound {
+                conflicts: 0,
+                cuts: 0,
+                incremental: engine.last_stats().incremental,
+            });
+            recorded_final = true;
+            break;
+        }
+        if !plan.uncorrectable.is_empty() {
+            if rounds.is_empty() {
+                // First detection: the error's indices address the
+                // report the caller would have received.
+                return Err(FlowError::Uncorrectable(plan.uncorrectable));
+            }
+            // A *cut-created* conflict with no legal correction line:
+            // stop correcting and return the partial result (verified
+            // = false, remaining conflicts in the final round) instead
+            // of an error whose indices would address a report the
+            // caller never sees.
+            rounds.push(FlowRound {
+                conflicts: report.conflict_count(),
+                cuts: 0,
+                incremental: engine.last_stats().incremental,
+            });
+            recorded_final = true;
+            break;
+        }
+        rounds.push(FlowRound {
+            conflicts: report.conflict_count(),
+            cuts: plan.cuts.len(),
+            incremental: engine.last_stats().incremental,
+        });
+        debug_assert!(!plan.cuts.is_empty(), "correctable conflicts yield cuts");
+        let modified = apply_cuts(&current, &plan.cuts);
+        report = engine.redetect_after_correction(&modified, &plan.cuts);
+        current = modified;
+    }
+    if !recorded_final {
+        // Round cap hit: record the last re-detection (converged or not)
+        // without planning another correction.
+        rounds.push(FlowRound {
+            conflicts: report.conflict_count(),
+            cuts: 0,
+            incremental: engine.last_stats().incremental,
+        });
+    }
+
+    let (geometry, detection, plan) = first.expect("at least one round ran");
+    let final_geom = engine.geometry().expect("detection ran");
+    let converged = report.conflict_count() == 0;
+    let (assignment, assignable) = match check_assignable(final_geom) {
+        Ok(a) => (a, true),
+        Err(_) => (
+            // Verification failed; return the trivial assignment with
+            // verified = false so callers can inspect.
+            PhaseAssignment {
+                phase: vec![0; final_geom.shifters.len()],
+            },
+            false,
+        ),
     };
-    let verified = correction.verified;
+    let verified = converged && assignable;
+    let correction = CorrectionReport::from_modified(current, layout.stats().bbox_area, verified);
     Ok(FlowResult {
         geometry,
         detection,
@@ -112,13 +224,14 @@ pub fn run_flow(
         correction,
         assignment,
         verified,
+        rounds,
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use aapsm_layout::fixtures;
+    use aapsm_layout::{extract_phase_geometry, fixtures};
 
     #[test]
     fn flow_on_clean_layout_is_identity() {
@@ -153,6 +266,78 @@ mod tests {
             run_flow(&fixtures::wire_row(2, 600), &rules, &FlowConfig::default()),
             Err(FlowError::BadRules(_))
         ));
+    }
+
+    #[test]
+    fn two_round_fixture_converges_with_round_accounting() {
+        // The corridor-unblock fixture: round 1's cut stretches the
+        // straps and opens a previously blocked corridor, so a *new*
+        // conflict appears and a second correction round is required.
+        let rules = DesignRules::default();
+        let layout = fixtures::corridor_unblock_two_round(&rules);
+        let res = run_flow(&layout, &rules, &FlowConfig::default()).unwrap();
+        assert!(res.verified);
+        assert_eq!(res.round_count(), 3, "rounds: {:?}", res.rounds);
+        assert_eq!(res.rounds[0].conflicts, 1);
+        assert!(!res.rounds[0].incremental);
+        assert!(res.rounds[0].cuts >= 1);
+        assert_eq!(res.rounds[1].conflicts, 1, "rounds: {:?}", res.rounds);
+        assert!(res.rounds[1].incremental);
+        assert_eq!(res.rounds[2].conflicts, 0);
+        assert_eq!(res.final_conflicts(), 0);
+        // Single-round flows must not regress: the bus fixture still
+        // converges after one correction.
+        let bus = run_flow(
+            &fixtures::strap_under_bus(5, &rules),
+            &rules,
+            &FlowConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(bus.round_count(), 2, "rounds: {:?}", bus.rounds);
+        assert_eq!(bus.final_conflicts(), 0);
+    }
+
+    #[test]
+    fn later_round_uncorrectable_returns_partial_result() {
+        // The two-round fixture plus a far-away horizontal wall whose
+        // forbidden y-span outlaws every correction candidate of the
+        // round-2 (cut-created) conflict: the flow must stop with an
+        // inspectable partial result, not an error indexing a report the
+        // caller never sees.
+        let rules = DesignRules::default();
+        let mut rects = fixtures::corridor_unblock_two_round(&rules)
+            .rects()
+            .to_vec();
+        rects.push(aapsm_geom::Rect::new(5000, 99, 6000, 601));
+        let layout = aapsm_layout::Layout::from_rects(rects);
+        let res = run_flow(&layout, &rules, &FlowConfig::default()).unwrap();
+        assert!(!res.verified);
+        assert_eq!(res.round_count(), 2, "rounds: {:?}", res.rounds);
+        assert!(res.final_conflicts() > 0);
+        assert_eq!(res.rounds[1].cuts, 0, "no further correction attempted");
+        // A round-0 uncorrectable still errors with indices into the
+        // first report.
+        let direct = fixtures::corridor_unblock_two_round(&rules);
+        assert!(run_flow(&direct, &rules, &FlowConfig::default()).is_ok());
+    }
+
+    #[test]
+    fn round_cap_reports_unconverged() {
+        let rules = DesignRules::default();
+        let layout = fixtures::corridor_unblock_two_round(&rules);
+        let res = run_flow(
+            &layout,
+            &rules,
+            &FlowConfig {
+                max_rounds: 1,
+                ..FlowConfig::default()
+            },
+        )
+        .unwrap();
+        // One correction round is not enough for this fixture.
+        assert!(!res.verified);
+        assert_eq!(res.round_count(), 2);
+        assert!(res.final_conflicts() > 0);
     }
 
     #[test]

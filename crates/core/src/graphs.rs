@@ -77,7 +77,13 @@ impl ConflictGraph {
 }
 
 pub(crate) fn flank_weight_for(geom: &PhaseGeometry) -> i64 {
-    geom.overlaps.iter().map(|o| o.weight).sum::<i64>() + 1
+    // The dominance requirement is only `> sum of overlap weights`;
+    // rounding the bound up to a power of two keeps the value stable when
+    // a correction round removes or reweights a handful of overlaps, so
+    // unchanged components hash to the same dual T-join instance and the
+    // incremental re-detect's solve cache keeps hitting across rounds.
+    let sum = geom.overlaps.iter().map(|o| o.weight).sum::<i64>();
+    (sum as u64 + 1).next_power_of_two() as i64
 }
 
 /// Builds the requested conflict graph.

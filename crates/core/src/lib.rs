@@ -22,7 +22,13 @@
 //!    correction intervals, legal grid lines, weighted set cover, and
 //!    end-to-end space insertion, with re-extraction-based verification.
 //!
-//! The one-call entry point is [`run_flow`].
+//! The one-call entry point is [`run_flow`] — a multi-round
+//! detect→correct→**re-detect** convergence loop: re-verification after
+//! each correction round runs through the incremental [`RedetectEngine`]
+//! (retained extraction state, tile decomposition, crossing set, and a
+//! dual-T-join [`SolveCache`]), recomputing only what the cuts touched
+//! while staying bit-identical to a from-scratch [`detect_conflicts`]
+//! pass (property-tested in `tests/incremental_equivalence.rs`).
 //!
 //! # Parallelism and solver reuse
 //!
@@ -75,10 +81,12 @@ pub mod darkfield;
 mod detect;
 mod flow;
 mod graphs;
+mod redetect;
 mod shard;
 
 pub use bipartize::{
-    bipartize, bipartize_with, brute_force_bipartize, BipartizeMethod, BipartizeOutcome,
+    bipartize, bipartize_with, bipartize_with_cache, brute_force_bipartize, BipartizeMethod,
+    BipartizeOutcome, SolveCache,
 };
 pub use correct::{
     apply_correction, plan_correction, CorrectionOptions, CorrectionPlan, CorrectionReport,
@@ -87,13 +95,17 @@ pub use detect::{
     detect_conflicts, detect_greedy, Conflict, ConflictSource, ConstraintKind, DetectConfig,
     DetectReport, DetectStats, GreedyKind,
 };
-pub use flow::{run_flow, FlowConfig, FlowError, FlowResult};
+pub use flow::{run_flow, FlowConfig, FlowError, FlowResult, FlowRound};
 pub use graphs::{
     build_conflict_graph, build_conflict_graph_par, build_feature_graph,
     build_phase_conflict_graph, planarize_graph, planarize_graph_par, ConflictGraph, GraphKind,
     GraphStats,
 };
-pub use shard::{build_conflict_graph_tiled, TileConfig};
+pub use redetect::{RedetectEngine, RedetectStats};
+pub use shard::{
+    build_conflict_graph_tiled, build_conflict_graph_tiled_stateful, TileBuildState, TileConfig,
+    TileReuse,
+};
 
 pub use aapsm_graph::PlanarizeOrder;
 pub use aapsm_tjoin::{GadgetKind, TJoinMethod};

@@ -1,0 +1,386 @@
+//! Incremental re-detection for the detect→correct→verify loop.
+//!
+//! A [`CorrectionPlan`](crate::CorrectionPlan)'s cuts perturb geometry
+//! only along a handful of grid lines, yet re-verifying the modified
+//! layout used to pay for a full from-scratch [`crate::detect_conflicts`]
+//! pass. [`RedetectEngine`] retains everything the previous detection
+//! computed — extraction state and spatial indices, the pristine conflict
+//! graph, its crossing set, the tile decomposition, and a dual-T-join
+//! solve cache — and recomputes only what the cuts touched.
+//!
+//! # What is incremental, and why each piece stays bit-identical
+//!
+//! * **Extraction** (`aapsm_layout::ExtractState`): rigid merge
+//!   constraints are carried over, only slab-touching pairs are
+//!   rescanned, and the spatial grids are maintained by
+//!   translate-and-reinsert. Exactness: the dirty/clean split is the
+//!   complementarity invariant of `aapsm_geom::DirtyRegions`.
+//! * **Conflict-graph build** (`crate::shard::TileBuildState`): tiles
+//!   whose core+halo box is rigid under the cuts are translated and
+//!   index-remapped; tiles touching a dirty region (or absorbing a
+//!   cut-created constraint) are rebuilt; the stitch is
+//!   partition-agnostic, so the graph equals the canonical serial build.
+//! * **Crossing sweep** (`aapsm_graph::crossing_pairs_incremental`):
+//!   crossings between rigid same-shift edges are copied from the
+//!   previous set; every pair with a suspect member is re-tested
+//!   geometrically.
+//! * **Planarization** runs in full on the (incremental) crossing set —
+//!   its greedy removal loop is linear-ish and inherently global.
+//! * **Bipartization** (`crate::SolveCache`): per-component dual T-join
+//!   instances are memoized by exact instance bytes, so untouched
+//!   components replay their previous solution; the solvers being
+//!   deterministic makes a byte-equal instance's cached join exactly
+//!   what a fresh solve would return.
+//!
+//! Whenever a reuse precondition fails — criticality flips, a rect that
+//! does not match its predicted post-cut image, the feature-graph
+//! ablation, or a missing prior state — the engine degrades to the full
+//! pipeline for that round (still through the solve cache, which is
+//! correct unconditionally) and reports it in [`RedetectStats`].
+
+use crate::detect::finish_pipeline;
+use crate::shard::{build_conflict_graph_tiled_stateful, TileBuildState, TileConfig};
+use crate::{ConflictGraph, DetectConfig, DetectReport, GraphKind, SolveCache};
+use aapsm_graph::{crossing_pairs_incremental, crossing_pairs_par, CrossingSet, EdgeId};
+use aapsm_layout::{dirty_regions_for, DesignRules, ExtractState, Layout, PhaseGeometry, SpaceCut};
+use std::time::Instant;
+
+/// What the last [`RedetectEngine`] round did.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RedetectStats {
+    /// Whether the round ran the incremental front-end (`false` for the
+    /// initial detection and every fallback).
+    pub incremental: bool,
+    /// The incremental extraction hit a structural change and rebuilt
+    /// from scratch.
+    pub extraction_fallback: bool,
+    /// Merge constraints carried over without rescanning.
+    pub reused_overlaps: usize,
+    /// Candidate shifter pairs re-run through the scan verdict.
+    pub rescanned_pairs: usize,
+    /// Tile groups translated + remapped without rebuilding.
+    pub tiles_reused: usize,
+    /// Tile groups rebuilt.
+    pub tiles_rebuilt: usize,
+    /// Dual T-join instances answered from the solve cache.
+    pub solve_hits: usize,
+    /// Dual T-join instances solved fresh.
+    pub solve_misses: usize,
+}
+
+#[derive(Clone)]
+struct EngineState {
+    extract: ExtractState,
+    /// Pristine (pre-planarization) conflict graph of the last round.
+    graph: ConflictGraph,
+    /// Its full crossing set.
+    crossings: CrossingSet,
+    tiles: TileBuildState,
+    cache: SolveCache,
+}
+
+/// A detection session that supports cheap re-detection after correction
+/// rounds; see the module docs.
+///
+/// The engine owns one fixed [`DetectConfig`] (the solve cache must not
+/// be shared across T-join methods) and is driven with
+/// [`RedetectEngine::detect_full`] once, then
+/// [`RedetectEngine::redetect_after_correction`] per correction round.
+#[derive(Clone)]
+pub struct RedetectEngine {
+    rules: DesignRules,
+    config: DetectConfig,
+    /// Tiles per axis for the sharded build (`0` = auto from the
+    /// parallelism degree).
+    tile_count: usize,
+    state: Option<EngineState>,
+    stats: RedetectStats,
+}
+
+impl RedetectEngine {
+    /// Creates an engine for a fixed rule set and detection config.
+    pub fn new(rules: DesignRules, config: DetectConfig) -> RedetectEngine {
+        RedetectEngine::with_tiles(rules, config, 0)
+    }
+
+    /// [`RedetectEngine::new`] with an explicit tile count per axis for
+    /// the sharded conflict-graph build (`0` = auto).
+    pub fn with_tiles(
+        rules: DesignRules,
+        config: DetectConfig,
+        tile_count: usize,
+    ) -> RedetectEngine {
+        RedetectEngine {
+            rules,
+            config,
+            tile_count,
+            state: None,
+            stats: RedetectStats::default(),
+        }
+    }
+
+    /// The geometry of the last detected layout (`None` before the first
+    /// detection).
+    pub fn geometry(&self) -> Option<&PhaseGeometry> {
+        self.state.as_ref().map(|s| s.extract.geometry())
+    }
+
+    /// Statistics of the last round.
+    pub fn last_stats(&self) -> &RedetectStats {
+        &self.stats
+    }
+
+    /// Full detection, establishing (or re-establishing) the retained
+    /// state. The report is bit-identical to
+    /// [`crate::detect_conflicts`] on the extracted geometry.
+    pub fn detect_full(&mut self, layout: &Layout) -> DetectReport {
+        let t0 = Instant::now();
+        let extract = ExtractState::full(layout, &self.rules, self.config.parallelism);
+        let cache = self.state.take().map(|s| s.cache).unwrap_or_default();
+        let report = self.full_back_end(t0, extract, cache);
+        self.stats = RedetectStats {
+            incremental: false,
+            solve_hits: self.cache_hits(),
+            solve_misses: self.cache_misses(),
+            ..RedetectStats::default()
+        };
+        report
+    }
+
+    /// Re-detects after `cuts` transformed the previously detected
+    /// layout into `modified` — the incremental entry point of the
+    /// correction loop. Bit-identical (conflicts, weights, counts) to a
+    /// from-scratch [`crate::detect_conflicts`] on `modified`'s
+    /// geometry; see `crates/core/tests/incremental_equivalence.rs`.
+    pub fn redetect_after_correction(
+        &mut self,
+        modified: &Layout,
+        cuts: &[SpaceCut],
+    ) -> DetectReport {
+        // The FG ablation lacks the stable id layout the remaps rely on;
+        // and with no prior state there is nothing to be incremental
+        // about. Both run the full pipeline (still solve-cached).
+        if self.state.is_none() || self.config.graph == GraphKind::Feature {
+            return self.detect_full(modified);
+        }
+        let t0 = Instant::now();
+        let mut state = self.state.take().expect("checked above");
+        let delta = state
+            .extract
+            .incremental(modified, cuts, &self.rules, self.config.parallelism);
+        if delta.fallback {
+            let report = self.full_back_end(t0, state.extract, state.cache);
+            self.stats = RedetectStats {
+                incremental: false,
+                extraction_fallback: true,
+                solve_hits: self.cache_hits(),
+                solve_misses: self.cache_misses(),
+                ..RedetectStats::default()
+            };
+            return report;
+        }
+
+        // ---- Incremental front-end. ----
+        let dirty = dirty_regions_for(cuts);
+        let EngineState {
+            extract,
+            graph: old_graph,
+            crossings: old_crossings,
+            mut tiles,
+            mut cache,
+        } = state;
+        let (mut cg, reuse) = tiles.rebuild_incremental(
+            extract.geometry(),
+            &dirty,
+            &delta.overlap_map,
+            &delta.overlap_preimage,
+            self.config.parallelism,
+        );
+        let old_of_new = pcg_edge_map(
+            &delta.overlap_preimage,
+            old_graph.graph.edge_count(),
+            extract.geometry(),
+        );
+        let crossings = crossing_pairs_incremental(
+            &cg.graph,
+            &old_graph.graph,
+            &old_crossings,
+            &old_of_new,
+            &dirty,
+        );
+
+        // ---- Shared back end. ----
+        let pristine = cg.clone();
+        let report = finish_pipeline(
+            extract.geometry(),
+            &mut cg,
+            &crossings,
+            &self.config,
+            t0,
+            Some(&mut cache),
+        );
+        self.stats = RedetectStats {
+            incremental: true,
+            extraction_fallback: false,
+            reused_overlaps: delta.reused_overlaps,
+            rescanned_pairs: delta.rescanned_pairs,
+            tiles_reused: reuse.reused,
+            tiles_rebuilt: reuse.rebuilt,
+            solve_hits: cache.hits,
+            solve_misses: cache.misses,
+        };
+        self.state = Some(EngineState {
+            extract,
+            graph: pristine,
+            crossings,
+            tiles,
+            cache,
+        });
+        report
+    }
+
+    /// The from-scratch back end over a ready extraction state: tiled
+    /// build (retaining the decomposition), full crossing sweep, shared
+    /// pipeline tail; installs the new state.
+    fn full_back_end(
+        &mut self,
+        t0: Instant,
+        extract: ExtractState,
+        mut cache: SolveCache,
+    ) -> DetectReport {
+        let tile_cfg = TileConfig {
+            tiles: self.tile_count,
+            parallelism: self.config.parallelism,
+        };
+        let (mut cg, tiles) =
+            build_conflict_graph_tiled_stateful(extract.geometry(), self.config.graph, &tile_cfg);
+        let crossings = crossing_pairs_par(&cg.graph, self.config.parallelism);
+        let pristine = cg.clone();
+        let report = finish_pipeline(
+            extract.geometry(),
+            &mut cg,
+            &crossings,
+            &self.config,
+            t0,
+            Some(&mut cache),
+        );
+        self.state = Some(EngineState {
+            extract,
+            graph: pristine,
+            crossings,
+            tiles,
+            cache,
+        });
+        report
+    }
+
+    fn cache_hits(&self) -> usize {
+        self.state.as_ref().map_or(0, |s| s.cache.hits)
+    }
+
+    fn cache_misses(&self) -> usize {
+        self.state.as_ref().map_or(0, |s| s.cache.misses)
+    }
+}
+
+/// New-edge → old-edge map of the phase conflict graph's canonical id
+/// layout: overlap half-edges sit at `2·oi + half` and follow the
+/// overlap's index mapping; flank edges occupy the trailing block in
+/// critical-feature order, which the non-fallback extraction guarantees
+/// is unchanged.
+fn pcg_edge_map(
+    overlap_preimage: &[Option<u32>],
+    old_edge_count: usize,
+    geom: &PhaseGeometry,
+) -> Vec<Option<EdgeId>> {
+    let o_new = geom.overlaps.len();
+    let crit = geom
+        .features
+        .iter()
+        .filter(|f| f.shifters.is_some())
+        .count();
+    debug_assert_eq!(overlap_preimage.len(), o_new);
+    let o_old = (old_edge_count - crit) / 2;
+    let mut map: Vec<Option<EdgeId>> = vec![None; 2 * o_new + crit];
+    for (oi_new, pre) in overlap_preimage.iter().enumerate() {
+        if let Some(oi_old) = pre {
+            map[2 * oi_new] = Some(EdgeId(2 * oi_old));
+            map[2 * oi_new + 1] = Some(EdgeId(2 * oi_old + 1));
+        }
+    }
+    for r in 0..crit {
+        map[2 * o_new + r] = Some(EdgeId((2 * o_old + r) as u32));
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detect_conflicts;
+    use aapsm_geom::Axis;
+    use aapsm_layout::{apply_cuts, extract_phase_geometry, fixtures};
+
+    fn assert_reports_match(a: &DetectReport, b: &DetectReport) {
+        assert_eq!(a.conflicts, b.conflicts);
+        assert_eq!(a.stats.graph_nodes, b.stats.graph_nodes);
+        assert_eq!(a.stats.graph_edges, b.stats.graph_edges);
+        assert_eq!(a.stats.crossings, b.stats.crossings);
+        assert_eq!(a.stats.planarize_removed, b.stats.planarize_removed);
+        assert_eq!(a.stats.bipartize_conflicts, b.stats.bipartize_conflicts);
+        assert_eq!(a.stats.recheck_conflicts, b.stats.recheck_conflicts);
+    }
+
+    #[test]
+    fn full_detect_matches_detect_conflicts() {
+        let rules = DesignRules::default();
+        let config = DetectConfig::default();
+        for layout in [
+            fixtures::gate_over_strap(&rules),
+            fixtures::strap_under_bus(6, &rules),
+            fixtures::wire_row(5, 600),
+        ] {
+            let mut engine = RedetectEngine::new(rules, config);
+            let report = engine.detect_full(&layout);
+            let scratch = detect_conflicts(&extract_phase_geometry(&layout, &rules), &config);
+            assert_reports_match(&report, &scratch);
+        }
+    }
+
+    #[test]
+    fn redetect_without_state_is_full_detection() {
+        let rules = DesignRules::default();
+        let mut engine = RedetectEngine::new(rules, DetectConfig::default());
+        let layout = fixtures::gate_over_strap(&rules);
+        let report = engine.redetect_after_correction(&layout, &[]);
+        assert!(!engine.last_stats().incremental);
+        let scratch = detect_conflicts(
+            &extract_phase_geometry(&layout, &rules),
+            &DetectConfig::default(),
+        );
+        assert_reports_match(&report, &scratch);
+    }
+
+    #[test]
+    fn redetect_after_manual_cut_matches_scratch() {
+        let rules = DesignRules::default();
+        let config = DetectConfig::default();
+        let layout = fixtures::strap_under_bus(5, &rules);
+        let mut engine = RedetectEngine::new(rules, config);
+        engine.detect_full(&layout);
+        let cuts = [SpaceCut {
+            axis: Axis::Y,
+            position: 300,
+            width: 200,
+        }];
+        let modified = apply_cuts(&layout, &cuts);
+        let incremental = engine.redetect_after_correction(&modified, &cuts);
+        assert!(engine.last_stats().incremental);
+        let scratch = detect_conflicts(&extract_phase_geometry(&modified, &rules), &config);
+        assert_reports_match(&incremental, &scratch);
+        assert_eq!(
+            engine.geometry(),
+            Some(&extract_phase_geometry(&modified, &rules))
+        );
+    }
+}

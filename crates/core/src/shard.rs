@@ -35,9 +35,38 @@
 //!    is **bit-identical** to [`crate::build_conflict_graph`] for every
 //!    tile count and parallelism degree (property-tested in
 //!    `tests/parallel_equivalence.rs`).
+//!
+//! # Incremental rebuild invariants ([`TileBuildState`])
+//!
+//! The retained decomposition supports cheap rebuilds after an
+//! end-to-end-cut batch (the re-detect loop); exactness rests on four
+//! more invariants:
+//!
+//! 5. **Partition-agnostic stitch.** The stitch never looks at tile
+//!    geometry — *any* grouping of the constraints scatters to the same
+//!    canonical graph. Incremental rounds may therefore keep the round-0
+//!    grouping (routing cut-created constraints to groups by their
+//!    anchor in the round-0 frame) instead of re-tiling the grown
+//!    bounding box, and lose nothing but load balance.
+//! 6. **Core+halo dirtiness test.** A group's stored box hulls every
+//!    owned constraint's full geometry — endpoint shifter rects and
+//!    feature bodies, i.e. core *plus* halo. If that box is rigid under
+//!    the cuts (`DirtyRegions::rigid_shift_of`), every input of the
+//!    group's slice translated by one shared vector, so the slice can be
+//!    reused; any slab contact forces a rebuild of exactly that group.
+//! 7. **Exact remap of reused slices.** A reused slice is translated by
+//!    the group shift and index-remapped: shifter node ids are stable
+//!    (criticality pattern unchanged on this path — enforced upstream by
+//!    the extraction fallback), overlap nodes/edges follow the
+//!    extraction's overlap index map, flank edges take the recomputed
+//!    global flank weight. Remapping is arithmetic only — no hashing, no
+//!    interning — and commutes with [`build_tile`].
+//! 8. **Scope.** Only the phase conflict graph is remapped; the
+//!    feature-graph ablation rebuilds from scratch (its conflict-node
+//!    ids depend on same-side overlap ranks that have no stable prefix).
 
 use crate::graphs::{flank_weight_for, ConflictGraph, EdgeConstraint, GraphKind};
-use aapsm_geom::{resolve_workers, Point};
+use aapsm_geom::{resolve_workers, DirtyRegions, Point, Rect};
 use aapsm_graph::EmbeddedGraph;
 use aapsm_layout::PhaseGeometry;
 
@@ -85,6 +114,7 @@ impl TileConfig {
 }
 
 /// A tile's locally-renumbered slice of the conflict graph.
+#[derive(Clone, Debug)]
 struct TileGraph {
     /// Canonical global node id per local id, in first-use order.
     global_of_local: Vec<u32>,
@@ -128,6 +158,7 @@ impl TileGraph {
 }
 
 /// The K×K tiling of the shifter-center bounding box.
+#[derive(Clone, Debug)]
 struct Tiling {
     x0: i64,
     y0: i64,
@@ -316,69 +347,22 @@ fn build_tile(
     tg
 }
 
-/// Builds a conflict graph by the tile-sharded pipeline. The result is
-/// bit-identical to [`crate::build_conflict_graph`] for every
-/// [`TileConfig`]; see the module docs for the invariants that make the
-/// stitch exact.
-pub fn build_conflict_graph_tiled(
+/// Scatters tile slices into canonical slots and emits nodes and edges in
+/// exactly the serial order — the partition-agnostic half of the tiled
+/// build: *any* grouping of the constraints, built per group, stitches to
+/// the canonical graph.
+fn stitch<'a>(
     geom: &PhaseGeometry,
     kind: GraphKind,
-    config: &TileConfig,
+    ids: &IdLayout,
+    flank_weight: i64,
+    tiles: impl Iterator<Item = &'a TileGraph>,
 ) -> ConflictGraph {
-    let k = config.tiles_per_axis();
-    let Some(tiling) = Tiling::over(geom.shifters.iter().map(|s| s.rect.center()), k) else {
-        // No shifters — nothing to shard.
-        return crate::graphs::build_conflict_graph(geom, kind);
-    };
-    let ids = id_layout(geom, kind);
-    let flank_weight = flank_weight_for(geom);
-
-    // ---- Ownership assignment (anchor point → tile). ----
-    let mut tile_overlaps: Vec<Vec<u32>> = vec![Vec::new(); tiling.tile_count()];
-    let mut tile_features: Vec<Vec<u32>> = vec![Vec::new(); tiling.tile_count()];
-    for (oi, o) in geom.overlaps.iter().enumerate() {
-        let anchor = geom.shifters[o.a]
-            .rect
-            .center()
-            .midpoint(geom.shifters[o.b].rect.center());
-        tile_overlaps[tiling.tile_of(anchor)].push(oi as u32);
-    }
-    for (fi, f) in geom.features.iter().enumerate() {
-        if f.shifters.is_some() {
-            tile_features[tiling.tile_of(f.rect.center())].push(fi as u32);
-        }
-    }
-
-    // ---- Per-tile builds (parallel). ----
-    let occupied: Vec<usize> = (0..tiling.tile_count())
-        .filter(|&t| !tile_overlaps[t].is_empty() || !tile_features[t].is_empty())
-        .collect();
-    let workers = resolve_workers(config.parallelism)
-        .min(occupied.len())
-        .max(1);
-    let tiles: Vec<TileGraph> = aapsm_geom::par_map_indexed(
-        occupied.len(),
-        workers,
-        || (),
-        |(), i| {
-            let t = occupied[i];
-            build_tile(
-                geom,
-                kind,
-                &ids,
-                flank_weight,
-                &tile_overlaps[t],
-                &tile_features[t],
-            )
-        },
-    );
-
-    // ---- Stitch: scatter into canonical slots, emit in serial order. ----
     let mut positions: Vec<Point> = Vec::with_capacity(ids.node_count);
     positions.extend(geom.shifters.iter().map(|s| s.rect.center()));
     positions.resize(ids.node_count, Point::new(0, 0));
     let mut edge_slots: Vec<Option<(u32, u32, i64, EdgeConstraint)>> = vec![None; ids.edge_count];
-    for tg in &tiles {
+    for tg in tiles {
         for (k, &(lu, lv, w, c)) in tg.edges.iter().enumerate() {
             let gu = tg.global_of_local[lu as usize];
             let gv = tg.global_of_local[lv as usize];
@@ -407,6 +391,388 @@ pub fn build_conflict_graph_tiled(
         kind,
         edge_constraint,
         flank_weight,
+    }
+}
+
+/// Builds a conflict graph by the tile-sharded pipeline. The result is
+/// bit-identical to [`crate::build_conflict_graph`] for every
+/// [`TileConfig`]; see the module docs for the invariants that make the
+/// stitch exact.
+pub fn build_conflict_graph_tiled(
+    geom: &PhaseGeometry,
+    kind: GraphKind,
+    config: &TileConfig,
+) -> ConflictGraph {
+    build_conflict_graph_tiled_stateful(geom, kind, config).0
+}
+
+/// One owned group of the tile decomposition, with its built slice and
+/// the bounding box of everything the slice references (owned constraint
+/// anchors *and* their endpoint shifters / feature bodies — the tile's
+/// core plus halo).
+#[derive(Clone, Debug)]
+struct TileGroup {
+    overlaps: Vec<u32>,
+    features: Vec<u32>,
+    bbox: Option<(i64, i64, i64, i64)>,
+    graph: TileGraph,
+}
+
+impl TileGroup {
+    fn is_empty(&self) -> bool {
+        self.overlaps.is_empty() && self.features.is_empty()
+    }
+}
+
+/// Retained tile decomposition of the last conflict-graph build, the
+/// front-end half of the incremental re-detect (see the module docs'
+/// *incremental rebuild* invariants).
+#[derive(Clone, Debug)]
+pub struct TileBuildState {
+    kind: GraphKind,
+    /// The round-0 tiling; new constraints of later rounds are routed to
+    /// groups by their (clamped) anchor in this frame. `None` when the
+    /// geometry had no shifters.
+    tiling: Option<Tiling>,
+    groups: Vec<TileGroup>,
+}
+
+/// Reuse counters of one incremental rebuild.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TileReuse {
+    /// Groups whose slice was translated and remapped without rebuilding.
+    pub reused: usize,
+    /// Groups rebuilt because their core+halo box touched a dirty region
+    /// (or absorbed a new constraint).
+    pub rebuilt: usize,
+}
+
+/// Joint bounding box of a group's owned geometry: for an overlap both
+/// endpoint shifter rects, for a flank the feature body plus both
+/// shifters. This covers the tile core *and* halo, so a rigid box implies
+/// every input of the group's slice translated by one vector.
+fn group_bbox(geom: &PhaseGeometry, overlaps: &[u32], features: &[u32]) -> Option<Rect> {
+    let mut acc: Option<Rect> = None;
+    let mut grow = |r: Rect| {
+        acc = Some(match acc {
+            Some(a) => a.hull(&r),
+            None => r,
+        });
+    };
+    for &oi in overlaps {
+        let o = &geom.overlaps[oi as usize];
+        grow(geom.shifters[o.a].rect);
+        grow(geom.shifters[o.b].rect);
+    }
+    for &fi in features {
+        let f = &geom.features[fi as usize];
+        grow(f.rect);
+        let (lo, hi) = f.shifters.expect("owned features are critical");
+        grow(geom.shifters[lo].rect);
+        grow(geom.shifters[hi].rect);
+    }
+    acc
+}
+
+fn rect_tuple(r: Rect) -> (i64, i64, i64, i64) {
+    (r.x_lo(), r.y_lo(), r.x_hi(), r.y_hi())
+}
+
+/// [`build_conflict_graph_tiled`], additionally retaining the tile
+/// decomposition for incremental rebuilds.
+pub fn build_conflict_graph_tiled_stateful(
+    geom: &PhaseGeometry,
+    kind: GraphKind,
+    config: &TileConfig,
+) -> (ConflictGraph, TileBuildState) {
+    let k = config.tiles_per_axis();
+    let Some(tiling) = Tiling::over(geom.shifters.iter().map(|s| s.rect.center()), k) else {
+        // No shifters — nothing to shard.
+        let cg = crate::graphs::build_conflict_graph(geom, kind);
+        return (
+            cg,
+            TileBuildState {
+                kind,
+                tiling: None,
+                groups: Vec::new(),
+            },
+        );
+    };
+    let ids = id_layout(geom, kind);
+    let flank_weight = flank_weight_for(geom);
+
+    // ---- Ownership assignment (anchor point → tile). ----
+    let mut tile_overlaps: Vec<Vec<u32>> = vec![Vec::new(); tiling.tile_count()];
+    let mut tile_features: Vec<Vec<u32>> = vec![Vec::new(); tiling.tile_count()];
+    for (oi, o) in geom.overlaps.iter().enumerate() {
+        tile_overlaps[tiling.tile_of(overlap_anchor(geom, o))].push(oi as u32);
+    }
+    for (fi, f) in geom.features.iter().enumerate() {
+        if f.shifters.is_some() {
+            tile_features[tiling.tile_of(f.rect.center())].push(fi as u32);
+        }
+    }
+
+    // ---- Per-tile builds (parallel). ----
+    let occupied: Vec<usize> = (0..tiling.tile_count())
+        .filter(|&t| !tile_overlaps[t].is_empty() || !tile_features[t].is_empty())
+        .collect();
+    let workers = resolve_workers(config.parallelism)
+        .min(occupied.len())
+        .max(1);
+    let built: Vec<TileGraph> = aapsm_geom::par_map_indexed(
+        occupied.len(),
+        workers,
+        || (),
+        |(), i| {
+            let t = occupied[i];
+            build_tile(
+                geom,
+                kind,
+                &ids,
+                flank_weight,
+                &tile_overlaps[t],
+                &tile_features[t],
+            )
+        },
+    );
+    let cg = stitch(geom, kind, &ids, flank_weight, built.iter());
+
+    // ---- Retain the decomposition. ----
+    let mut groups: Vec<TileGroup> = tile_overlaps
+        .into_iter()
+        .zip(tile_features)
+        .map(|(overlaps, features)| TileGroup {
+            bbox: group_bbox(geom, &overlaps, &features).map(rect_tuple),
+            overlaps,
+            features,
+            graph: TileGraph::new(),
+        })
+        .collect();
+    for (slot, tg) in occupied.into_iter().zip(built) {
+        groups[slot].graph = tg;
+    }
+    (
+        cg,
+        TileBuildState {
+            kind,
+            tiling: Some(tiling),
+            groups,
+        },
+    )
+}
+
+fn overlap_anchor(geom: &PhaseGeometry, o: &aapsm_layout::OverlapPair) -> Point {
+    geom.shifters[o.a]
+        .rect
+        .center()
+        .midpoint(geom.shifters[o.b].rect.center())
+}
+
+impl TileBuildState {
+    /// Rebuilds the conflict graph for `geom` (the post-cut geometry),
+    /// recomputing only groups whose core+halo box touched a dirty
+    /// region or received a constraint the cuts created, and translating
+    /// plus index-remapping every other group's slice. The stitched
+    /// graph is bit-identical to [`crate::build_conflict_graph`] on
+    /// `geom`; the state is updated in place for the next round.
+    ///
+    /// `overlap_map` / `overlap_preimage` are the index mappings of the
+    /// incremental extraction (`aapsm_layout::ExtractDelta`). When the
+    /// extraction fell back (empty maps on non-empty overlap sets) or
+    /// this state has no tiling, the whole decomposition is rebuilt from
+    /// scratch.
+    pub(crate) fn rebuild_incremental(
+        &mut self,
+        geom: &PhaseGeometry,
+        dirty: &DirtyRegions,
+        overlap_map: &[Option<u32>],
+        overlap_preimage: &[Option<u32>],
+        parallelism: usize,
+    ) -> (ConflictGraph, TileReuse) {
+        // Only the phase conflict graph has the stable shifter-id prefix
+        // the remap arithmetic relies on; the FG baseline (an ablation,
+        // never on the flow path) rebuilds from scratch.
+        if self.kind == GraphKind::Feature {
+            return self.rebuild_full(geom, parallelism);
+        }
+        let Some(tiling) = self.tiling.clone() else {
+            return self.rebuild_full(geom, parallelism);
+        };
+        let ids = id_layout(geom, self.kind);
+        let flank_weight = flank_weight_for(geom);
+
+        // ---- Route the cut-created overlaps to their anchor's group
+        // and decide which groups survive as rigid translations. ----
+        let mut appended: Vec<Vec<u32>> = vec![Vec::new(); self.groups.len()];
+        for (new_oi, pre) in overlap_preimage.iter().enumerate() {
+            if pre.is_none() {
+                let t = tiling.tile_of(overlap_anchor(geom, &geom.overlaps[new_oi]));
+                appended[t].push(new_oi as u32);
+            }
+        }
+        enum Plan {
+            Keep((i64, i64)),
+            Rebuild,
+        }
+        let plans: Vec<Plan> = self
+            .groups
+            .iter()
+            .enumerate()
+            .map(|(t, g)| {
+                if !appended[t].is_empty() {
+                    return Plan::Rebuild;
+                }
+                let Some(bbox) = g.bbox else {
+                    return Plan::Keep((0, 0)); // empty group
+                };
+                match dirty.rigid_shift_of(bbox) {
+                    Some(shift)
+                        if g.overlaps
+                            .iter()
+                            .all(|&oi| overlap_map[oi as usize].is_some()) =>
+                    {
+                        Plan::Keep(shift)
+                    }
+                    _ => Plan::Rebuild,
+                }
+            })
+            .collect();
+
+        // ---- Remap kept groups, rebuild the rest (parallel). ----
+        let work: Vec<usize> = (0..self.groups.len())
+            .filter(|&t| !(self.groups[t].is_empty() && appended[t].is_empty()))
+            .collect();
+        let workers = resolve_workers(parallelism).min(work.len()).max(1);
+        let reuse = TileReuse {
+            reused: work
+                .iter()
+                .filter(|&&t| matches!(plans[t], Plan::Keep(_)))
+                .count(),
+            rebuilt: work
+                .iter()
+                .filter(|&&t| matches!(plans[t], Plan::Rebuild))
+                .count(),
+        };
+        let groups = &self.groups;
+        let kind = self.kind;
+        let rebuilt: Vec<TileGroup> = aapsm_geom::par_map_indexed(
+            work.len(),
+            workers,
+            || (),
+            |(), i| {
+                let t = work[i];
+                let g = &groups[t];
+                match plans[t] {
+                    Plan::Keep(shift) => remap_group(g, &ids, flank_weight, overlap_map, shift),
+                    Plan::Rebuild => {
+                        let mut overlaps: Vec<u32> = g
+                            .overlaps
+                            .iter()
+                            .filter_map(|&oi| overlap_map[oi as usize])
+                            .collect();
+                        overlaps.extend_from_slice(&appended[t]);
+                        let features = g.features.clone();
+                        let graph =
+                            build_tile(geom, kind, &ids, flank_weight, &overlaps, &features);
+                        TileGroup {
+                            bbox: group_bbox(geom, &overlaps, &features).map(rect_tuple),
+                            overlaps,
+                            features,
+                            graph,
+                        }
+                    }
+                }
+            },
+        );
+        let cg = stitch(
+            geom,
+            kind,
+            &ids,
+            flank_weight,
+            rebuilt.iter().map(|g| &g.graph),
+        );
+        for (t, g) in work.into_iter().zip(rebuilt) {
+            self.groups[t] = g;
+        }
+        (cg, reuse)
+    }
+
+    /// Full from-scratch rebuild of both the graph and the decomposition
+    /// (extraction fallback, or no prior tiling).
+    pub(crate) fn rebuild_full(
+        &mut self,
+        geom: &PhaseGeometry,
+        parallelism: usize,
+    ) -> (ConflictGraph, TileReuse) {
+        let config = TileConfig {
+            tiles: self.tiling.as_ref().map_or(0, |t| t.k as usize),
+            parallelism,
+        };
+        let (cg, state) = build_conflict_graph_tiled_stateful(geom, self.kind, &config);
+        let rebuilt = state.groups.iter().filter(|g| !g.is_empty()).count();
+        *self = state;
+        (cg, TileReuse { reused: 0, rebuilt })
+    }
+}
+
+/// Translates and index-remaps a rigid group's slice (phase conflict
+/// graph only): shifter node ids are unchanged, overlap nodes and edge
+/// ids follow their overlap's new rank, positions shift by the group's
+/// rigid vector, and flank edges pick up the (global) flank weight.
+/// Equivalent to — but cheaper than — re-running [`build_tile`] on the
+/// remapped owned lists: no hashing, no interning.
+fn remap_group(
+    g: &TileGroup,
+    ids: &IdLayout,
+    flank_weight: i64,
+    overlap_map: &[Option<u32>],
+    (dx, dy): (i64, i64),
+) -> TileGroup {
+    let s = ids.shifters as u32;
+    let map_o = |oi: u32| overlap_map[oi as usize].expect("rigid group overlaps are mapped");
+    let overlaps: Vec<u32> = g.overlaps.iter().map(|&oi| map_o(oi)).collect();
+    let features = g.features.clone();
+    let mut graph = TileGraph::new();
+    graph.pos = g
+        .graph
+        .pos
+        .iter()
+        .map(|p| Point::new(p.x + dx, p.y + dy))
+        .collect();
+    // Node ids: shifters keep theirs (criticality is stable on this
+    // path, so the shifter-id prefix length is frame-free); overlap
+    // nodes sit at `s + oi` and follow the overlap's new index.
+    graph.global_of_local = g
+        .graph
+        .global_of_local
+        .iter()
+        .map(|&gid| if gid < s { gid } else { s + map_o(gid - s) })
+        .collect();
+    for (k, &(lu, lv, w, c)) in g.graph.edges.iter().enumerate() {
+        let (c_new, w_new, gid_new) = match c {
+            EdgeConstraint::Overlap(oi) => {
+                let oi_new = map_o(oi as u32);
+                // The two halves of an overlap keep their parity.
+                let gid = 2 * oi_new + (g.graph.global_edge[k] & 1);
+                (EdgeConstraint::Overlap(oi_new as usize), w, gid)
+            }
+            EdgeConstraint::Flank(fi) => (
+                EdgeConstraint::Flank(fi),
+                flank_weight,
+                ids.flank_base + ids.crit_rank[fi],
+            ),
+        };
+        graph.push_edge(lu, lv, w_new, c_new, gid_new);
+    }
+    let bbox = g
+        .bbox
+        .map(|(x0, y0, x1, y1)| (x0 + dx, y0 + dy, x1 + dx, y1 + dy));
+    TileGroup {
+        overlaps,
+        features,
+        bbox,
+        graph,
     }
 }
 

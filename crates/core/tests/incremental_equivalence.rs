@@ -1,0 +1,239 @@
+//! Property tests: the incremental re-detect engine is **bit-identical**
+//! to from-scratch detection on the post-cut layout — conflicts (kinds,
+//! weights, sources, order), geometry, and every count in `DetectStats` —
+//! across `parallelism` 0/1/2/4, multiple tile counts, planner-produced
+//! cuts, adversarial hand-made cuts (boundary-touching, criticality-
+//! flipping), and multi-round correction loops.
+
+use aapsm_core::{
+    detect_conflicts, plan_correction, CorrectionOptions, DetectConfig, DetectReport, GraphKind,
+    RedetectEngine,
+};
+use aapsm_geom::Axis;
+use aapsm_layout::synth::{generate, SynthParams};
+use aapsm_layout::{apply_cuts, extract_phase_geometry, fixtures, DesignRules, Layout, SpaceCut};
+use proptest::prelude::*;
+
+const PARALLELISM: [usize; 4] = [0, 1, 2, 4];
+const TILE_COUNTS: [usize; 3] = [0, 1, 3];
+
+fn assert_reports_match(a: &DetectReport, b: &DetectReport, context: &str) {
+    assert_eq!(a.conflicts, b.conflicts, "{context}: conflict sets differ");
+    assert_eq!(a.stats.graph_nodes, b.stats.graph_nodes, "{context}");
+    assert_eq!(a.stats.graph_edges, b.stats.graph_edges, "{context}");
+    assert_eq!(a.stats.crossings, b.stats.crossings, "{context}");
+    assert_eq!(
+        a.stats.planarize_removed, b.stats.planarize_removed,
+        "{context}"
+    );
+    assert_eq!(
+        a.stats.bipartize_conflicts, b.stats.bipartize_conflicts,
+        "{context}"
+    );
+    assert_eq!(
+        a.stats.recheck_conflicts, b.stats.recheck_conflicts,
+        "{context}"
+    );
+}
+
+/// Drives the planner-fed detect→correct→re-detect loop for one
+/// configuration, checking every round against scratch detection.
+fn check_correction_loop(layout: &Layout, parallelism: usize, tiles: usize) -> usize {
+    let rules = DesignRules::default();
+    let config = DetectConfig {
+        parallelism,
+        ..DetectConfig::default()
+    };
+    let mut engine = RedetectEngine::with_tiles(rules, config, tiles);
+    let mut report = engine.detect_full(layout);
+    {
+        let scratch_geom = extract_phase_geometry(layout, &rules);
+        let scratch = detect_conflicts(&scratch_geom, &config);
+        assert_reports_match(
+            &report,
+            &scratch,
+            &format!("round 0, parallelism {parallelism}, tiles {tiles}"),
+        );
+    }
+    let mut current = layout.clone();
+    let mut rounds = 0usize;
+    for round in 1..=4 {
+        if report.conflict_count() == 0 {
+            break;
+        }
+        let plan = plan_correction(
+            engine.geometry().expect("detected"),
+            &report.conflicts,
+            &rules,
+            &CorrectionOptions::default(),
+        );
+        if plan.cuts.is_empty() {
+            break; // uncorrectable leftovers; nothing to re-detect
+        }
+        let modified = apply_cuts(&current, &plan.cuts);
+        report = engine.redetect_after_correction(&modified, &plan.cuts);
+        let context = format!("round {round}, parallelism {parallelism}, tiles {tiles}");
+        let scratch_geom = extract_phase_geometry(&modified, &rules);
+        assert_eq!(
+            engine.geometry(),
+            Some(&scratch_geom),
+            "{context}: geometry diverged"
+        );
+        let scratch = detect_conflicts(&scratch_geom, &config);
+        assert_reports_match(&report, &scratch, &context);
+        current = modified;
+        rounds = round;
+    }
+    rounds
+}
+
+#[test]
+fn fixture_suite_is_bit_identical_across_parallelism_and_tiles() {
+    let rules = DesignRules::default();
+    let layouts = [
+        ("gate_over_strap", fixtures::gate_over_strap(&rules)),
+        ("stacked_jog", fixtures::stacked_jog(&rules)),
+        ("short_middle", fixtures::short_middle_wire(&rules)),
+        ("bus", fixtures::strap_under_bus(6, &rules)),
+        ("two_round", fixtures::corridor_unblock_two_round(&rules)),
+        ("clean_row", fixtures::wire_row(5, 600)),
+    ];
+    for (name, layout) in &layouts {
+        let mut corrected_any = false;
+        for parallelism in PARALLELISM {
+            for tiles in TILE_COUNTS {
+                corrected_any |= check_correction_loop(layout, parallelism, tiles) > 0;
+            }
+        }
+        // Every conflicting fixture must actually exercise a re-detect.
+        if *name != "clean_row" {
+            assert!(corrected_any, "{name} never reached a correction round");
+        }
+    }
+}
+
+#[test]
+fn multi_round_loop_stays_identical_each_round() {
+    // The two-round fixture needs a second correction; both incremental
+    // rounds must match scratch (checked inside the loop driver).
+    let rules = DesignRules::default();
+    let layout = fixtures::corridor_unblock_two_round(&rules);
+    for parallelism in PARALLELISM {
+        let rounds = check_correction_loop(&layout, parallelism, 0);
+        assert!(rounds >= 2, "expected ≥ 2 correction rounds, got {rounds}");
+    }
+}
+
+#[test]
+fn feature_graph_kind_redetects_via_full_path() {
+    let rules = DesignRules::default();
+    let config = DetectConfig {
+        graph: GraphKind::Feature,
+        ..DetectConfig::default()
+    };
+    let layout = fixtures::strap_under_bus(4, &rules);
+    let mut engine = RedetectEngine::new(rules, config);
+    let report = engine.detect_full(&layout);
+    let plan = plan_correction(
+        engine.geometry().unwrap(),
+        &report.conflicts,
+        &rules,
+        &CorrectionOptions::default(),
+    );
+    let modified = apply_cuts(&layout, &plan.cuts);
+    let redetected = engine.redetect_after_correction(&modified, &plan.cuts);
+    assert!(!engine.last_stats().incremental);
+    let scratch = detect_conflicts(&extract_phase_geometry(&modified, &rules), &config);
+    assert_reports_match(&redetected, &scratch, "feature-graph fallback");
+}
+
+/// A random conflict-rich synthetic layout.
+fn synth_layout() -> impl Strategy<Value = Layout> {
+    (0u64..1_000_000, 1usize..=2, 10usize..=25).prop_map(|(seed, rows, gates)| {
+        generate(
+            &SynthParams {
+                rows,
+                gates_per_row: gates,
+                strap_frac: 0.7,
+                jog_frac: 0.08,
+                short_mid_frac: 0.06,
+                seed,
+                ..SynthParams::default()
+            },
+            &DesignRules::default(),
+        )
+    })
+}
+
+/// An arbitrary cut batch over a layout's bounding box — including
+/// boundary-touching positions and cuts through feature interiors, which
+/// must route through the structural fallback rather than produce wrong
+/// reuse.
+fn arbitrary_cuts(layout: &Layout) -> impl Strategy<Value = Vec<SpaceCut>> {
+    let bbox = layout.bbox().expect("non-empty synth layout");
+    let (x_lo, x_hi) = (bbox.x_lo(), bbox.x_hi());
+    let (y_lo, y_hi) = (bbox.y_lo(), bbox.y_hi());
+    proptest::collection::vec(
+        (any::<bool>(), 0i64..=1000, 1i64..=400).prop_map(move |(is_x, frac, width)| {
+            let (lo, hi) = if is_x { (x_lo, x_hi) } else { (y_lo, y_hi) };
+            SpaceCut {
+                axis: if is_x { Axis::X } else { Axis::Y },
+                position: lo + (hi - lo) * frac / 1000,
+                width,
+            }
+        }),
+        1..=3,
+    )
+    .prop_filter("distinct positions per axis", |cuts| {
+        for (i, a) in cuts.iter().enumerate() {
+            for b in &cuts[i + 1..] {
+                if a.axis == b.axis && a.position == b.position {
+                    return false;
+                }
+            }
+        }
+        true
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Planner-produced cuts: the full correction loop on random layouts
+    /// is bit-identical to scratch at every round, parallelism degree
+    /// and tile count.
+    #[test]
+    fn synthetic_correction_loops_match_scratch(layout in synth_layout()) {
+        for parallelism in PARALLELISM {
+            for tiles in [0usize, 3] {
+                check_correction_loop(&layout, parallelism, tiles);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Adversarial cuts (not from the planner, any position including
+    /// feature interiors and edge-touching lines): re-detection still
+    /// matches scratch, via reuse or fallback.
+    #[test]
+    fn arbitrary_cuts_match_scratch(
+        (layout, cuts) in synth_layout().prop_flat_map(|l| {
+            let cuts = arbitrary_cuts(&l);
+            (Just(l), cuts)
+        })
+    ) {
+        let rules = DesignRules::default();
+        let config = DetectConfig::default();
+        let mut engine = RedetectEngine::new(rules, config);
+        engine.detect_full(&layout);
+        let modified = apply_cuts(&layout, &cuts);
+        let report = engine.redetect_after_correction(&modified, &cuts);
+        let scratch_geom = extract_phase_geometry(&modified, &rules);
+        prop_assert_eq!(engine.geometry(), Some(&scratch_geom));
+        let scratch = detect_conflicts(&scratch_geom, &config);
+        assert_reports_match(&report, &scratch, "arbitrary cuts");
+    }
+}

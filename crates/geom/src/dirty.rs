@@ -1,0 +1,292 @@
+//! Dirty regions induced by end-to-end space insertion — the geometric
+//! contract behind the incremental re-detection pipeline.
+//!
+//! An end-to-end cut at pre-cut coordinate `p` on an axis inserts `width`
+//! dbu of space: geometry strictly below `p` stays, geometry strictly
+//! above translates by `width`, geometry spanning `p` stretches. A
+//! [`DirtyRegions`] value summarizes a batch of such cuts and answers the
+//! two questions incremental consumers ask:
+//!
+//! 1. **Rigidity** ([`DirtyRegions::rigid_shift_of`]): did a pre-cut
+//!    bounding box move as one rigid translation, and by how much? A box
+//!    is rigid iff no cut line touches its closed span on either axis;
+//!    its shift per axis is the total width of the cuts strictly below
+//!    it. Touching counts as dirty on purpose: a rect ending exactly on a
+//!    cut line keeps its coordinates while a rect starting there shifts,
+//!    so closed contact is where translation-invariance arguments stop
+//!    holding (e.g. grid-query *touching* predicates can flip).
+//! 2. **Post-cut slabs** ([`DirtyRegions::slabs`]): the inserted-space
+//!    strips in *post-cut* coordinates. A cut at `p` with `c` dbu of
+//!    lower-cut width below it occupies `[p + c, p + c + width]` after
+//!    application. Everything whose relation to the layout changed
+//!    (stretched rects, separated pairs, boundary-touching rects)
+//!    intersects a slab, closed-contact included — see the invariants
+//!    below.
+//!
+//! # Invariants (mirroring `aapsm_core::shard`'s style)
+//!
+//! * **Complementarity.** For any pre-cut box `B`,
+//!   `rigid_shift_of(B).is_some()` ⇔ the translated box strictly avoids
+//!   every post-cut slab. Incremental consumers rely on this to split
+//!   work into a reused *clean* part (classified in pre-cut coordinates)
+//!   and a recomputed *dirty* part (enumerated by post-cut slab queries)
+//!   with no overlap and no gap.
+//! * **Slab separation.** Two rigid boxes with *different* shifts are
+//!   separated by at least one slab after the cuts: on the axis of a cut
+//!   they disagree about, one ends strictly below the slab and the other
+//!   starts strictly above it. Rigid same-shift geometry therefore keeps
+//!   its entire relative configuration, and rigid different-shift
+//!   geometry cannot interact without touching a slab.
+//! * **Stretch containment.** A box that spans a cut line covers the
+//!   whole inserted slab after application, so every stretched rect (and
+//!   every pair involving one) is found by slab queries.
+
+use crate::{Axis, Rect};
+
+/// One end-to-end space insertion, described axis-agnostically (the geom
+/// crate cannot name `aapsm_layout::SpaceCut`; the fields mirror it).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CutSpec {
+    /// Axis whose coordinates grow.
+    pub axis: Axis,
+    /// Cut position in *pre-cut* coordinates (geometry with low edge ≥
+    /// this shifts).
+    pub position: i64,
+    /// Inserted width (> 0).
+    pub width: i64,
+}
+
+/// Per-axis cut bookkeeping: cuts ascending by position, with the
+/// cumulative width of all lower cuts precomputed.
+#[derive(Clone, Debug, Default)]
+struct AxisCuts {
+    /// `(pre-cut position, width, total width of cuts strictly below)`.
+    cuts: Vec<(i64, i64, i64)>,
+}
+
+impl AxisCuts {
+    fn build(mut positions: Vec<(i64, i64)>) -> AxisCuts {
+        positions.sort_unstable();
+        let mut cuts = Vec::with_capacity(positions.len());
+        let mut cum = 0i64;
+        for (p, w) in positions {
+            cuts.push((p, w, cum));
+            cum += w;
+        }
+        AxisCuts { cuts }
+    }
+
+    /// Whether any cut line touches the closed interval `[lo, hi]`.
+    fn touches(&self, lo: i64, hi: i64) -> bool {
+        let i = self.cuts.partition_point(|&(p, _, _)| p < lo);
+        self.cuts.get(i).is_some_and(|&(p, _, _)| p <= hi)
+    }
+
+    /// Total width of cuts strictly below `coord` (the rigid shift of a
+    /// box whose low edge is `coord` and that no cut line touches).
+    fn shift_below(&self, coord: i64) -> i64 {
+        match self.cuts.partition_point(|&(p, _, _)| p < coord) {
+            0 => 0,
+            i => {
+                let (_, w, cum) = self.cuts[i - 1];
+                cum + w
+            }
+        }
+    }
+
+    /// Inserted-space slabs in post-cut coordinates, ascending.
+    fn slabs(&self) -> impl Iterator<Item = (i64, i64)> + '_ {
+        self.cuts.iter().map(|&(p, w, cum)| (p + cum, p + cum + w))
+    }
+}
+
+/// The dirty-region summary of a batch of end-to-end cuts; see the module
+/// docs for the classification contract.
+#[derive(Clone, Debug, Default)]
+pub struct DirtyRegions {
+    x: AxisCuts,
+    y: AxisCuts,
+}
+
+impl DirtyRegions {
+    /// Builds the summary from a batch of cuts (applied simultaneously in
+    /// pre-cut coordinates, exactly like `aapsm_layout::apply_cuts`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any width is non-positive or two cuts on one axis share
+    /// a position (their composition would be ambiguous).
+    pub fn from_cuts(cuts: impl IntoIterator<Item = CutSpec>) -> DirtyRegions {
+        let (mut xs, mut ys) = (Vec::new(), Vec::new());
+        for c in cuts {
+            assert!(c.width > 0, "cut width must be positive");
+            match c.axis {
+                Axis::X => xs.push((c.position, c.width)),
+                Axis::Y => ys.push((c.position, c.width)),
+            }
+        }
+        let regions = DirtyRegions {
+            x: AxisCuts::build(xs),
+            y: AxisCuts::build(ys),
+        };
+        for axis in [&regions.x, &regions.y] {
+            assert!(
+                axis.cuts.windows(2).all(|w| w[0].0 != w[1].0),
+                "cut positions must be distinct per axis"
+            );
+        }
+        regions
+    }
+
+    /// Whether there are no cuts at all (every box is rigid with zero
+    /// shift).
+    pub fn is_empty(&self) -> bool {
+        self.x.cuts.is_empty() && self.y.cuts.is_empty()
+    }
+
+    fn axis(&self, axis: Axis) -> &AxisCuts {
+        match axis {
+            Axis::X => &self.x,
+            Axis::Y => &self.y,
+        }
+    }
+
+    /// Classifies a *pre-cut* bounding box `(x_lo, y_lo, x_hi, y_hi)`:
+    /// `Some((dx, dy))` when the box rides the cuts as one rigid
+    /// translation, `None` when any cut line touches its closed span
+    /// (the box — or a pair of boxes hulled into it — is dirty).
+    pub fn rigid_shift_of(&self, bbox: (i64, i64, i64, i64)) -> Option<(i64, i64)> {
+        let (x_lo, y_lo, x_hi, y_hi) = bbox;
+        if self.x.touches(x_lo, x_hi) || self.y.touches(y_lo, y_hi) {
+            return None;
+        }
+        Some((self.x.shift_below(x_lo), self.y.shift_below(y_lo)))
+    }
+
+    /// [`DirtyRegions::rigid_shift_of`] over a [`Rect`].
+    pub fn rigid_shift_of_rect(&self, r: &Rect) -> Option<(i64, i64)> {
+        self.rigid_shift_of((r.x_lo(), r.y_lo(), r.x_hi(), r.y_hi()))
+    }
+
+    /// The inserted-space slabs of one axis in **post-cut** coordinates,
+    /// as closed `(lo, hi)` spans along that axis (each slab extends over
+    /// the full perpendicular extent of the layout).
+    pub fn slabs(&self, axis: Axis) -> impl Iterator<Item = (i64, i64)> + '_ {
+        self.axis(axis).slabs()
+    }
+
+    /// Whether a **post-cut** bounding box touches any inserted-space
+    /// slab (closed contact counts). By the complementarity invariant
+    /// this is exactly the negation of [`DirtyRegions::rigid_shift_of`]
+    /// on the box's pre-image. O(log cuts): slabs are disjoint and
+    /// ascending, so one partition point per axis decides.
+    pub fn post_bbox_touches_slab(&self, bbox: (i64, i64, i64, i64)) -> bool {
+        let (x_lo, y_lo, x_hi, y_hi) = bbox;
+        // First slab whose high end reaches the box; it touches iff it
+        // also starts before the box ends.
+        let axis_touches = |cuts: &AxisCuts, lo: i64, hi: i64| {
+            let i = cuts.cuts.partition_point(|&(p, w, cum)| p + cum + w < lo);
+            cuts.cuts.get(i).is_some_and(|&(p, _, cum)| p + cum <= hi)
+        };
+        axis_touches(&self.x, x_lo, x_hi) || axis_touches(&self.y, y_lo, y_hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cut(axis: Axis, position: i64, width: i64) -> CutSpec {
+        CutSpec {
+            axis,
+            position,
+            width,
+        }
+    }
+
+    #[test]
+    fn empty_regions_shift_nothing() {
+        let d = DirtyRegions::from_cuts([]);
+        assert!(d.is_empty());
+        assert_eq!(d.rigid_shift_of((-10, -10, 10, 10)), Some((0, 0)));
+        assert!(!d.post_bbox_touches_slab((0, 0, 1, 1)));
+    }
+
+    #[test]
+    fn rigid_shift_accumulates_lower_cuts() {
+        let d = DirtyRegions::from_cuts([cut(Axis::X, 100, 5), cut(Axis::X, 200, 7)]);
+        // Below both cuts.
+        assert_eq!(d.rigid_shift_of((0, 0, 99, 10)), Some((0, 0)));
+        // Between them.
+        assert_eq!(d.rigid_shift_of((101, 0, 199, 10)), Some((5, 0)));
+        // Above both.
+        assert_eq!(d.rigid_shift_of((201, 0, 300, 10)), Some((12, 0)));
+        // Touching a cut line (either end) is dirty.
+        assert_eq!(d.rigid_shift_of((0, 0, 100, 10)), None);
+        assert_eq!(d.rigid_shift_of((100, 0, 150, 10)), None);
+        // Straddling is dirty.
+        assert_eq!(d.rigid_shift_of((50, 0, 150, 10)), None);
+    }
+
+    #[test]
+    fn both_axes_compose() {
+        let d = DirtyRegions::from_cuts([cut(Axis::X, 10, 3), cut(Axis::Y, 20, 4)]);
+        assert_eq!(d.rigid_shift_of((11, 21, 15, 25)), Some((3, 4)));
+        assert_eq!(d.rigid_shift_of((0, 21, 5, 25)), Some((0, 4)));
+        assert_eq!(d.rigid_shift_of((0, 10, 5, 20)), None); // touches y cut
+    }
+
+    #[test]
+    fn slabs_are_in_post_cut_coordinates() {
+        let d = DirtyRegions::from_cuts([cut(Axis::X, 200, 7), cut(Axis::X, 100, 5)]);
+        let slabs: Vec<_> = d.slabs(Axis::X).collect();
+        // Cut at 100 lands at [100, 105]; cut at 200 is pushed up by the
+        // lower one's 5 dbu: [205, 212].
+        assert_eq!(slabs, vec![(100, 105), (205, 212)]);
+        assert!(d.slabs(Axis::Y).next().is_none());
+    }
+
+    #[test]
+    fn complementarity_of_rigid_and_slab_touch() {
+        // For boxes avoiding / touching / straddling cut lines, the
+        // translated image avoids or touches the slabs accordingly.
+        let d = DirtyRegions::from_cuts([cut(Axis::X, 100, 5), cut(Axis::X, 200, 7)]);
+        for (bbox, expect_rigid) in [
+            ((0i64, 0i64, 99i64, 10i64), true),
+            ((101, 0, 199, 10), true),
+            ((201, 0, 400, 10), true),
+            ((0, 0, 100, 10), false),
+            ((100, 0, 130, 10), false),
+            ((90, 0, 210, 10), false),
+        ] {
+            match d.rigid_shift_of(bbox) {
+                Some((dx, dy)) => {
+                    assert!(expect_rigid, "{bbox:?}");
+                    let post = (bbox.0 + dx, bbox.1 + dy, bbox.2 + dx, bbox.3 + dy);
+                    assert!(!d.post_bbox_touches_slab(post), "{bbox:?} -> {post:?}");
+                }
+                None => {
+                    assert!(!expect_rigid, "{bbox:?}");
+                    // A straddling box covers the slab; a touching box
+                    // touches it once its (unchanged or shifted) edge is
+                    // mapped forward. Spot-check the straddler.
+                    if bbox.0 < 100 && bbox.2 > 100 {
+                        assert!(d.post_bbox_touches_slab(bbox));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn duplicate_positions_rejected() {
+        let _ = DirtyRegions::from_cuts([cut(Axis::X, 5, 1), cut(Axis::X, 5, 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_width_rejected() {
+        let _ = DirtyRegions::from_cuts([cut(Axis::X, 5, 0)]);
+    }
+}

@@ -39,6 +39,15 @@ pub struct GridIndex {
     boxes: Vec<(i64, i64, i64, i64)>,
 }
 
+/// Reusable dedup scratch for repeated [`GridIndex::query_into`] calls:
+/// an epoch-stamped per-item table, so consecutive queries cost nothing
+/// to reset.
+#[derive(Clone, Debug, Default)]
+pub struct QueryScratch {
+    stamp: Vec<u32>,
+    epoch: u32,
+}
+
 /// A partition of a grid's occupied cells into contiguous bands, produced
 /// by [`GridIndex::shards`].
 ///
@@ -184,8 +193,78 @@ impl GridIndex {
         self.boxes.push(bbox);
     }
 
+    /// The bounding range an item was inserted (or last updated) with.
+    pub fn bbox(&self, id: u32) -> (i64, i64, i64, i64) {
+        self.boxes[id as usize]
+    }
+
+    /// Hull of every item's bounding range (`None` when empty). Linear
+    /// scan; callers clamping open-ended query regions pay it once per
+    /// batch.
+    pub fn bounds(&self) -> Option<(i64, i64, i64, i64)> {
+        self.boxes
+            .iter()
+            .copied()
+            .reduce(|a, b| (a.0.min(b.0), a.1.min(b.1), a.2.max(b.2), a.3.max(b.3)))
+    }
+
+    /// Moves an existing item to a new bounding range — the incremental
+    /// maintenance primitive of the re-detection pipeline: after an
+    /// end-to-end space insertion, only the boxes a cut shifts or
+    /// stretches are re-bucketed; everything on the low side keeps its
+    /// cells untouched. A no-op when the range (and thus the covered
+    /// cell set) is unchanged.
+    ///
+    /// The per-cell id order after an update differs from a from-scratch
+    /// build; queries and pair traversals are insensitive to it (queries
+    /// dedup, traversals sort their output), which is the only contract
+    /// callers get.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was never inserted or the range is inverted.
+    pub fn update(&mut self, id: u32, bbox: (i64, i64, i64, i64)) {
+        assert!((id as usize) < self.boxes.len(), "unknown id {id}");
+        assert!(bbox.0 <= bbox.2 && bbox.1 <= bbox.3, "inverted bbox");
+        let old = self.boxes[id as usize];
+        if old == bbox {
+            return;
+        }
+        let old_range = self.cell_range(old);
+        let new_range = self.cell_range(bbox);
+        self.boxes[id as usize] = bbox;
+        if old_range == new_range {
+            return;
+        }
+        let (ox_lo, oy_lo, ox_hi, oy_hi) = old_range;
+        for cx in ox_lo..=ox_hi {
+            for cy in oy_lo..=oy_hi {
+                let cell = self.cells.get_mut(&(cx, cy)).expect("inserted cell exists");
+                let at = cell
+                    .iter()
+                    .position(|&i| i == id)
+                    .expect("id present in covered cell");
+                cell.swap_remove(at);
+                if cell.is_empty() {
+                    self.cells.remove(&(cx, cy));
+                }
+            }
+        }
+        let (nx_lo, ny_lo, nx_hi, ny_hi) = new_range;
+        for cx in nx_lo..=nx_hi {
+            for cy in ny_lo..=ny_hi {
+                self.cells.entry((cx, cy)).or_default().push(id);
+            }
+        }
+    }
+
     /// Ids of items whose bounding range intersects the query range
     /// (deduplicated, unsorted).
+    ///
+    /// Allocates one dense `bool` table per call — cheap enough for the
+    /// extraction hot path; batch callers issuing many queries (the
+    /// incremental re-detect's slab sweeps) should hold a
+    /// [`QueryScratch`] and use [`GridIndex::query_into`] instead.
     pub fn query(&self, bbox: (i64, i64, i64, i64)) -> Vec<u32> {
         let (cx_lo, cy_lo, cx_hi, cy_hi) = self.cell_range(bbox);
         let mut out = Vec::new();
@@ -203,6 +282,44 @@ impl GridIndex {
             }
         }
         out
+    }
+
+    /// [`GridIndex::query`] into caller-owned buffers: `out` receives the
+    /// deduplicated ids, `scratch` carries the epoch-stamped dedup table
+    /// across calls so a query costs O(cells touched + hits) instead of
+    /// O(items indexed) — the difference between an incremental re-detect
+    /// sweep being linear in the dirty region vs quadratic in the chip.
+    pub fn query_into(
+        &self,
+        bbox: (i64, i64, i64, i64),
+        scratch: &mut QueryScratch,
+        out: &mut Vec<u32>,
+    ) {
+        out.clear();
+        if scratch.stamp.len() < self.boxes.len() {
+            scratch.stamp.resize(self.boxes.len(), 0);
+        }
+        scratch.epoch = scratch.epoch.wrapping_add(1);
+        if scratch.epoch == 0 {
+            scratch.stamp.fill(0);
+            scratch.epoch = 1;
+        }
+        let epoch = scratch.epoch;
+        let (cx_lo, cy_lo, cx_hi, cy_hi) = self.cell_range(bbox);
+        for cx in cx_lo..=cx_hi {
+            for cy in cy_lo..=cy_hi {
+                if let Some(ids) = self.cells.get(&(cx, cy)) {
+                    for &id in ids {
+                        if scratch.stamp[id as usize] != epoch
+                            && ranges_touch(self.boxes[id as usize], bbox)
+                        {
+                            scratch.stamp[id as usize] = epoch;
+                            out.push(id);
+                        }
+                    }
+                }
+            }
+        }
     }
 
     /// The cell owning the pair `(a, b)`: the one containing the min-corner
@@ -464,5 +581,70 @@ mod tests {
     fn rejects_nonsequential_ids() {
         let mut grid = GridIndex::new(10);
         grid.insert(3, (0, 0, 1, 1));
+    }
+
+    #[test]
+    fn update_rebuckets_moved_items() {
+        let boxes = random_boxes(51, 70);
+        let mut grid = GridIndex::new(96);
+        for (i, b) in boxes.iter().enumerate() {
+            grid.insert(i as u32, *b);
+        }
+        // Shift the upper half as an end-to-end cut would, stretch one
+        // straddler, leave the rest alone.
+        let cut = 0i64;
+        let width = 500i64;
+        let moved: Vec<(i64, i64, i64, i64)> = boxes
+            .iter()
+            .map(|&(x0, y0, x1, y1)| {
+                if x0 >= cut {
+                    (x0 + width, y0, x1 + width, y1)
+                } else if x1 > cut {
+                    (x0, y0, x1 + width, y1)
+                } else {
+                    (x0, y0, x1, y1)
+                }
+            })
+            .collect();
+        for (i, b) in moved.iter().enumerate() {
+            grid.update(i as u32, *b);
+            assert_eq!(grid.bbox(i as u32), *b);
+        }
+        // The updated index answers pairs exactly like a fresh build.
+        let mut fresh = GridIndex::new(96);
+        for (i, b) in moved.iter().enumerate() {
+            fresh.insert(i as u32, *b);
+        }
+        let mut got = grid.candidate_pairs();
+        got.sort_unstable();
+        let mut want = fresh.candidate_pairs();
+        want.sort_unstable();
+        assert_eq!(got, want);
+        assert_eq!(want, {
+            let mut brute = brute_pairs(&moved);
+            brute.sort_unstable();
+            brute
+        });
+        // Queries agree too (as sets).
+        for probe in [(-400, -400, 0, 0), (600, -200, 900, 400)] {
+            let mut a = grid.query(probe);
+            let mut b = fresh.query(probe);
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn update_same_bbox_is_noop_and_bounds_track_hull() {
+        let mut grid = GridIndex::new(64);
+        grid.insert(0, (0, 0, 10, 10));
+        grid.insert(1, (100, 100, 120, 130));
+        assert_eq!(grid.bounds(), Some((0, 0, 120, 130)));
+        grid.update(0, (0, 0, 10, 10));
+        grid.update(1, (200, 100, 220, 130));
+        assert_eq!(grid.bounds(), Some((0, 0, 220, 130)));
+        assert_eq!(grid.query((205, 105, 210, 110)), vec![1]);
+        assert!(grid.query((100, 100, 120, 130)).is_empty());
     }
 }

@@ -31,6 +31,7 @@
 //! assert!(s.crosses(&t)); // proper interior crossing
 //! ```
 
+mod dirty;
 pub mod fxhash;
 mod grid;
 mod interval;
@@ -38,8 +39,9 @@ mod point;
 mod rect;
 mod segment;
 
+pub use dirty::{CutSpec, DirtyRegions};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
-pub use grid::{par_map_indexed, resolve_workers, GridIndex, GridShards};
+pub use grid::{par_map_indexed, resolve_workers, GridIndex, GridShards, QueryScratch};
 pub use interval::Interval;
 pub use point::{Orientation, Point};
 pub use rect::{Axis, Rect};

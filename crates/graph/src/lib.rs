@@ -45,8 +45,8 @@ mod unionfind;
 pub use bipartite::{two_color, two_color_excluding, OddCycle, TwoColoring};
 pub use components::{biconnected_components, connected_components, Components};
 pub use crossings::{
-    crossing_pairs, crossing_pairs_par, crossing_pairs_with_cell, crossing_pairs_with_cell_par,
-    CrossingAdjacency, CrossingSet,
+    crossing_pairs, crossing_pairs_incremental, crossing_pairs_par, crossing_pairs_with_cell,
+    crossing_pairs_with_cell_par, CrossingAdjacency, CrossingSet,
 };
 pub use dual::{build_dual, DualEdge, DualGraph};
 pub use faces::{trace_faces, Faces};

@@ -30,6 +30,7 @@
 
 mod assign;
 pub mod fixtures;
+pub mod incremental;
 mod io;
 mod layout;
 mod phase_geom;
@@ -38,6 +39,7 @@ pub mod synth;
 mod transform;
 
 pub use assign::{check_assignable, AssignabilityWitness, PhaseAssignment};
+pub use incremental::{dirty_regions_for, ExtractDelta, ExtractState};
 pub use io::{parse_layout, write_layout, ParseLayoutError};
 pub use layout::{Layout, LayoutStats, LayoutViolation};
 pub use phase_geom::{

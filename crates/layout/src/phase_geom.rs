@@ -133,7 +133,7 @@ pub fn extract_phase_geometry(layout: &Layout, rules: &DesignRules) -> PhaseGeom
 
 /// One hit of the merge-constraint scan, tagged by kind so the sharded
 /// traversal can stream both outputs through one buffer.
-enum ScanHit {
+pub(crate) enum ScanHit {
     Overlap(OverlapPair),
     Direct(DirectConflict),
 }
@@ -152,9 +152,15 @@ pub fn extract_phase_geometry_par(
     rules: &DesignRules,
     parallelism: usize,
 ) -> PhaseGeometry {
-    let mut geom = PhaseGeometry::default();
+    crate::incremental::ExtractState::full(layout, rules, parallelism).into_geometry()
+}
 
-    // ---- Features and shifters. ----
+/// The cheap sequential pass: feature classification and shifter
+/// generation (no merge constraints yet). Shared between the from-scratch
+/// extractor and the incremental re-extractor so both produce the same
+/// features and shifters byte for byte.
+pub(crate) fn classify_features(layout: &Layout, rules: &DesignRules) -> PhaseGeometry {
+    let mut geom = PhaseGeometry::default();
     for (i, &rect) in layout.rects().iter().enumerate() {
         let orientation = if rect.height() >= rect.width() {
             FeatureOrientation::Vertical
@@ -214,66 +220,78 @@ pub fn extract_phase_geometry_par(
             shifters,
         });
     }
-
-    // ---- Spatial indices. ----
-    let radius = rules.interaction_radius();
-    let mut shifter_grid = GridIndex::new((radius * 2).max(64));
-    for (i, s) in geom.shifters.iter().enumerate() {
-        let probe = s.rect.inflate(radius);
-        shifter_grid.insert(
-            i as u32,
-            (probe.x_lo(), probe.y_lo(), probe.x_hi(), probe.y_hi()),
-        );
-    }
-    let mut feature_grid = GridIndex::new((radius * 2).max(64));
-    for (i, f) in geom.features.iter().enumerate() {
-        feature_grid.insert(
-            i as u32,
-            (f.rect.x_lo(), f.rect.y_lo(), f.rect.x_hi(), f.rect.y_hi()),
-        );
-    }
-
-    // ---- Merge constraints (sharded parallel scan). ----
-    let spacing_sq = (rules.shifter_spacing as i128) * (rules.shifter_spacing as i128);
-    let shifters = &geom.shifters;
-    let features = &geom.features;
-    let hits = shifter_grid.par_collect_pairs(parallelism, |ia, ib| {
-        let (a, b) = (ia as usize, ib as usize);
-        let (sa, sb) = (shifters[a], shifters[b]);
-        let gap_sq = sa.rect.euclid_gap_sq(&sb.rect);
-        if gap_sq >= spacing_sq {
-            return None;
-        }
-        if corridor_blocked(features, &feature_grid, rules, &sa, &sb) {
-            return None;
-        }
-        let gap_x = sa.rect.x_gap(&sb.rect);
-        let gap_y = sa.rect.y_gap(&sb.rect);
-        let weight = (rules.shifter_spacing - gap_x.max(gap_y)).max(1);
-        Some(if sa.feature == sb.feature {
-            ScanHit::Direct(DirectConflict {
-                feature: sa.feature,
-                weight,
-            })
-        } else {
-            let (a, b) = if a < b { (a, b) } else { (b, a) };
-            ScanHit::Overlap(OverlapPair {
-                a,
-                b,
-                gap_x,
-                gap_y,
-                weight,
-            })
-        })
-    });
-    for hit in hits {
-        match hit {
-            ScanHit::Overlap(o) => geom.overlaps.push(o),
-            ScanHit::Direct(d) => geom.direct_conflicts.push(d),
-        }
-    }
-    geom.overlaps.sort_by_key(|o| (o.a, o.b));
     geom
+}
+
+/// The probe box a shifter is indexed under: its rect inflated by the
+/// interaction radius, so any pair that can violate the spacing rule has
+/// touching probes.
+pub(crate) fn shifter_probe(s: &Shifter, radius: i64) -> (i64, i64, i64, i64) {
+    let probe = s.rect.inflate(radius);
+    (probe.x_lo(), probe.y_lo(), probe.x_hi(), probe.y_hi())
+}
+
+/// The box a feature is indexed under (its own rect).
+pub(crate) fn feature_box(f: &Feature) -> (i64, i64, i64, i64) {
+    (f.rect.x_lo(), f.rect.y_lo(), f.rect.x_hi(), f.rect.y_hi())
+}
+
+/// The merge-constraint verdict for one candidate shifter pair: `None`
+/// when the pair is spaced or its corridor is blocked, otherwise the
+/// overlap (or same-feature direct conflict) it induces.
+///
+/// This is *the* per-pair scan logic — the from-scratch sharded sweep and
+/// the incremental dirty-pair rescan both call it, so their verdicts
+/// cannot drift apart. It is a pure function of the pair's geometry and
+/// the feature set; neither candidate enumeration order nor feature-grid
+/// internal ordering can change its result (covered spans are re-sorted
+/// inside `corridor_blocked`).
+pub(crate) fn scan_pair(
+    shifters: &[Shifter],
+    features: &[Feature],
+    feature_grid: &GridIndex,
+    rules: &DesignRules,
+    spacing_sq: i128,
+    a: usize,
+    b: usize,
+) -> Option<ScanHit> {
+    let (sa, sb) = (shifters[a], shifters[b]);
+    let gap_sq = sa.rect.euclid_gap_sq(&sb.rect);
+    if gap_sq >= spacing_sq {
+        return None;
+    }
+    if corridor_blocked(features, feature_grid, rules, &sa, &sb) {
+        return None;
+    }
+    let gap_x = sa.rect.x_gap(&sb.rect);
+    let gap_y = sa.rect.y_gap(&sb.rect);
+    let weight = (rules.shifter_spacing - gap_x.max(gap_y)).max(1);
+    Some(if sa.feature == sb.feature {
+        ScanHit::Direct(DirectConflict {
+            feature: sa.feature,
+            weight,
+        })
+    } else {
+        let (a, b) = if a < b { (a, b) } else { (b, a) };
+        ScanHit::Overlap(OverlapPair {
+            a,
+            b,
+            gap_x,
+            gap_y,
+            weight,
+        })
+    })
+}
+
+/// Sorts the scanned constraints into the canonical order every extractor
+/// must emit: overlaps ascending by shifter pair, direct conflicts
+/// ascending by feature. Both keys are unique (the grid traversal visits
+/// each pair once), so the order is a pure function of the constraint
+/// *set* — which is what lets the incremental extractor merge reused and
+/// rescanned constraints and still match the from-scratch bytes.
+pub(crate) fn canonicalize_constraints(geom: &mut PhaseGeometry) {
+    geom.overlaps.sort_by_key(|o| (o.a, o.b));
+    geom.direct_conflicts.sort_by_key(|d| d.feature);
 }
 
 /// Whether the straight corridor between two nearby shifters is blocked by

@@ -4,10 +4,16 @@
 //! `proptest` cannot be fetched. This crate keeps the seed property tests
 //! compiling and *meaningful*: strategies generate seeded pseudo-random
 //! values and each `proptest!` test runs its configured number of cases.
-//! What is intentionally missing versus the real crate is shrinking —
-//! a failing case reports its case index and panics without minimizing.
-//! The per-test RNG seed is derived from the test name (override with
-//! `PROPTEST_STUB_SEED`), so failures reproduce exactly.
+//! What is intentionally missing versus the real crate is shrinking — a
+//! failing case is *not* minimized, but it **is reported**: the failure
+//! message (for `prop_assert!` violations) or a line on stderr (for
+//! panicking bodies) carries the case index, the RNG seed to replay the
+//! whole test, and the `Debug` rendering of every generated input, so
+//! failures are debuggable without shrinking. This requires every
+//! generated value type to implement `Debug` (all of the real crate's
+//! strategies do too). The per-test RNG seed is derived from the test
+//! name (override with `PROPTEST_STUB_SEED`), so failures reproduce
+//! exactly.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -313,6 +319,7 @@ impl Default for ProptestConfig {
 pub struct TestRunner {
     rng: TestRng,
     cases: u32,
+    seed: u64,
 }
 
 impl TestRunner {
@@ -333,6 +340,7 @@ impl TestRunner {
         TestRunner {
             rng: TestRng(StdRng::seed_from_u64(seed)),
             cases: config.cases,
+            seed,
         }
     }
 
@@ -341,10 +349,70 @@ impl TestRunner {
         self.cases
     }
 
+    /// The RNG seed this run started from (replay the whole test with
+    /// `PROPTEST_STUB_SEED=<seed>`).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
     /// The case RNG.
     pub fn rng(&mut self) -> &mut TestRng {
         &mut self.rng
     }
+}
+
+/// Cap on one input's `Debug` rendering in a failure report; generated
+/// layouts/graphs can be large, and the point is debuggability, not a
+/// full dump.
+const MAX_INPUT_REPR: usize = 16 * 1024;
+
+/// A `fmt::Write` sink that stops accepting bytes once its budget is
+/// spent (always cutting at a char boundary), so rendering a huge value
+/// costs at most the cap — not a full format followed by a truncate.
+struct CappedWriter<'a> {
+    out: &'a mut String,
+    remaining: usize,
+    truncated: bool,
+}
+
+impl core::fmt::Write for CappedWriter<'_> {
+    fn write_str(&mut self, s: &str) -> core::fmt::Result {
+        if self.truncated {
+            return Err(core::fmt::Error);
+        }
+        if s.len() <= self.remaining {
+            self.out.push_str(s);
+            self.remaining -= s.len();
+            return Ok(());
+        }
+        let mut cut = self.remaining;
+        while cut > 0 && !s.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        self.out.push_str(&s[..cut]);
+        self.remaining = 0;
+        self.truncated = true;
+        Err(core::fmt::Error)
+    }
+}
+
+/// Appends `pat = value;` to a failure-report buffer (used by the
+/// [`proptest!`] macro), rendering at most [`MAX_INPUT_REPR`] bytes of
+/// the value.
+pub fn append_input<T: core::fmt::Debug>(out: &mut String, pat: &str, value: &T) {
+    use core::fmt::Write;
+    out.push_str(pat);
+    out.push_str(" = ");
+    let mut w = CappedWriter {
+        out,
+        remaining: MAX_INPUT_REPR,
+        truncated: false,
+    };
+    let truncated = write!(w, "{value:?}").is_err() && w.truncated;
+    if truncated {
+        out.push_str("… <truncated>");
+    }
+    out.push_str("; ");
 }
 
 /// Everything the seed tests import.
@@ -404,14 +472,39 @@ macro_rules! proptest {
             fn $name() {
                 let config: $crate::ProptestConfig = $cfg;
                 let mut runner = $crate::TestRunner::new(&config, stringify!($name));
+                let seed = runner.seed();
                 for case in 0..runner.cases() {
+                    let mut __inputs = ::std::string::String::new();
                     $(
-                        let $pat = $crate::strategy::Strategy::generate(&($strat), runner.rng());
+                        let __generated = $crate::strategy::Strategy::generate(&($strat), runner.rng());
+                        $crate::append_input(&mut __inputs, stringify!($pat), &__generated);
+                        let $pat = __generated;
                     )+
-                    let outcome: ::core::result::Result<(), $crate::TestCaseError> =
-                        (|| { $body Ok(()) })();
-                    if let Err(e) = outcome {
-                        panic!("proptest case {case} of {} failed: {e}", stringify!($name));
+                    // `catch_unwind` so panicking bodies (plain asserts,
+                    // expects) also report the generated inputs before
+                    // the panic propagates.
+                    let outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(
+                            || -> ::core::result::Result<(), $crate::TestCaseError> {
+                                $body Ok(())
+                            },
+                        ),
+                    );
+                    match outcome {
+                        Ok(Ok(())) => {}
+                        Ok(Err(e)) => panic!(
+                            "proptest case {case} of {} failed (replay with PROPTEST_STUB_SEED={seed}): {e}\n  input: {}",
+                            stringify!($name),
+                            __inputs
+                        ),
+                        Err(payload) => {
+                            eprintln!(
+                                "proptest case {case} of {} panicked (replay with PROPTEST_STUB_SEED={seed})\n  input: {}",
+                                stringify!($name),
+                                __inputs
+                            );
+                            ::std::panic::resume_unwind(payload);
+                        }
                     }
                 }
             }
