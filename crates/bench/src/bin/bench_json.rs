@@ -8,9 +8,12 @@
 //!   conflict-graph build, greedy planarization, and serial-vs-parallel
 //!   dual-T-join bipartization (the stage the paper's Table 1 times).
 //! * `BENCH_detect_pipeline.json` — the full front-to-back view: every
-//!   pipeline stage (extract / build / planarize / bipartize) timed
-//!   serially (`parallelism = 1`) and on all available cores
-//!   (`parallelism = 0`), on the 1×/4×/16×/64× scaling suite.
+//!   pipeline stage (extract / build / planarize / face_dual /
+//!   bipartize) timed serially (`parallelism = 1`) and on all available
+//!   cores (`parallelism = 0`), on the 1×/4×/16×/64× scaling suite. The
+//!   `face_dual` stage isolates the per-component parallel face trace +
+//!   dual build inside bipartization and is excluded from the totals
+//!   (bipartize already contains it).
 //!
 //! Every parallel stage output is asserted equal to its serial output
 //! before a row is written, so a speedup column can never come from a
@@ -154,7 +157,25 @@ fn main() {
         assert_eq!(serial_out.last(), parallel_out.last());
         let cg = serial_out.pop().expect("reps >= 1");
 
-        // ---- Stage 4: bipartization. ----
+        // ---- Stage 4: face trace + dual build (the planar-embedding
+        // front half of bipartization, parallelized per component). ----
+        let (face_dual_serial_s, serial_embedding) = time_best(reps, || {
+            let faces = aapsm_graph::trace_faces(&cg.graph);
+            let dual = aapsm_graph::build_dual(&cg.graph, &faces);
+            (faces, dual)
+        });
+        let (face_dual_parallel_s, parallel_embedding) = time_best(reps, || {
+            let faces = aapsm_graph::trace_faces_par(&cg.graph, 0);
+            let dual = aapsm_graph::build_dual_par(&cg.graph, &faces, 0);
+            (faces, dual)
+        });
+        assert_eq!(
+            serial_embedding, parallel_embedding,
+            "{}: parallel face trace / dual build diverged from serial",
+            design.name
+        );
+
+        // ---- Stage 5: bipartization. ----
         let method = BipartizeMethod::OptimalDual {
             tjoin: TJoinMethod::default(),
             blocks: false,
@@ -168,7 +189,7 @@ fn main() {
             design.name
         );
 
-        // ---- Stage 5: incremental re-detect of the correction loop.
+        // ---- Stage 6: incremental re-detect of the correction loop.
         // Two rounds are measured against a from-scratch extract+detect
         // of the corrected layout, both asserted identical first:
         // `local` corrects one conflict (the ECO / near-convergence
@@ -243,10 +264,21 @@ fn main() {
             Stage::from_secs("extract", extract_serial_s, extract_parallel_s),
             Stage::from_secs("build", build_serial_s, build_parallel_s),
             Stage::from_secs("planarize", planarize_serial_s, planarize_parallel_s),
+            Stage::from_secs("face_dual", face_dual_serial_s, face_dual_parallel_s),
             Stage::from_secs("bipartize", bipartize_serial_s, bipartize_parallel_s),
         ];
-        let total_serial_ms: f64 = stages.iter().map(|s| s.serial_ms).sum();
-        let total_parallel_ms: f64 = stages.iter().map(|s| s.parallel_ms).sum();
+        // `face_dual` is the front half of `bipartize` (which re-traces
+        // internally), so it is reported but excluded from the totals.
+        let total_serial_ms: f64 = stages
+            .iter()
+            .filter(|s| s.name != "face_dual")
+            .map(|s| s.serial_ms)
+            .sum();
+        let total_parallel_ms: f64 = stages
+            .iter()
+            .filter(|s| s.name != "face_dual")
+            .map(|s| s.parallel_ms)
+            .sum();
         let mut stage_json: Vec<String> = stages.iter().map(|s| s.json()).collect();
         stage_json.push(format!(
             concat!(

@@ -7,8 +7,8 @@
 //! parity-aware strengthening) and a brute-force reference are included.
 
 use aapsm_graph::{
-    biconnected_components, build_dual, connected_components, greedy_parity_subgraph,
-    max_weight_spanning_forest, trace_faces, two_color_excluding, EdgeId, EmbeddedGraph,
+    biconnected_components, component_embeddings, greedy_parity_subgraph,
+    max_weight_spanning_forest, two_color_excluding, EdgeId, EmbeddedGraph,
 };
 use aapsm_tjoin::{solve_with, MatchingContext, TJoinInstance, TJoinMethod};
 
@@ -102,9 +102,9 @@ pub fn bipartize_with(
         }
         BipartizeMethod::OptimalDual { tjoin, blocks } => {
             let instances = if blocks {
-                extract_block_instances(g)
+                extract_block_instances(g, parallelism)
             } else {
-                extract_component_instances(g)
+                extract_component_instances(g, parallelism)
             };
             let deleted = solve_instances(&instances, tjoin, parallelism);
             finish(g, deleted)
@@ -231,9 +231,9 @@ pub fn bipartize_with_cache(
     cache: &mut SolveCache,
 ) -> BipartizeOutcome {
     let instances = if blocks {
-        extract_block_instances(g)
+        extract_block_instances(g, parallelism)
     } else {
-        extract_component_instances(g)
+        extract_component_instances(g, parallelism)
     };
     cache.generation += 1;
     cache.hits = 0;
@@ -305,89 +305,82 @@ pub fn bipartize_with_cache(
 }
 
 /// Extracts one dual T-join instance per connected component that has odd
-/// faces. Faces are traced once globally; each component's faces are
-/// disjoint, so the dual decomposes for free.
+/// faces, on up to `parallelism` workers.
 ///
-/// Renumbering is fully dense: faces map to per-component local ids
-/// through a `Vec` indexed by global face id (the former per-component
-/// `HashMap` was the extraction hot spot on many-block layouts).
-fn extract_component_instances(g: &EmbeddedGraph) -> Vec<DualTJoin> {
+/// Faces are traced **per component**
+/// ([`aapsm_graph::component_embeddings`]): each worker traces one
+/// component's rotation system and the dual T-join falls out of the
+/// partition for free — local face ids are already dense, the T-set is
+/// the local odd-face flags, and a second parallel pass classifies each
+/// component's edges into dual edges (pushed with their local face
+/// endpoints) and bridges (skipped — a bridge lies on no cycle). The
+/// historical global-trace-then-regroup pass and its `comp_of_face` /
+/// `local_of_face` remapping are gone, yet the extracted instances are
+/// byte-identical to it at every parallelism degree: local face order
+/// equals the serial trace order restricted to the component, and
+/// component order is [`aapsm_graph::connected_components`] order either
+/// way — which keeps [`SolveCache`] keys stable too.
+fn extract_component_instances(g: &EmbeddedGraph, parallelism: usize) -> Vec<DualTJoin> {
     debug_assert!(aapsm_graph::crossing_pairs(g).is_planar());
-    let faces = trace_faces(g);
-    let dual = build_dual(g, &faces);
-    if dual.t_set().is_empty() {
+    let embeddings = component_embeddings(g, parallelism);
+    let with_odd: Vec<_> = embeddings.iter().filter(|e| e.has_odd_face()).collect();
+    if with_odd.is_empty() {
         return Vec::new();
     }
-    let comps = connected_components(g);
-    let nc = comps.count;
-    // Group dual edges (and odd-face T flags) by primal component.
-    let mut comp_of_face = vec![u32::MAX; dual.face_count];
-    for de in &dual.edges {
-        let (u, _) = g.endpoints(de.primal);
-        let c = comps.component(u);
-        comp_of_face[de.a as usize] = c;
-        comp_of_face[de.b as usize] = c;
-    }
-    for &b in &dual.bridges {
-        let (u, _) = g.endpoints(b);
-        let c = comps.component(u);
-        let f = faces.left_face(b);
-        comp_of_face[f as usize] = c;
-    }
-    // Dense local face renumbering (ascending face id per component, like
-    // the historical per-component filter) and per-component T vectors.
-    let mut local_of_face = vec![0u32; dual.face_count];
-    let mut t: Vec<Vec<bool>> = vec![Vec::new(); nc];
-    let mut has_odd = vec![false; nc];
-    for f in 0..dual.face_count {
-        let c = comp_of_face[f];
-        if c == u32::MAX {
-            continue;
-        }
-        let c = c as usize;
-        local_of_face[f] = t[c].len() as u32;
-        let odd = dual.odd_face[f];
-        t[c].push(odd);
-        has_odd[c] |= odd;
-    }
-    // Per-component dual edge lists, only for components that need solving.
-    let mut edges: Vec<Vec<(usize, usize, i64)>> = vec![Vec::new(); nc];
-    let mut primal: Vec<Vec<EdgeId>> = vec![Vec::new(); nc];
-    for de in &dual.edges {
-        let c = comp_of_face[de.a as usize] as usize;
-        if has_odd[c] {
-            edges[c].push((
-                local_of_face[de.a as usize] as usize,
-                local_of_face[de.b as usize] as usize,
-                de.weight,
-            ));
-            primal[c].push(de.primal);
-        }
-    }
-    let mut instances = Vec::new();
-    for c in 0..nc {
-        if !has_odd[c] {
-            continue; // component absent from the drawing or already bipartite
-        }
-        let inst = TJoinInstance::new(
-            t[c].len(),
-            std::mem::take(&mut edges[c]),
-            std::mem::take(&mut t[c]),
-        )
-        .expect("dual T-join instance is well-formed");
-        instances.push(DualTJoin {
-            inst,
-            primal_of_edge: std::mem::take(&mut primal[c]),
-        });
-    }
-    instances
+    // Same adaptive policy (and the same dual-edge metric) as
+    // `solve_instances`: under auto parallelism, assembling a handful of
+    // tiny instances is microsecond work and thread spawn/join would
+    // dominate. The classification scan runs only on the auto path —
+    // explicit degrees don't need the count.
+    let auto_serial = parallelism == 0 && {
+        let total_dual_edges: usize = with_odd
+            .iter()
+            .map(|emb| {
+                (0..emb.edges.len())
+                    .filter(|&i| emb.face_of[2 * i] != emb.face_of[2 * i + 1])
+                    .count()
+            })
+            .sum();
+        total_dual_edges < SERIAL_FALLBACK_DUAL_EDGES
+    };
+    let workers = if auto_serial {
+        1
+    } else {
+        effective_workers(parallelism, with_odd.len())
+    };
+    aapsm_geom::par_map_indexed(
+        with_odd.len(),
+        workers,
+        || (),
+        |(), k| {
+            let emb = with_odd[k];
+            let mut edges = Vec::with_capacity(emb.edges.len());
+            let mut primal = Vec::with_capacity(emb.edges.len());
+            for (i, &e) in emb.edges.iter().enumerate() {
+                let a = emb.face_of[2 * i];
+                let b = emb.face_of[2 * i + 1];
+                if a == b {
+                    continue; // bridge: dual self-loop, never in a minimum cover
+                }
+                edges.push((a as usize, b as usize, g.weight(e)));
+                primal.push(e);
+            }
+            let t: Vec<bool> = emb.face_len.iter().map(|&l| l % 2 == 1).collect();
+            let inst =
+                TJoinInstance::new(t.len(), edges, t).expect("dual T-join instance is well-formed");
+            DualTJoin {
+                inst,
+                primal_of_edge: primal,
+            }
+        },
+    )
 }
 
 /// Extracts instances per biconnected block: each block's drawing is
 /// traced and dualized in isolation. Same optimum as the component
 /// decomposition (odd cycles never span blocks), different instance
 /// shapes — this is the paper's ablation axis.
-fn extract_block_instances(g: &EmbeddedGraph) -> Vec<DualTJoin> {
+fn extract_block_instances(g: &EmbeddedGraph, parallelism: usize) -> Vec<DualTJoin> {
     let blocks = biconnected_components(g);
     let mut instances = Vec::new();
     let mut scratch = g.clone();
@@ -405,7 +398,9 @@ fn extract_block_instances(g: &EmbeddedGraph) -> Vec<DualTJoin> {
         for &e in block {
             scratch.revive_edge(e);
         }
-        instances.extend(extract_component_instances(&scratch));
+        // A block is connected, so this is at most one instance; the
+        // worker resolution inside collapses to an inline trace.
+        instances.extend(extract_component_instances(&scratch, parallelism));
     }
     instances
 }

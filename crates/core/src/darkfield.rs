@@ -184,6 +184,90 @@ mod tests {
         }
     }
 
+    /// Recomputes the close-critical-pair set independently of
+    /// [`detect_dark_field`]'s grid traversal (quadratic scan) and checks
+    /// the report against it: every conflict names a genuine close pair,
+    /// and every close pair not voided by a conflict got opposite phases.
+    fn assert_dark_field_sound(l: &Layout, r: &DesignRules, report: &DarkFieldReport) {
+        let rects = l.rects();
+        let critical: Vec<usize> = (0..rects.len())
+            .filter(|&i| rects[i].min_dim() <= r.critical_width)
+            .collect();
+        let s2 = (r.shifter_spacing as i128) * (r.shifter_spacing as i128);
+        let mut close = Vec::new();
+        for (k, &i) in critical.iter().enumerate() {
+            for &j in &critical[k + 1..] {
+                if rects[i].euclid_gap_sq(&rects[j]) < s2 {
+                    close.push((i.min(j), i.max(j)));
+                }
+            }
+        }
+        assert_eq!(report.constraint_count, close.len());
+        let voided: std::collections::HashSet<(usize, usize)> = report
+            .conflicts
+            .iter()
+            .map(|c| (c.a.min(c.b), c.a.max(c.b)))
+            .collect();
+        for v in &voided {
+            assert!(close.contains(v), "conflict {v:?} is not a close pair");
+        }
+        for &(a, b) in &close {
+            if !voided.contains(&(a, b)) {
+                assert_ne!(
+                    report.phases[a], report.phases[b],
+                    "surviving constraint ({a},{b}) must alternate phases"
+                );
+            }
+        }
+    }
+
+    /// Differential test against the bright-field pipeline on shared
+    /// fixtures: the two formulations answer different questions — dark
+    /// field phases the *features*, bright field the *shifters flanking*
+    /// them — so layouts whose shifters collide while the features
+    /// themselves are legally spaced conflict under bright field only.
+    /// Both reports must be internally sound on every fixture.
+    #[test]
+    fn dark_field_vs_bright_field_on_shared_fixtures() {
+        use crate::{detect_conflicts, DetectConfig};
+        use aapsm_layout::{extract_phase_geometry, fixtures};
+        let r = rules();
+        // (fixture, expected dark conflicts, expected bright conflicts)
+        let cases: Vec<(&str, Layout, usize, usize)> = vec![
+            ("single_wire", fixtures::single_wire(&r), 0, 0),
+            ("wire_row", fixtures::wire_row(8, 600), 0, 0),
+            ("benign_block", fixtures::benign_block(&r), 0, 0),
+            // The defining divergence: the gate's shifters overlap the
+            // strap's, but the features sit farther apart than the
+            // opposite-phase spacing — bright field must flag it, dark
+            // field must not.
+            ("gate_over_strap", fixtures::gate_over_strap(&r), 0, 1),
+            ("stacked_jog", fixtures::stacked_jog(&r), 0, 2),
+            ("short_middle_wire", fixtures::short_middle_wire(&r), 0, 1),
+            ("strap_under_bus", fixtures::strap_under_bus(6, &r), 0, 6),
+        ];
+        for (name, l, dark_expected, bright_expected) in cases {
+            let dark = detect_dark_field(&l, &r);
+            assert_eq!(dark.conflicts.len(), dark_expected, "{name}: dark field");
+            assert_dark_field_sound(&l, &r, &dark);
+            let bright =
+                detect_conflicts(&extract_phase_geometry(&l, &r), &DetectConfig::default());
+            assert_eq!(
+                bright.conflict_count(),
+                bright_expected,
+                "{name}: bright field"
+            );
+        }
+        // A tight wire row puts the features themselves inside the
+        // opposite-phase spacing: dark field now sees a constraint chain
+        // (even, hence still assignable with alternating phases).
+        let tight = fixtures::wire_row(6, 260);
+        let dark = detect_dark_field(&tight, &r);
+        assert_eq!(dark.constraint_count, 5);
+        assert!(dark.conflicts.is_empty());
+        assert_dark_field_sound(&tight, &r, &dark);
+    }
+
     #[test]
     fn wide_features_ignored() {
         let l = Layout::from_rects(vec![

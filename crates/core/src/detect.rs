@@ -56,11 +56,13 @@ pub struct DetectConfig {
     pub blocks: bool,
     /// Worker threads for the whole pipeline — the tile-sharded
     /// conflict-graph build, the sharded crossing sweep feeding
-    /// planarization, and the bipartization solve: `0` = one per
+    /// planarization, the per-component face trace / dual T-join
+    /// extraction, and the bipartization solve: `0` = one per
     /// available CPU, `1` = serial (the default), `k` = at most `k`.
     /// Every setting produces bit-identical conflict sets; see
-    /// [`crate::bipartize_with`], [`crate::build_conflict_graph_tiled`]
-    /// and [`aapsm_graph::crossing_pairs_par`].
+    /// [`crate::bipartize_with`], [`crate::build_conflict_graph_tiled`],
+    /// [`aapsm_graph::crossing_pairs_par`] and
+    /// [`aapsm_graph::trace_faces_par`].
     pub parallelism: usize,
 }
 

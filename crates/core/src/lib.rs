@@ -46,13 +46,16 @@
 //!   be built tile-sharded ([`build_conflict_graph_tiled`]) — the layout
 //!   bounding box is cut into K×K tiles whose per-tile node/edge lists
 //!   (dense local renumbering) are stitched into the canonical graph.
-//! * **Back-end**: every independent dual T-join instance (per connected
-//!   component, or per biconnected block with [`DetectConfig::blocks`])
-//!   is extracted first with dense `Vec`-based renumbering, then solved
-//!   on worker threads; per-instance deleted-edge sets are merged in
-//!   instance order and sorted by edge id. Tiny instance sets fall back
-//!   to the calling thread adaptively (thread spawn would dominate).
-//!   Lower-level callers use [`bipartize_with`] directly.
+//! * **Back-end**: faces are traced and dualized **per connected
+//!   component** on worker threads (`aapsm_graph::component_embeddings`
+//!   — the dual T-join decomposition falls out of the partition for
+//!   free, with dense `Vec`-based renumbering), then every independent
+//!   instance (per component, or per biconnected block with
+//!   [`DetectConfig::blocks`]) is solved on worker threads; per-instance
+//!   deleted-edge sets are merged in instance order and sorted by edge
+//!   id. Tiny graphs and instance sets fall back to the calling thread
+//!   adaptively (thread spawn would dominate). Lower-level callers use
+//!   [`bipartize_with`] directly.
 //! * **Allocation**: each worker owns one `aapsm_matching::MatchingContext`
 //!   — a reusable Blossom arena. Solving through a context allocates only
 //!   when an instance out-sizes everything the context has seen, so the

@@ -30,7 +30,12 @@
 //!   instances are memoized by exact instance bytes, so untouched
 //!   components replay their previous solution; the solvers being
 //!   deterministic makes a byte-equal instance's cached join exactly
-//!   what a fresh solve would return.
+//!   what a fresh solve would return. Instance extraction itself (the
+//!   per-component face trace / dual build of
+//!   `aapsm_graph::component_embeddings`) honors the engine's
+//!   parallelism knob and yields byte-identical instances at every
+//!   degree, keeping cache keys stable across serial and parallel
+//!   rounds.
 //!
 //! Whenever a reuse precondition fails — criticality flips, a rect that
 //! does not match its predicted post-cut image, the feature-graph

@@ -16,7 +16,10 @@ use aapsm_core::{
     planarize_graph, planarize_graph_par, BipartizeMethod, DetectConfig, GadgetKind, GraphKind,
     TJoinMethod, TileConfig,
 };
-use aapsm_graph::{crossing_pairs, crossing_pairs_par, EmbeddedGraph, PlanarizeOrder};
+use aapsm_graph::{
+    build_dual, build_dual_par, crossing_pairs, crossing_pairs_par, trace_faces, trace_faces_par,
+    EmbeddedGraph, PlanarizeOrder,
+};
 use aapsm_layout::synth::{generate, SynthParams};
 use aapsm_layout::{extract_phase_geometry, extract_phase_geometry_par, DesignRules, Layout};
 use proptest::prelude::*;
@@ -59,6 +62,46 @@ fn methods() -> Vec<TJoinMethod> {
         TJoinMethod::Gadget(GadgetKind::Generalized { max_group: 8 }),
         TJoinMethod::ShortestPath,
     ]
+}
+
+/// The parallel face trace and dual build are bit-identical to serial on
+/// fixture-derived planarized phase conflict graphs — the production graph
+/// shapes, complementing the adversarial synthetic graphs of
+/// `crates/graph/tests/proptest_graph.rs` and `embed.rs`.
+#[test]
+fn face_dual_parallel_matches_serial_on_fixtures() {
+    use aapsm_layout::fixtures;
+    let rules = DesignRules::default();
+    for (name, layout) in [
+        ("gate_over_strap", fixtures::gate_over_strap(&rules)),
+        ("stacked_jog", fixtures::stacked_jog(&rules)),
+        ("strap_under_bus", fixtures::strap_under_bus(6, &rules)),
+        ("short_middle_wire", fixtures::short_middle_wire(&rules)),
+        ("wire_row", fixtures::wire_row(8, 600)),
+    ] {
+        let geom = extract_phase_geometry(&layout, &rules);
+        for kind in [GraphKind::PhaseConflict, GraphKind::Feature] {
+            let mut cg = build_conflict_graph(&geom, kind);
+            planarize_graph(&mut cg, PlanarizeOrder::MinWeightFirst);
+            let serial = trace_faces(&cg.graph);
+            serial
+                .validate(&cg.graph)
+                .unwrap_or_else(|e| panic!("{name}/{kind:?}: serial trace invalid: {e}"));
+            let dual_serial = build_dual(&cg.graph, &serial);
+            for parallelism in DEGREES {
+                let par = trace_faces_par(&cg.graph, parallelism);
+                assert_eq!(
+                    par, serial,
+                    "{name}/{kind:?}: trace diverged at {parallelism}"
+                );
+                let dual_par = build_dual_par(&cg.graph, &par, parallelism);
+                assert_eq!(
+                    dual_par, dual_serial,
+                    "{name}/{kind:?}: dual diverged at {parallelism}"
+                );
+            }
+        }
+    }
 }
 
 proptest! {

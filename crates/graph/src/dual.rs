@@ -26,7 +26,7 @@ pub struct DualEdge {
 /// ([`DualGraph::t_set`]); for a plane multigraph the dual degree of a face
 /// equals its boundary-walk length, so "odd-degree dual nodes" (the paper's
 /// phrasing) and "odd faces" coincide.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DualGraph {
     /// Number of dual nodes (faces).
     pub face_count: usize,
@@ -137,6 +137,115 @@ mod tests {
         // Outer face walk: a-b, b-d, d-b, b-c... length 5 -> odd; inner
         // triangle odd; so both faces are in T.
         assert_eq!(dual.t_set().len(), 2);
+    }
+
+    #[test]
+    fn bridge_heavy_barbell_segregates_every_bridge() {
+        // Two odd triangles joined by a three-edge bridge path: the dual
+        // must keep exactly the six cycle edges and segregate the path.
+        let mut g = EmbeddedGraph::new();
+        let a = g.add_node(p(0, 0));
+        let b = g.add_node(p(-100, 60));
+        let c = g.add_node(p(-100, -60));
+        let m1 = g.add_node(p(150, 5));
+        let m2 = g.add_node(p(300, -5));
+        let d = g.add_node(p(450, 0));
+        let e = g.add_node(p(550, 60));
+        let f = g.add_node(p(550, -60));
+        g.add_edge(a, b, 1);
+        g.add_edge(b, c, 1);
+        g.add_edge(c, a, 1);
+        let p1 = g.add_edge(a, m1, 1);
+        let p2 = g.add_edge(m1, m2, 1);
+        let p3 = g.add_edge(m2, d, 1);
+        g.add_edge(d, e, 1);
+        g.add_edge(e, f, 1);
+        g.add_edge(f, d, 1);
+        let faces = trace_faces(&g);
+        faces.validate(&g).expect("plane drawing");
+        let dual = build_dual(&g, &faces);
+        assert_eq!(dual.bridges, vec![p1, p2, p3]);
+        assert_eq!(dual.edges.len(), 6);
+        // One component: V=8, E=9, F=3 (two triangle interiors + outer).
+        assert_eq!(dual.face_count, 3);
+        // Both triangle interiors are odd; the outer walk (3+3 cycle
+        // edges + 2*3 bridge visits = 12) is even — T has two faces.
+        assert_eq!(dual.t_set().len(), 2);
+    }
+
+    #[test]
+    fn multi_component_dual_keeps_components_disjoint() {
+        let mut g = EmbeddedGraph::new();
+        // Component 0: triangle (2 faces, both odd).
+        let a = g.add_node(p(0, 0));
+        let b = g.add_node(p(100, 0));
+        let c = g.add_node(p(50, 80));
+        g.add_edge(a, b, 1);
+        g.add_edge(b, c, 1);
+        g.add_edge(c, a, 1);
+        // Component 1: square (2 faces, both even).
+        let n: Vec<_> = [(5000, 0), (5100, 0), (5100, 100), (5000, 100)]
+            .iter()
+            .map(|&(x, y)| g.add_node(p(x, y)))
+            .collect();
+        for i in 0..4 {
+            g.add_edge(n[i], n[(i + 1) % 4], 1);
+        }
+        // Component 2: lone bridge edge (1 face).
+        let x = g.add_node(p(10_000, 0));
+        let y = g.add_node(p(10_100, 0));
+        let lone = g.add_edge(x, y, 1);
+        let faces = trace_faces(&g);
+        let dual = build_dual(&g, &faces);
+        assert_eq!(dual.face_count, 5);
+        assert_eq!(dual.edges.len(), 7);
+        assert_eq!(dual.bridges, vec![lone]);
+        assert_eq!(dual.t_set().len(), 2);
+        // No dual edge may connect faces of different components: the two
+        // odd (triangle) faces must be linked to each other, never to the
+        // square's or the lone edge's faces.
+        let t = dual.t_set();
+        for de in &dual.edges {
+            let a_odd = t.contains(&de.a);
+            let b_odd = t.contains(&de.b);
+            assert_eq!(a_odd, b_odd, "dual edge {de:?} spans components");
+        }
+    }
+
+    #[test]
+    fn dual_has_no_self_loops_even_on_bridge_rich_graphs() {
+        // Bridges would be dual self-loops; `build_dual` must exclude
+        // them so downstream T-join instances (which reject self-loops)
+        // stay well-formed. Star + triangle + pendant chains.
+        let mut g = EmbeddedGraph::new();
+        let hub = g.add_node(p(0, 0));
+        let mut prev = hub;
+        for i in 1..6i64 {
+            let nn = g.add_node(p(120 * i, 30 * (i % 3)));
+            g.add_edge(prev, nn, 1);
+            prev = nn;
+        }
+        let t1 = g.add_node(p(-100, 100));
+        let t2 = g.add_node(p(-200, 20));
+        g.add_edge(hub, t1, 1);
+        g.add_edge(t1, t2, 1);
+        g.add_edge(t2, hub, 1);
+        let faces = trace_faces(&g);
+        faces.validate(&g).expect("plane drawing");
+        let dual = build_dual(&g, &faces);
+        for de in &dual.edges {
+            assert_ne!(de.a, de.b, "dual self-loop leaked for {de:?}");
+        }
+        assert_eq!(dual.edges.len() + dual.bridges.len(), g.alive_edge_count());
+        assert_eq!(dual.bridges.len(), 5);
+        // Killing the chain leaves the pure triangle: bridges vanish.
+        for e in dual.bridges.clone() {
+            g.kill_edge(e);
+        }
+        let faces = trace_faces(&g);
+        let dual = build_dual(&g, &faces);
+        assert!(dual.bridges.is_empty());
+        assert_eq!(dual.edges.len(), 3);
     }
 
     #[test]

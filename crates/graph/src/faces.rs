@@ -1,4 +1,4 @@
-use crate::{EdgeId, EmbeddedGraph, NodeId};
+use crate::{connected_components, EdgeId, EmbeddedGraph, NodeId};
 
 /// The faces of a plane straight-line drawing of the alive subgraph.
 ///
@@ -6,7 +6,7 @@ use crate::{EdgeId, EmbeddedGraph, NodeId};
 /// node coordinates (incident edges sorted counter-clockwise). Each
 /// directed half-edge belongs to exactly one face; the face boundary walk
 /// of a bridge visits it twice (once per direction).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Faces {
     /// Number of faces traced.
     pub count: usize,
@@ -39,6 +39,172 @@ impl Faces {
     pub fn odd_faces(&self) -> Vec<u32> {
         (0..self.count as u32).filter(|&f| self.is_odd(f)).collect()
     }
+
+    /// Validates this face structure against the graph it was traced from
+    /// — the reusable debug assertion behind every face-tracing test
+    /// (serial and parallel alike).
+    ///
+    /// Checks, in order:
+    ///
+    /// 1. **Half-edge coverage**: every alive half-edge carries a face id
+    ///    below [`Faces::count`]; every dead half-edge carries `u32::MAX`.
+    /// 2. **Walk lengths**: the number of half-edges assigned to each face
+    ///    equals its recorded [`Faces::face_len`] (so walks sum to twice
+    ///    the alive edge count).
+    /// 3. **Per-component Euler formula**: `V − E + F = 2` for every
+    ///    connected component with at least one alive edge.
+    /// 4. **Bridge double-visit**: an alive edge has the same face on both
+    ///    sides (its boundary walk visits it twice) **iff** it is a bridge
+    ///    of the alive subgraph, independently computed by DFS low-link.
+    ///
+    /// Returns `Err` with a description of the first violation. Intended
+    /// for `debug_assert!(faces.validate(&g).is_ok())`-style use and test
+    /// suites; it allocates and runs a DFS, so keep it off release hot
+    /// paths.
+    pub fn validate(&self, g: &EmbeddedGraph) -> Result<(), String> {
+        if self.face_of.len() != 2 * g.edge_count() {
+            return Err(format!(
+                "face_of covers {} half-edges, graph has {}",
+                self.face_of.len(),
+                2 * g.edge_count()
+            ));
+        }
+        if self.face_len.len() != self.count {
+            return Err(format!(
+                "face_len has {} entries for {} faces",
+                self.face_len.len(),
+                self.count
+            ));
+        }
+        let mut assigned = vec![0u64; self.count];
+        for e in g.all_edges() {
+            for dir in 0..2 {
+                let f = self.face_of[2 * e.index() + dir];
+                if g.is_alive(e) {
+                    if f == u32::MAX {
+                        return Err(format!("alive half-edge {e}/{dir} has no face"));
+                    }
+                    if f as usize >= self.count {
+                        return Err(format!("half-edge {e}/{dir} has face {f} >= count"));
+                    }
+                    assigned[f as usize] += 1;
+                } else if f != u32::MAX {
+                    return Err(format!("dead half-edge {e}/{dir} assigned to face {f}"));
+                }
+            }
+        }
+        for (f, (&n, &len)) in assigned.iter().zip(&self.face_len).enumerate() {
+            if n != u64::from(len) {
+                return Err(format!("face {f} has {n} half-edges but walk length {len}"));
+            }
+        }
+        // Per-component Euler formula.
+        let comps = connected_components(g);
+        let mut v = vec![0i64; comps.count];
+        let mut e_cnt = vec![0i64; comps.count];
+        let mut comp_of_face = vec![u32::MAX; self.count];
+        let mut f_cnt = vec![0i64; comps.count];
+        for n in g.nodes() {
+            v[comps.component(n) as usize] += 1;
+        }
+        for ed in g.alive_edges() {
+            let c = comps.component(g.endpoints(ed).0);
+            e_cnt[c as usize] += 1;
+            for f in [self.left_face(ed), self.right_face(ed)] {
+                let slot = &mut comp_of_face[f as usize];
+                if *slot == u32::MAX {
+                    *slot = c;
+                    f_cnt[c as usize] += 1;
+                } else if *slot != c {
+                    return Err(format!("face {f} spans components {} and {c}", *slot));
+                }
+            }
+        }
+        for c in 0..comps.count {
+            if e_cnt[c] > 0 && v[c] - e_cnt[c] + f_cnt[c] != 2 {
+                return Err(format!(
+                    "component {c} violates Euler: V={} E={} F={}",
+                    v[c], e_cnt[c], f_cnt[c]
+                ));
+            }
+        }
+        // Bridge double-visit: same-face-both-sides must coincide with
+        // bridgeness of the alive subgraph.
+        let bridges = alive_bridges(g);
+        for ed in g.alive_edges() {
+            let double_visit = self.left_face(ed) == self.right_face(ed);
+            if double_visit != bridges[ed.index()] {
+                return Err(format!(
+                    "edge {ed}: double-visit {double_visit} but bridge {}",
+                    bridges[ed.index()]
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Bridges of the alive subgraph by iterative DFS low-link, indexed by
+/// edge id. Parallel edges are never bridges (the duplicate is a back
+/// edge), which the parent-*edge* tracking below preserves.
+fn alive_bridges(g: &EmbeddedGraph) -> Vec<bool> {
+    let n = g.node_count();
+    let mut disc = vec![0u32; n]; // 0 = unvisited, else discovery time + 1
+    let mut low = vec![0u32; n];
+    let mut bridge = vec![false; g.edge_count()];
+    let mut timer = 1u32;
+    struct Frame {
+        node: NodeId,
+        parent_edge: Option<EdgeId>,
+        /// Alive incident edges, collected once when the frame is pushed.
+        incident: Vec<EdgeId>,
+        next: usize,
+    }
+    let frame_for = |node: NodeId, parent_edge: Option<EdgeId>| Frame {
+        node,
+        parent_edge,
+        incident: g.incident(node).collect(),
+        next: 0,
+    };
+    for root in g.nodes() {
+        if disc[root.index()] != 0 {
+            continue;
+        }
+        disc[root.index()] = timer;
+        low[root.index()] = timer;
+        timer += 1;
+        let mut stack = vec![frame_for(root, None)];
+        while let Some(frame) = stack.last_mut() {
+            let u = frame.node;
+            if frame.next < frame.incident.len() {
+                let e = frame.incident[frame.next];
+                frame.next += 1;
+                if Some(e) == frame.parent_edge {
+                    continue;
+                }
+                let v = g.other_endpoint(e, u);
+                if disc[v.index()] == 0 {
+                    disc[v.index()] = timer;
+                    low[v.index()] = timer;
+                    timer += 1;
+                    stack.push(frame_for(v, Some(e)));
+                } else {
+                    low[u.index()] = low[u.index()].min(disc[v.index()]);
+                }
+            } else {
+                let parent_edge = frame.parent_edge;
+                stack.pop();
+                if let Some(pe) = parent_edge {
+                    let parent = stack.last().expect("parent frame exists").node;
+                    low[parent.index()] = low[parent.index()].min(low[u.index()]);
+                    if low[u.index()] > disc[parent.index()] {
+                        bridge[pe.index()] = true;
+                    }
+                }
+            }
+        }
+    }
+    bridge
 }
 
 /// Traces the faces of the alive subgraph's straight-line drawing.
@@ -52,88 +218,23 @@ impl Faces {
 /// Panics if an alive edge has zero length (coincident endpoint
 /// coordinates).
 pub fn trace_faces(g: &EmbeddedGraph) -> Faces {
-    let half_count = 2 * g.edge_count();
-    // Rotation system: outgoing half-edges per node, sorted CCW by angle.
-    let mut rotations: Vec<Vec<u32>> = vec![Vec::new(); g.node_count()];
-    for e in g.alive_edges() {
-        let (u, v) = g.endpoints(e);
-        rotations[u.index()].push(2 * e.0);
-        rotations[v.index()].push(2 * e.0 + 1);
-    }
-    let source = |h: u32| -> NodeId {
-        let e = EdgeId(h / 2);
-        let (u, v) = g.endpoints(e);
-        if h.is_multiple_of(2) {
-            u
-        } else {
-            v
-        }
-    };
-    let target = |h: u32| -> NodeId {
-        let e = EdgeId(h / 2);
-        let (u, v) = g.endpoints(e);
-        if h.is_multiple_of(2) {
-            v
-        } else {
-            u
-        }
-    };
-    for (ni, rot) in rotations.iter_mut().enumerate() {
-        let from = g.pos(NodeId(ni as u32));
-        rot.sort_by(|&ha, &hb| {
-            let da = g.pos(target(ha)) - from;
-            let db = g.pos(target(hb)) - from;
-            assert!(
-                (da.x, da.y) != (0, 0) && (db.x, db.y) != (0, 0),
-                "zero-length edge in plane drawing"
-            );
-            da.cmp_angle(db).then(ha.cmp(&hb))
-        });
-    }
-    // Position of each outgoing half-edge within its source rotation.
-    let mut rot_pos = vec![u32::MAX; half_count];
-    for rot in &rotations {
-        for (i, &h) in rot.iter().enumerate() {
-            rot_pos[h as usize] = i as u32;
-        }
-    }
-
-    // Face successor of half-edge h = (u -> v): the half-edge after
-    // twin(h) = (v -> u) in the CCW rotation at v.
-    let next = |h: u32| -> u32 {
-        let twin = h ^ 1;
-        let v = source(twin);
-        let rot = &rotations[v.index()];
-        let i = rot_pos[twin as usize] as usize;
-        rot[(i + 1) % rot.len()]
-    };
-
-    let mut face_of = vec![u32::MAX; half_count];
-    let mut face_len = Vec::new();
-    let mut count = 0u32;
-    for e in g.alive_edges() {
-        for dir in 0..2u32 {
-            let start = 2 * e.0 + dir;
-            if face_of[start as usize] != u32::MAX {
-                continue;
-            }
-            let mut len = 0u32;
-            let mut h = start;
-            loop {
-                debug_assert_eq!(face_of[h as usize], u32::MAX);
-                face_of[h as usize] = count;
-                len += 1;
-                h = next(h);
-                if h == start {
-                    break;
-                }
-            }
-            face_len.push(len);
-            count += 1;
-        }
+    // One canonical trace algorithm for serial and parallel alike:
+    // `embed::trace_edge_list` over the identity partition (all alive
+    // edges, global node numbering). Scanning the dense half-edge list in
+    // ascending order visits global half-edges in ascending order, so the
+    // local face ids *are* the serial face ids — only the half-edge
+    // indices need scattering back to the global `2*edge + dir` layout.
+    let edges: Vec<EdgeId> = g.alive_edges().collect();
+    let node_local: Vec<u32> = (0..g.node_count() as u32).collect();
+    let (local_face_of, face_len, _anchors) =
+        crate::embed::trace_edge_list(g, &edges, &node_local, g.node_count());
+    let mut face_of = vec![u32::MAX; 2 * g.edge_count()];
+    for (i, &e) in edges.iter().enumerate() {
+        face_of[2 * e.index()] = local_face_of[2 * i];
+        face_of[2 * e.index() + 1] = local_face_of[2 * i + 1];
     }
     Faces {
-        count: count as usize,
+        count: face_len.len(),
         face_of,
         face_len,
     }
@@ -142,43 +243,14 @@ pub fn trace_faces(g: &EmbeddedGraph) -> Faces {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::connected_components;
     use aapsm_geom::Point;
 
     fn p(x: i64, y: i64) -> Point {
         Point::new(x, y)
     }
 
-    /// Per-component Euler formula: V - E + F = 2 for components with
-    /// edges. Components are identified by their nodes; a face belongs to
-    /// the component of any of its boundary nodes.
     fn check_euler(g: &EmbeddedGraph, faces: &Faces) {
-        let comps = connected_components(g);
-        let mut v = vec![0usize; comps.count];
-        let mut e = vec![0usize; comps.count];
-        let mut fset: Vec<std::collections::HashSet<u32>> =
-            vec![std::collections::HashSet::new(); comps.count];
-        let mut has_edge = vec![false; comps.count];
-        for n in g.nodes() {
-            v[comps.component(n) as usize] += 1;
-        }
-        for ed in g.alive_edges() {
-            let (u, _) = g.endpoints(ed);
-            let c = comps.component(u) as usize;
-            e[c] += 1;
-            has_edge[c] = true;
-            fset[c].insert(faces.left_face(ed));
-            fset[c].insert(faces.right_face(ed));
-        }
-        for c in 0..comps.count {
-            if has_edge[c] {
-                assert_eq!(
-                    v[c] as i64 - e[c] as i64 + fset[c].len() as i64,
-                    2,
-                    "euler failed for component {c}"
-                );
-            }
-        }
+        faces.validate(g).expect("traced faces must validate");
     }
 
     #[test]

@@ -36,6 +36,7 @@ mod bipartite;
 mod components;
 mod crossings;
 mod dual;
+mod embed;
 mod faces;
 mod graph;
 mod planarize;
@@ -49,6 +50,7 @@ pub use crossings::{
     crossing_pairs_with_cell_par, CrossingAdjacency, CrossingSet,
 };
 pub use dual::{build_dual, DualEdge, DualGraph};
+pub use embed::{build_dual_par, component_embeddings, trace_faces_par, ComponentEmbedding};
 pub use faces::{trace_faces, Faces};
 pub use graph::{EdgeId, EmbeddedGraph, NodeId};
 pub use planarize::{

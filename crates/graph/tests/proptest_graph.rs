@@ -3,11 +3,14 @@
 
 use aapsm_geom::Point;
 use aapsm_graph::{
-    biconnected_components, build_dual, connected_components, crossing_pairs,
-    greedy_parity_subgraph, planarize, trace_faces, two_color, two_color_excluding, EmbeddedGraph,
-    ParityUnionFind, PlanarizeOrder,
+    biconnected_components, build_dual, build_dual_par, connected_components, crossing_pairs,
+    greedy_parity_subgraph, planarize, trace_faces, trace_faces_par, two_color,
+    two_color_excluding, EmbeddedGraph, ParityUnionFind, PlanarizeOrder,
 };
 use proptest::prelude::*;
+
+/// Parallelism degrees every parallel entry point is checked at.
+const DEGREES: [usize; 4] = [0, 1, 2, 4];
 
 fn random_graph() -> impl Strategy<Value = EmbeddedGraph> {
     let node = (-400i64..400, -400i64..400);
@@ -73,6 +76,35 @@ proptest! {
             if e[c] > 0 {
                 prop_assert_eq!(v[c] - e[c] + fs[c].len() as i64, 2);
             }
+        }
+    }
+
+    /// The parallel per-component face trace merges to the exact serial
+    /// `Faces` layout at every parallelism degree, and both traces pass
+    /// the full structural validator (half-edge coverage, per-component
+    /// Euler formula, bridge double-visit).
+    #[test]
+    fn parallel_trace_is_bit_identical_and_valid(mut g in random_graph()) {
+        planarize(&mut g, PlanarizeOrder::MinWeightFirst);
+        let serial = trace_faces(&g);
+        prop_assert!(serial.validate(&g).is_ok(), "{:?}", serial.validate(&g));
+        for parallelism in DEGREES {
+            let par = trace_faces_par(&g, parallelism);
+            prop_assert!(par.validate(&g).is_ok(), "{:?}", par.validate(&g));
+            prop_assert_eq!(&par, &serial, "trace diverged at parallelism {}", parallelism);
+        }
+    }
+
+    /// The chunked parallel dual build is bit-identical to the serial
+    /// build at every parallelism degree.
+    #[test]
+    fn parallel_dual_is_bit_identical(mut g in random_graph()) {
+        planarize(&mut g, PlanarizeOrder::MinWeightFirst);
+        let faces = trace_faces(&g);
+        let serial = build_dual(&g, &faces);
+        for parallelism in DEGREES {
+            let par = build_dual_par(&g, &faces, parallelism);
+            prop_assert_eq!(&par, &serial, "dual diverged at parallelism {}", parallelism);
         }
     }
 
