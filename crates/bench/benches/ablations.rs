@@ -69,6 +69,7 @@ fn cover_solvers(c: &mut Criterion) {
                     &rules,
                     &CorrectionOptions {
                         exact_cover_limit: limit,
+                        ..CorrectionOptions::default()
                     },
                 )
             })

@@ -13,7 +13,11 @@
 //!   cores (`parallelism = 0`), on the 1×/4×/16×/64× scaling suite. The
 //!   `face_dual` stage isolates the per-component parallel face trace +
 //!   dual build inside bipartization and is excluded from the totals
-//!   (bipartize already contains it).
+//!   (bipartize already contains it). The `correction_plan` stage times
+//!   the decomposed weighted-set-cover planner serial vs parallel
+//!   (identical plans asserted) with plan-weight and proven-optimal
+//!   component counters; it is kept out of the detection totals so they
+//!   stay comparable across snapshots.
 //!
 //! Every parallel stage output is asserted equal to its serial output
 //! before a row is written, so a speedup column can never come from a
@@ -25,6 +29,7 @@ use aapsm_core::{
     DetectConfig, GraphKind, RedetectEngine, TJoinMethod, TileConfig,
 };
 use aapsm_core::{ConflictGraph, PlanarizeOrder};
+use aapsm_geom::Axis;
 use aapsm_layout::synth::scaling_suite;
 use aapsm_layout::{apply_cuts, extract_phase_geometry, extract_phase_geometry_par, DesignRules};
 use std::time::Instant;
@@ -207,6 +212,41 @@ fn main() {
             "{}: scaling designs are expected to need correction",
             design.name
         );
+
+        // ---- Stage 7: correction planning (decomposed weighted set
+        // cover). Serial vs parallel per-component solves, identical
+        // plans asserted; the counters record the plan weight (total
+        // inserted width) and how much of the cover is *proven* optimal
+        // (truncated / greedy components never count). ----
+        let plan_geom = engine.geometry().expect("detected");
+        let (correction_serial_s, plan_serial) = time_best(reps, || {
+            plan_correction(
+                plan_geom,
+                &round0.conflicts,
+                &rules,
+                &CorrectionOptions {
+                    parallelism: 1,
+                    ..CorrectionOptions::default()
+                },
+            )
+        });
+        let (correction_parallel_s, plan_parallel) = time_best(reps, || {
+            plan_correction(
+                plan_geom,
+                &round0.conflicts,
+                &rules,
+                &CorrectionOptions {
+                    parallelism: 0,
+                    ..CorrectionOptions::default()
+                },
+            )
+        });
+        assert_eq!(
+            plan_serial, plan_parallel,
+            "{}: parallel correction planning diverged from serial",
+            design.name
+        );
+        let plan_weight = plan_serial.inserted_width(Axis::X) + plan_serial.inserted_width(Axis::Y);
         let measure_redetect = |conflict_count: usize, label: &str| {
             let plan = plan_correction(
                 engine.geometry().expect("detected"),
@@ -280,6 +320,25 @@ fn main() {
             .map(|s| s.parallel_ms)
             .sum();
         let mut stage_json: Vec<String> = stages.iter().map(|s| s.json()).collect();
+        stage_json.push(format!(
+            concat!(
+                "\"correction_plan\": {{",
+                "\"serial_ms\": {:.3}, \"parallel_ms\": {:.3}, ",
+                "\"speedup\": {:.3}, ",
+                "\"plan_weight\": {}, \"grid_lines\": {}, ",
+                "\"cover_components\": {}, \"cover_optimal_components\": {}, ",
+                "\"cover_optimal\": {}, ",
+                "\"identical\": true}}"
+            ),
+            correction_serial_s * 1e3,
+            correction_parallel_s * 1e3,
+            correction_serial_s / correction_parallel_s.max(1e-12),
+            plan_weight,
+            plan_serial.grid_line_count(),
+            plan_serial.cover_components,
+            plan_serial.cover_optimal_components,
+            plan_serial.cover_optimal,
+        ));
         stage_json.push(format!(
             concat!(
                 "\"incremental_redetect\": {{",

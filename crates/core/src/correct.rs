@@ -8,9 +8,22 @@
 //! a vertical feature's x-span) — this is how the scheme guarantees that
 //! "only the lengths of features are increased but the widths remain the
 //! same".
+//!
+//! The planner is decompose-then-solve like the detection side: candidate
+//! coverage is built by per-axis sorted-endpoint assignment (each interval
+//! claims its contiguous run of candidate positions by binary search), and
+//! the weighted set cover is solved per connected component of the
+//! candidate–element incidence ([`aapsm_cover::solve_decomposed`]) — exact
+//! branch-and-bound under a per-component node budget with greedy
+//! fallback, on scoped workers behind [`CorrectionOptions::parallelism`],
+//! merged deterministically so every degree yields a bit-identical
+//! [`CorrectionPlan`]. Cut widths are Euclidean-minimal: a diagonal pair's
+//! perpendicular gap already contributes to the spacing rule, so the cut
+//! only needs `⌈√(spacing² − gap_perp²)⌉ − gap_axis`, not the full
+//! per-axis deficit.
 
 use crate::{Conflict, ConstraintKind};
-use aapsm_cover::{solve_auto, CoverInstance};
+use aapsm_cover::{solve_decomposed, CoverInstance, DecomposeOptions};
 use aapsm_geom::{Axis, Interval};
 use aapsm_layout::{
     apply_cuts, check_assignable, extract_phase_geometry, DesignRules, FeatureOrientation, Layout,
@@ -20,21 +33,36 @@ use aapsm_layout::{
 /// Options of the correction planner.
 #[derive(Clone, Copy, Debug)]
 pub struct CorrectionOptions {
-    /// Above this many candidate sets the cover falls back from exact
-    /// branch-and-bound to greedy.
+    /// Per-component set-count cap for the exact cover solver: connected
+    /// components of the candidate–element incidence with more candidate
+    /// grid lines than this fall back to greedy. Components are small in
+    /// practice, so this proves far more of the cover optimal than the
+    /// pre-decomposition global threshold did.
     pub exact_cover_limit: usize,
+    /// Branch-and-bound node budget *per cover component*. A truncated
+    /// search keeps its incumbent (never worse than greedy) but the plan
+    /// truthfully reports [`CorrectionPlan::cover_optimal`] `== false`.
+    pub exact_node_limit: u64,
+    /// Worker threads for per-component cover solving: `0` = one per
+    /// available CPU, `1` = serial, `k` = at most `k`. Every degree is
+    /// bit-identical. [`crate::run_flow`] drives this with
+    /// [`crate::DetectConfig::parallelism`], so the whole flow sits behind
+    /// one knob.
+    pub parallelism: usize,
 }
 
 impl Default for CorrectionOptions {
     fn default() -> Self {
         CorrectionOptions {
-            exact_cover_limit: 48,
+            exact_cover_limit: 256,
+            exact_node_limit: 200_000,
+            parallelism: 1,
         }
     }
 }
 
 /// A planned correction.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CorrectionPlan {
     /// The end-to-end spaces to insert.
     pub cuts: Vec<SpaceCut>,
@@ -46,7 +74,14 @@ pub struct CorrectionPlan {
     /// The largest number of conflicts corrected by a single grid line
     /// (Table 2, column Max).
     pub max_conflicts_single_line: usize,
-    /// Whether the set cover was solved to proven optimality.
+    /// Connected components of the set cover's candidate–element
+    /// incidence (0 when nothing was correctable).
+    pub cover_components: usize,
+    /// How many cover components were solved to proven optimality.
+    pub cover_optimal_components: usize,
+    /// Whether the set cover was solved to proven optimality: every
+    /// component's exact search ran to completion. Never `true` when a
+    /// search was truncated by the node budget or fell back to greedy.
     pub cover_optimal: bool,
 }
 
@@ -114,6 +149,8 @@ pub fn plan_correction(
             corrected: Vec::new(),
             uncorrectable: Vec::new(),
             max_conflicts_single_line: 0,
+            cover_components: 0,
+            cover_optimal_components: 0,
             cover_optimal: true,
         };
     }
@@ -176,6 +213,8 @@ pub fn plan_correction(
             continue;
         };
         let o = &geom.overlaps[oi];
+        let sa = geom.shifters[o.a].rect;
+        let sb = geom.shifters[o.b].rect;
         let fa = geom.features[geom.shifters[o.a].feature].rect;
         let fb = geom.features[geom.shifters[o.b].feature].rect;
         let shifter_gap = |axis: Axis| match axis {
@@ -187,13 +226,58 @@ pub fn plan_correction(
             if fa.gap(&fb, axis) < 0 {
                 continue; // features not separable along this axis
             }
-            let (lo, hi) = if fa.span(axis).lo() <= fb.span(axis).lo() {
-                (fa.span(axis).hi(), fb.span(axis).lo())
+            // The cut pushes the high-side feature (and its regenerated
+            // shifters) further along +axis, so the deficit to close is
+            // the *directional* shifter gap — high shifter's low edge
+            // minus low shifter's high edge. For interleaved jog shifters
+            // this is more negative than the signed mutual gap (which
+            // measures the smaller penetration, in the direction the cut
+            // cannot separate), and sizing from the mutual gap would
+            // under-correct.
+            let (lo, hi, gap_axis) = if fa.span(axis).lo() <= fb.span(axis).lo() {
+                (
+                    fa.span(axis).hi(),
+                    fb.span(axis).lo(),
+                    sb.span(axis).lo() - sa.span(axis).hi(),
+                )
             } else {
-                (fb.span(axis).hi(), fa.span(axis).lo())
+                (
+                    fb.span(axis).hi(),
+                    fa.span(axis).lo(),
+                    sa.span(axis).lo() - sb.span(axis).hi(),
+                )
             };
-            let needed = rules.shifter_spacing - shifter_gap(axis);
-            debug_assert!(needed > 0, "an overlap pair always needs positive space");
+            // Detection is Euclidean (`euclid_gap_sq < spacing²` over the
+            // positive parts of the per-axis gaps), so the minimal
+            // sufficient growth along this axis restores
+            //   (gap_axis + needed)² + max(gap_perp, 0)² ≥ spacing²,
+            // i.e. needed = ⌈√(spacing² − gap_perp⁺²)⌉ − gap_axis. For
+            // axis-aligned pairs (gap_perp ≤ 0) this is the directional
+            // deficit `spacing − gap_axis`; for diagonal pairs the
+            // perpendicular gap already contributes, and the per-axis
+            // deficit would over-correct.
+            let gap_perp = shifter_gap(axis.perp()).max(0);
+            let spacing = rules.shifter_spacing;
+            let residual =
+                (spacing as i128) * (spacing as i128) - (gap_perp as i128) * (gap_perp as i128);
+            if residual <= 0 {
+                // Unreachable for conflicts produced by detection (the
+                // Euclidean predicate implies gap_perp < spacing), but
+                // `plan_correction` accepts arbitrary conflict slices:
+                // such a "conflict" is already spaced along the
+                // perpendicular axis, so no cut is needed here — skip the
+                // axis in debug and release alike.
+                continue;
+            }
+            let needed = ceil_isqrt(residual) - gap_axis;
+            if needed <= 0 {
+                // Likewise unreachable for detected conflicts (their
+                // Euclidean gap is below spacing, so the directional gap
+                // is below √residual), but an arbitrary caller slice may
+                // contain an already-spaced pair — never emit a cut of
+                // non-positive width for it.
+                continue;
+            }
             intervals.push((axis, Interval::new(lo, hi), needed));
         }
         if intervals.is_empty() {
@@ -209,13 +293,19 @@ pub fn plan_correction(
     // Candidate grid lines: interval endpoints plus legality boundaries
     // inside the intervals (a cut anywhere in an interval corrects its
     // conflict, so the optimum can always be normalized to one of these).
-    use std::collections::HashSet;
-    let mut positions: HashSet<(u8, i64)> = HashSet::new();
+    // Collected per axis, sorted and deduplicated — the canonical
+    // candidate order is axis X ascending then axis Y ascending.
+    let mut positions_x: Vec<i64> = Vec::new();
+    let mut positions_y: Vec<i64> = Vec::new();
     for item in &correctable {
         for &(axis, iv, _) in &item.intervals {
+            let out = match axis {
+                Axis::X => &mut positions_x,
+                Axis::Y => &mut positions_y,
+            };
             for pos in [iv.lo(), iv.hi()] {
                 if legal(axis, pos) {
-                    positions.insert((axis_tag(axis), pos));
+                    out.push(pos);
                 }
             }
             // Boundaries of forbidden spans inside the interval are the
@@ -228,38 +318,52 @@ pub fn plan_correction(
                 }
                 for pos in [lo, hi] {
                     if iv.contains(pos) && legal(axis, pos) {
-                        positions.insert((axis_tag(axis), pos));
+                        out.push(pos);
                     }
                 }
             }
         }
     }
+    positions_x.sort_unstable();
+    positions_x.dedup();
+    positions_y.sort_unstable();
+    positions_y.dedup();
+
     // A candidate covers every conflict whose (same-axis) interval
-    // contains its position.
-    let mut candidates: Vec<Candidate> = Vec::new();
-    for &(tag, pos) in &positions {
-        let axis = tag_axis(tag);
-        let mut covered = Vec::new();
-        let mut width = 0i64;
-        for (item_idx, item) in correctable.iter().enumerate() {
-            for &(a, iv, needed) in &item.intervals {
-                if a == axis && iv.contains(pos) {
-                    covered.push(item_idx);
-                    width = width.max(needed);
-                    break;
-                }
+    // contains its position. Each interval claims the contiguous run of
+    // sorted candidate positions it contains (two binary searches over
+    // the endpoint-sorted positions), so building the coverage costs
+    // O(intervals · log candidates + incidence) instead of the old
+    // O(candidates × conflicts) nested scan.
+    let x_count = positions_x.len();
+    let mut candidates: Vec<Candidate> = positions_x
+        .iter()
+        .map(|&position| (Axis::X, position))
+        .chain(positions_y.iter().map(|&position| (Axis::Y, position)))
+        .map(|(axis, position)| Candidate {
+            axis,
+            position,
+            covered: Vec::new(),
+            width: 0,
+        })
+        .collect();
+    for (item_idx, item) in correctable.iter().enumerate() {
+        for &(axis, iv, needed) in &item.intervals {
+            let (positions, base) = match axis {
+                Axis::X => (&positions_x, 0),
+                Axis::Y => (&positions_y, x_count),
+            };
+            let from = positions.partition_point(|&p| p < iv.lo());
+            let to = positions.partition_point(|&p| p <= iv.hi());
+            for c in &mut candidates[base + from..base + to] {
+                c.covered.push(item_idx);
+                c.width = c.width.max(needed);
             }
         }
-        if !covered.is_empty() {
-            candidates.push(Candidate {
-                axis,
-                position: pos,
-                covered,
-                width,
-            });
-        }
     }
-    candidates.sort_by_key(|c| (axis_tag(c.axis), c.position));
+    // Every candidate position is an endpoint of (or a legality boundary
+    // inside) some interval, which therefore contains it.
+    debug_assert!(candidates.iter().all(|c| !c.covered.is_empty()));
 
     // Items whose every endpoint was illegal are uncorrectable.
     let mut coverable = vec![false; correctable.len()];
@@ -299,7 +403,15 @@ pub fn plan_correction(
         })
         .collect();
     let inst = CoverInstance::new(universe, sets);
-    let (solution, cover_optimal) = solve_auto(&inst, options.exact_cover_limit);
+    let cover = solve_decomposed(
+        &inst,
+        &DecomposeOptions {
+            node_limit_per_component: options.exact_node_limit,
+            max_exact_sets: options.exact_cover_limit,
+            parallelism: options.parallelism,
+        },
+    );
+    let solution = cover.solution;
 
     let mut cuts = Vec::new();
     let mut corrected_items = std::collections::HashSet::new();
@@ -329,23 +441,17 @@ pub fn plan_correction(
         corrected,
         uncorrectable,
         max_conflicts_single_line: max_single,
-        cover_optimal,
+        cover_components: cover.components,
+        cover_optimal_components: cover.optimal_components,
+        cover_optimal: cover.optimal,
     }
 }
 
-fn axis_tag(a: Axis) -> u8 {
-    match a {
-        Axis::X => 0,
-        Axis::Y => 1,
-    }
-}
-
-fn tag_axis(t: u8) -> Axis {
-    if t == 0 {
-        Axis::X
-    } else {
-        Axis::Y
-    }
+/// `⌈√x⌉` for positive `x`, in exact integer arithmetic.
+fn ceil_isqrt(x: i128) -> i64 {
+    debug_assert!(x > 0);
+    let r = (x as u128).isqrt() as i128;
+    (if r * r >= x { r } else { r + 1 }) as i64
 }
 
 impl CorrectionReport {
@@ -527,6 +633,9 @@ mod tests {
         assert!(plan.cuts.is_empty());
         assert!(plan.corrected.is_empty());
         assert_eq!(plan.max_conflicts_single_line, 0);
+        assert_eq!(plan.cover_components, 0);
+        assert_eq!(plan.cover_optimal_components, 0);
+        assert!(plan.cover_optimal, "an empty cover is trivially optimal");
     }
 
     #[test]
@@ -546,6 +655,7 @@ mod tests {
                 &rules,
                 &CorrectionOptions {
                     exact_cover_limit: limit,
+                    ..CorrectionOptions::default()
                 },
             )
         };
@@ -610,6 +720,168 @@ mod tests {
                 + plan.cuts.iter().filter(|c| c.axis == Axis::Y).count(),
             plan.grid_line_count()
         );
+    }
+
+    #[test]
+    fn diagonal_pair_gets_the_euclidean_minimal_width() {
+        // The two conflicts of the diagonal-jog fixture have gaps
+        // (gap_x = 200, gap_y = 100) with spacing 280. The per-axis
+        // deficit would demand 280 − 200 = 80 along x; the Euclidean
+        // minimum is ⌈√(280² − 100²)⌉ − 200 = 62. The narrower cut must
+        // still verify, and the area increase must strictly improve on
+        // the per-axis sizing.
+        let rules = DesignRules::default();
+        let l = fixtures::diagonal_jog(&rules);
+        let geom = extract_phase_geometry(&l, &rules);
+        let report = detect_conflicts(&geom, &DetectConfig::default());
+        assert!(report.conflict_count() > 0);
+        let diagonal = report.conflicts.iter().all(|c| {
+            let ConstraintKind::Overlap(oi) = c.constraint else {
+                return false;
+            };
+            let o = &geom.overlaps[oi];
+            o.gap_x > 0 && o.gap_y > 0
+        });
+        assert!(diagonal, "fixture must select diagonal conflicts");
+        let (plan, outcome) = correct_layout(&l);
+        assert!(plan.uncorrectable.is_empty());
+        assert!(outcome.verified, "narrower cuts must still verify");
+        assert!(outcome.area_after > outcome.area_before);
+        // Every cut is strictly narrower than the per-axis deficit of the
+        // conflicts it corrects (all conflicts here share both gaps).
+        let per_axis_deficit = |axis: Axis| {
+            report
+                .conflicts
+                .iter()
+                .map(|c| {
+                    let ConstraintKind::Overlap(oi) = c.constraint else {
+                        unreachable!()
+                    };
+                    let o = &geom.overlaps[oi];
+                    rules.shifter_spacing
+                        - match axis {
+                            Axis::X => o.gap_x,
+                            Axis::Y => o.gap_y,
+                        }
+                })
+                .max()
+                .unwrap()
+        };
+        let naive: Vec<SpaceCut> = plan
+            .cuts
+            .iter()
+            .map(|c| SpaceCut {
+                width: per_axis_deficit(c.axis),
+                ..*c
+            })
+            .collect();
+        for (cut, wide) in plan.cuts.iter().zip(&naive) {
+            assert!(
+                cut.width < wide.width,
+                "euclidean width {} must beat per-axis {}",
+                cut.width,
+                wide.width
+            );
+        }
+        // The per-axis sizing also verifies — the improvement is pure
+        // area, not a correctness trade.
+        let naive_outcome = {
+            let modified = aapsm_layout::apply_cuts(&l, &naive);
+            let ok = check_assignable(&extract_phase_geometry(&modified, &rules)).is_ok();
+            assert!(ok);
+            modified.stats().bbox_area
+        };
+        assert!(
+            outcome.area_after < naive_outcome,
+            "euclidean sizing must strictly shrink the corrected area"
+        );
+    }
+
+    #[test]
+    fn truncated_cover_search_is_reported_unproven() {
+        // Driving the one-node budget through `plan_correction`: the
+        // synthetic design's cover decomposes into several components and
+        // at least one cannot be proven at the search root, so with
+        // `exact_node_limit: 1` its search truncates and `cover_optimal`
+        // must be false — the regression for the old "`solve_exact`
+        // returned `Some`, therefore optimal" lie. (Components whose
+        // greedy warm start already meets the root lower bound are proven
+        // without expanding a node; truncation needs a component where
+        // the bound is slack, which the synth mix reliably provides.)
+        // The plan itself stays feasible: every conflict is still
+        // corrected.
+        let rules = DesignRules::default();
+        let l = aapsm_layout::synth::generate(
+            &aapsm_layout::synth::SynthParams {
+                rows: 3,
+                gates_per_row: 50,
+                strap_frac: 0.6,
+                jog_frac: 0.05,
+                short_mid_frac: 0.05,
+                ..Default::default()
+            },
+            &rules,
+        );
+        let geom = extract_phase_geometry(&l, &rules);
+        let report = detect_conflicts(&geom, &DetectConfig::default());
+        let plan = plan_correction(
+            &geom,
+            &report.conflicts,
+            &rules,
+            &CorrectionOptions {
+                exact_node_limit: 1,
+                ..CorrectionOptions::default()
+            },
+        );
+        assert!(
+            !plan.cover_optimal,
+            "a truncated search must not claim optimality: {plan:?}"
+        );
+        assert!(plan.cover_optimal_components < plan.cover_components.max(1));
+        assert!(plan.uncorrectable.is_empty());
+        assert_eq!(plan.corrected.len(), report.conflict_count());
+        // The generous default budget proves the same cover.
+        let proven = plan_correction(
+            &geom,
+            &report.conflicts,
+            &rules,
+            &CorrectionOptions::default(),
+        );
+        assert!(proven.cover_optimal);
+        assert_eq!(proven.cover_optimal_components, proven.cover_components);
+        let width = |p: &CorrectionPlan| p.inserted_width(Axis::X) + p.inserted_width(Axis::Y);
+        assert!(width(&proven) <= width(&plan));
+    }
+
+    #[test]
+    fn planner_is_bit_identical_across_parallelism_degrees() {
+        let rules = DesignRules::default();
+        for layout in [
+            fixtures::strap_under_bus(6, &rules),
+            fixtures::diagonal_jog(&rules),
+            fixtures::stacked_jog(&rules),
+        ] {
+            let geom = extract_phase_geometry(&layout, &rules);
+            let report = detect_conflicts(&geom, &DetectConfig::default());
+            let base = plan_correction(
+                &geom,
+                &report.conflicts,
+                &rules,
+                &CorrectionOptions::default(),
+            );
+            for parallelism in [0, 2, 4] {
+                let plan = plan_correction(
+                    &geom,
+                    &report.conflicts,
+                    &rules,
+                    &CorrectionOptions {
+                        parallelism,
+                        ..CorrectionOptions::default()
+                    },
+                );
+                assert_eq!(plan, base, "parallelism {parallelism} diverged");
+            }
+        }
     }
 
     #[test]

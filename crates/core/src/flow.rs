@@ -16,7 +16,11 @@ use std::fmt;
 pub struct FlowConfig {
     /// Detection pipeline configuration.
     pub detect: DetectConfig,
-    /// Correction planner options.
+    /// Correction planner options. [`CorrectionOptions::parallelism`] is
+    /// overridden by [`DetectConfig::parallelism`] inside [`run_flow`]:
+    /// the whole flow — detection *and* the correction planner's
+    /// per-component cover solves — sits behind the one knob, and every
+    /// degree is bit-identical.
     pub correct: CorrectionOptions,
     /// Maximum detect→correct rounds. Round `k+1` re-verifies round
     /// `k`'s cuts incrementally; the loop ends early once a round
@@ -141,6 +145,12 @@ pub fn run_flow(
     config: &FlowConfig,
 ) -> Result<FlowResult, FlowError> {
     rules.validate().map_err(FlowError::BadRules)?;
+    // One knob for the whole flow: the correction planner's cover solves
+    // run at the detection pipeline's parallelism degree.
+    let correct_options = CorrectionOptions {
+        parallelism: config.detect.parallelism,
+        ..config.correct
+    };
     let mut engine = RedetectEngine::new(*rules, config.detect);
     let mut current = layout.clone();
     let mut rounds: Vec<FlowRound> = Vec::new();
@@ -149,7 +159,7 @@ pub fn run_flow(
     let mut recorded_final = false;
     for _correction_round in 0..config.max_rounds.max(1) {
         let geometry = engine.geometry().expect("detection ran");
-        let plan = plan_correction(geometry, &report.conflicts, rules, &config.correct);
+        let plan = plan_correction(geometry, &report.conflicts, rules, &correct_options);
         if first.is_none() {
             first = Some((geometry.clone(), report.clone(), plan.clone()));
         }

@@ -19,8 +19,12 @@
 //!    re-check the planarization victims against the bipartization
 //!    coloring; only those that would close odd cycles become conflicts.
 //! 5. **Layout modification** ([`plan_correction`], [`apply_correction`]):
-//!    correction intervals, legal grid lines, weighted set cover, and
-//!    end-to-end space insertion, with re-extraction-based verification.
+//!    correction intervals (Euclidean-minimal, direction-aware cut
+//!    widths), legal grid lines, a weighted set cover solved per
+//!    connected component ([`aapsm_cover::solve_decomposed`] — exact
+//!    branch-and-bound under a per-component budget, with truthful
+//!    optimality reporting), and end-to-end space insertion, with
+//!    re-extraction-based verification.
 //!
 //! The one-call entry point is [`run_flow`] — a multi-round
 //! detect→correct→**re-detect** convergence loop: re-verification after
@@ -56,6 +60,12 @@
 //!   id. Tiny graphs and instance sets fall back to the calling thread
 //!   adaptively (thread spawn would dominate). Lower-level callers use
 //!   [`bipartize_with`] directly.
+//! * **Correction**: the planner's weighted set cover decomposes into
+//!   connected components of the candidate–element incidence, solved on
+//!   worker threads and merged in component order
+//!   ([`CorrectionOptions::parallelism`], driven by
+//!   [`DetectConfig::parallelism`] inside [`run_flow`]); plans are
+//!   bit-identical at every degree (`tests/correction_equivalence.rs`).
 //! * **Allocation**: each worker owns one `aapsm_matching::MatchingContext`
 //!   — a reusable Blossom arena. Solving through a context allocates only
 //!   when an instance out-sizes everything the context has seen, so the

@@ -1,11 +1,27 @@
 use crate::{solve_greedy, CoverInstance, CoverSolution};
 
+/// Outcome of the exact branch-and-bound solver.
+///
+/// `proven` tells the truth about optimality: it is `true` only when the
+/// search ran to completion. When the node budget truncates the search the
+/// incumbent is still returned (it is never worse than the greedy warm
+/// start), but `proven` is `false` — callers deciding whether a cover is
+/// "provably optimal" must consult it instead of treating `Some` as proof.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExactCover {
+    /// The best cover found.
+    pub solution: CoverSolution,
+    /// Whether the search completed, proving `solution` optimal.
+    pub proven: bool,
+}
+
 /// Tuning knobs for the exact branch-and-bound solver.
 #[derive(Clone, Debug)]
 pub struct ExactOptions {
-    /// Give up (return the incumbent, still optimal only if search
-    /// finished) after this many search nodes. The default is generous for
-    /// the grid-line instances produced by the correction planner.
+    /// Give up after this many search nodes: the incumbent is returned
+    /// with [`ExactCover::proven`] `== false`. The default is generous for
+    /// the per-component grid-line instances produced by the correction
+    /// planner.
     pub node_limit: u64,
 }
 
@@ -148,11 +164,12 @@ impl Search<'_> {
 /// fail-first pivot selection, essential sets implicit via unit pivots, an
 /// independent-element lower bound, greedy incumbent warm start).
 ///
-/// Returns `None` when the instance is not coverable, or when the node
-/// limit was hit before proving optimality *and* no feasible incumbent was
-/// found (with the greedy warm start this only happens for uncoverable
-/// instances).
-pub fn solve_exact(inst: &CoverInstance, options: &ExactOptions) -> Option<CoverSolution> {
+/// Returns `None` when the instance is not coverable. Otherwise the
+/// incumbent is always feasible (the greedy warm start guarantees one) and
+/// [`ExactCover::proven`] records whether the search completed inside the
+/// node budget — a truncated search returns its (possibly suboptimal)
+/// incumbent with `proven == false` rather than silently posing as exact.
+pub fn solve_exact(inst: &CoverInstance, options: &ExactOptions) -> Option<ExactCover> {
     if !inst.is_coverable() {
         return None;
     }
@@ -169,9 +186,11 @@ pub fn solve_exact(inst: &CoverInstance, options: &ExactOptions) -> Option<Cover
     let mut banned = vec![false; inst.set_count()];
     let mut chosen = Vec::new();
     search.dfs(&mut covered, &mut banned, &mut chosen, 0);
-    search
-        .best
-        .map(|chosen| CoverSolution::from_sets(inst, chosen))
+    let truncated = search.truncated;
+    search.best.map(|chosen| ExactCover {
+        solution: CoverSolution::from_sets(inst, chosen),
+        proven: !truncated,
+    })
 }
 
 #[cfg(test)]
@@ -190,9 +209,10 @@ mod tests {
                 (2, vec![2, 3]),       // ratio 1.0
             ],
         );
-        let sol = solve_exact(&inst, &ExactOptions::default()).unwrap();
-        assert_eq!(sol.weight, 4);
-        assert_eq!(sol.chosen, vec![1, 2]);
+        let out = solve_exact(&inst, &ExactOptions::default()).unwrap();
+        assert!(out.proven);
+        assert_eq!(out.solution.weight, 4);
+        assert_eq!(out.solution.chosen, vec![1, 2]);
     }
 
     #[test]
@@ -207,13 +227,14 @@ mod tests {
             3,
             vec![(100, vec![0]), (1, vec![1, 2])], // set 0 essential
         );
-        let sol = solve_exact(&inst, &ExactOptions::default()).unwrap();
-        assert_eq!(sol.chosen, vec![0, 1]);
-        assert_eq!(sol.weight, 101);
+        let out = solve_exact(&inst, &ExactOptions::default()).unwrap();
+        assert!(out.proven);
+        assert_eq!(out.solution.chosen, vec![0, 1]);
+        assert_eq!(out.solution.weight, 101);
     }
 
     #[test]
-    fn node_limit_still_returns_feasible() {
+    fn node_limit_still_returns_feasible_but_unproven() {
         let inst = CoverInstance::new(
             6,
             vec![
@@ -224,7 +245,15 @@ mod tests {
                 (2, vec![2, 5]),
             ],
         );
-        let sol = solve_exact(&inst, &ExactOptions { node_limit: 1 }).unwrap();
-        assert!(sol.is_feasible(&inst));
+        let out = solve_exact(&inst, &ExactOptions { node_limit: 1 }).unwrap();
+        assert!(out.solution.is_feasible(&inst));
+        assert!(
+            !out.proven,
+            "a truncated search must not claim proven optimality"
+        );
+        // A generous budget proves the same instance.
+        let full = solve_exact(&inst, &ExactOptions::default()).unwrap();
+        assert!(full.proven);
+        assert!(full.solution.weight <= out.solution.weight);
     }
 }

@@ -95,6 +95,23 @@ pub fn corridor_unblock_two_round(_rules: &DesignRules) -> Layout {
     ])
 }
 
+/// Two stacked vertical wires offset so far diagonally that the *cheap*
+/// conflicts are corner-to-corner: the upper wire's shifters see the lower
+/// wire's same-side shifters across a positive gap on **both** axes
+/// (`gap_x = 200`, `gap_y = 100` with default rules), while the crossing
+/// pair (upper-left over lower-right) overlaps in x. The minimum odd-cycle
+/// cover deletes the two diagonal edges (2 × weight 80 beats the single
+/// crossing edge at 180), so the correction planner must size a cut for
+/// genuinely diagonal pairs — where the per-axis deficit
+/// `spacing − gap_axis` over-corrects and the Euclidean minimum
+/// `ceil(√(spacing² − gap_perp²)) − gap_axis` is strictly narrower.
+pub fn diagonal_jog(_rules: &DesignRules) -> Layout {
+    Layout::from_rects(vec![
+        Rect::new(0, 0, 100, 1000),      // lower wire
+        Rect::new(400, 1300, 500, 2300), // upper wire, +400 x / +300 y away
+    ])
+}
+
 /// A benign mix: rows of wires plus a far-away strap. Phase-assignable.
 pub fn benign_block(_rules: &DesignRules) -> Layout {
     let mut rects = Vec::new();

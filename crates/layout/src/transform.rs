@@ -44,20 +44,97 @@ impl SpaceCut {
     }
 }
 
-/// Applies a set of cuts to a layout, returning the modified layout.
+/// The per-axis prefix-sum form of a cut set: sorted distinct positions
+/// with the *cumulative* inserted width up to and including each position,
+/// so a rect edge's total shift is one `partition_point` lookup instead of
+/// a scan over every cut.
 ///
-/// Cuts are applied from the highest position down (per axis), so that
-/// each cut's `position` refers to the *original* coordinate system. Cut
-/// positions must be distinct per axis.
-pub fn apply_cuts(layout: &Layout, cuts: &[SpaceCut]) -> Layout {
-    let mut ordered: Vec<SpaceCut> = cuts.to_vec();
-    ordered.sort_by_key(|c| std::cmp::Reverse(c.position));
-    let mut rects: Vec<Rect> = layout.rects().to_vec();
-    for cut in &ordered {
-        for r in &mut rects {
-            *r = cut.apply_rect(r);
+/// Equivalent to replaying the cuts from the highest position down (each
+/// cut's `position` in the original coordinate system): an edge at `v`
+/// accumulates the width of every cut at `position <= v` when it is a low
+/// edge, `position < v` when it is a high edge — exactly the
+/// shift/stretch/keep cases of [`SpaceCut::apply_rect`], composed.
+struct ShiftTable {
+    /// Ascending distinct cut positions on one axis.
+    positions: Vec<i64>,
+    /// `prefix[i]` = total width of cuts at `positions[..=i]`.
+    prefix: Vec<i64>,
+}
+
+impl ShiftTable {
+    /// Builds the table from the cuts on `axis`. Duplicate positions
+    /// compose additively — they merge into one entry of summed width,
+    /// which is exactly what replaying them one by one produces.
+    fn new(cuts: &[SpaceCut], axis: Axis) -> ShiftTable {
+        let mut at: Vec<(i64, i64)> = cuts
+            .iter()
+            .filter(|c| c.axis == axis)
+            .map(|c| (c.position, c.width))
+            .collect();
+        at.sort_unstable_by_key(|&(pos, _)| pos);
+        let mut positions = Vec::with_capacity(at.len());
+        let mut prefix = Vec::with_capacity(at.len());
+        let mut total = 0i64;
+        for (pos, width) in at {
+            total += width;
+            if positions.last() == Some(&pos) {
+                *prefix.last_mut().expect("same length") = total;
+            } else {
+                positions.push(pos);
+                prefix.push(total);
+            }
+        }
+        ShiftTable { positions, prefix }
+    }
+
+    /// Total width of cuts with `position <= v` (low edges shift by this).
+    fn shift_le(&self, v: i64) -> i64 {
+        let i = self.positions.partition_point(|&p| p <= v);
+        if i == 0 {
+            0
+        } else {
+            self.prefix[i - 1]
         }
     }
+
+    /// Total width of cuts with `position < v` (high edges shift by this:
+    /// a cut exactly at a rect's high edge leaves it untouched).
+    fn shift_lt(&self, v: i64) -> i64 {
+        let i = self.positions.partition_point(|&p| p < v);
+        if i == 0 {
+            0
+        } else {
+            self.prefix[i - 1]
+        }
+    }
+}
+
+/// Applies a set of cuts to a layout, returning the modified layout.
+///
+/// Every cut's `position` refers to the *original* coordinate system, and
+/// duplicate same-axis positions compose additively (equivalent to one cut
+/// of the summed width). The implementation is a single pass: per axis the
+/// sorted cut positions and a prefix sum of their widths give each rect
+/// edge its total shift by one binary search — O((R + C) log C) over R
+/// rects and C cuts, instead of replaying every cut over every rect.
+pub fn apply_cuts(layout: &Layout, cuts: &[SpaceCut]) -> Layout {
+    if cuts.is_empty() {
+        return layout.clone();
+    }
+    let x = ShiftTable::new(cuts, Axis::X);
+    let y = ShiftTable::new(cuts, Axis::Y);
+    let rects: Vec<Rect> = layout
+        .rects()
+        .iter()
+        .map(|r| {
+            Rect::new(
+                r.x_lo() + x.shift_le(r.x_lo()),
+                r.y_lo() + y.shift_le(r.y_lo()),
+                r.x_hi() + x.shift_lt(r.x_hi()),
+                r.y_hi() + y.shift_lt(r.y_hi()),
+            )
+        })
+        .collect();
     Layout::from_rects(rects)
 }
 
@@ -139,6 +216,86 @@ mod tests {
         let out = apply_cuts(&layout, &cuts);
         assert_eq!(out.rects()[0], Rect::new(0, 0, 10, 10));
         assert_eq!(out.rects()[1], Rect::new(112, 0, 122, 10));
+    }
+
+    /// The reference semantics: replay each cut over every rect from the
+    /// highest position down (the pre-prefix-sum implementation).
+    fn apply_cuts_replay(layout: &Layout, cuts: &[SpaceCut]) -> Layout {
+        let mut ordered: Vec<SpaceCut> = cuts.to_vec();
+        ordered.sort_by_key(|c| std::cmp::Reverse(c.position));
+        let mut rects: Vec<Rect> = layout.rects().to_vec();
+        for cut in &ordered {
+            for r in &mut rects {
+                *r = cut.apply_rect(r);
+            }
+        }
+        Layout::from_rects(rects)
+    }
+
+    #[test]
+    fn prefix_sum_matches_per_cut_replay_on_random_cut_sets() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for _ in 0..100 {
+            let rects: Vec<Rect> = (0..15)
+                .map(|_| {
+                    let x = rng.gen_range(-2000..2000);
+                    let y = rng.gen_range(-2000..2000);
+                    Rect::new(x, y, x + rng.gen_range(1..800), y + rng.gen_range(1..800))
+                })
+                .collect();
+            let layout = Layout::from_rects(rects);
+            let cuts: Vec<SpaceCut> = (0..rng.gen_range(0..8))
+                .map(|_| SpaceCut {
+                    axis: if rng.gen_range(0..2) == 0 {
+                        Axis::X
+                    } else {
+                        Axis::Y
+                    },
+                    // Deliberately collision-prone positions (multiples of
+                    // 100): duplicate same-axis positions and positions
+                    // exactly on rect edges are both exercised.
+                    position: rng.gen_range(-20..20) * 100,
+                    width: rng.gen_range(1..300),
+                })
+                .collect();
+            assert_eq!(
+                apply_cuts(&layout, &cuts),
+                apply_cuts_replay(&layout, &cuts),
+                "cuts {cuts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_positions_compose_additively() {
+        let layout = Layout::from_rects(vec![
+            Rect::new(0, 0, 100, 100),
+            Rect::new(50, 0, 300, 100),
+            Rect::new(200, 0, 400, 100),
+        ]);
+        let twice = [
+            SpaceCut {
+                axis: Axis::X,
+                position: 120,
+                width: 30,
+            },
+            SpaceCut {
+                axis: Axis::X,
+                position: 120,
+                width: 50,
+            },
+        ];
+        let merged = [SpaceCut {
+            axis: Axis::X,
+            position: 120,
+            width: 80,
+        }];
+        assert_eq!(apply_cuts(&layout, &twice), apply_cuts(&layout, &merged));
+        assert_eq!(
+            apply_cuts(&layout, &twice),
+            apply_cuts_replay(&layout, &twice)
+        );
     }
 
     #[test]

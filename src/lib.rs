@@ -50,9 +50,11 @@ pub use aapsm_tjoin as tjoin;
 /// The most common imports for flow users.
 pub mod prelude {
     pub use aapsm_core::{
-        detect_conflicts, run_flow, DetectConfig, FlowConfig, FlowResult, GraphKind,
+        apply_correction, detect_conflicts, plan_correction, run_flow, CorrectionOptions,
+        CorrectionPlan, DetectConfig, FlowConfig, FlowResult, GraphKind,
     };
     pub use aapsm_layout::{
-        check_assignable, extract_phase_geometry, DesignRules, Layout, PhaseGeometry,
+        apply_cuts, check_assignable, extract_phase_geometry, DesignRules, Layout, PhaseGeometry,
+        SpaceCut,
     };
 }
