@@ -103,6 +103,17 @@ impl Stage {
 }
 
 fn main() {
+    // Fault-injection hooks must be compiled out of the measured binary:
+    // release timings may not include the probes. A debug run still
+    // works, but its numbers are flagged as non-representative.
+    #[cfg(not(debug_assertions))]
+    assert!(
+        !aapsm_fault::enabled(),
+        "fault-injection hooks are live in a release benchmark build"
+    );
+    if aapsm_fault::enabled() {
+        eprintln!("warning: debug build; fault hooks are live and timings are not representative");
+    }
     let rules = DesignRules::default();
     let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
     let reps = 5;
@@ -205,7 +216,7 @@ fn main() {
             parallelism: 0,
             ..DetectConfig::default()
         };
-        let mut engine = RedetectEngine::new(rules, detect_cfg);
+        let mut engine = RedetectEngine::new(rules, detect_cfg.clone());
         let round0 = engine.detect_full(&layout);
         assert!(
             round0.conflict_count() > 0,

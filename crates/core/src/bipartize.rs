@@ -6,11 +6,12 @@
 //! Kahng et al.). Greedy baselines (the paper's GB column and its
 //! parity-aware strengthening) and a brute-force reference are included.
 
+use aapsm_fault::{Budget, BudgetExceeded};
 use aapsm_graph::{
-    biconnected_components, component_embeddings, greedy_parity_subgraph,
+    biconnected_components, component_embeddings_budgeted, greedy_parity_subgraph,
     max_weight_spanning_forest, two_color_excluding, EdgeId, EmbeddedGraph,
 };
-use aapsm_tjoin::{solve_with, MatchingContext, TJoinInstance, TJoinMethod};
+use aapsm_tjoin::{solve_budgeted, MatchingContext, TJoinError, TJoinInstance, TJoinMethod};
 
 /// Bipartization algorithm selection.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -101,15 +102,69 @@ pub fn bipartize_with(
             finish(g, f.leftover)
         }
         BipartizeMethod::OptimalDual { tjoin, blocks } => {
-            let instances = if blocks {
-                extract_block_instances(g, parallelism)
-            } else {
-                extract_component_instances(g, parallelism)
-            };
-            let deleted = solve_instances(&instances, tjoin, parallelism);
-            finish(g, deleted)
+            match optimal_uncached_budgeted(g, tjoin, blocks, parallelism, &Budget::unlimited()) {
+                Ok(outcome) => outcome,
+                Err(_) => unreachable!("unlimited budget never trips"),
+            }
         }
     }
+}
+
+/// Outcome of a budgeted optimal bipartization attempt, with truthful
+/// degradation provenance: `degraded` carries the budget trip that forced
+/// the fall-back to [`BipartizeMethod::GreedyParity`] (the result is then
+/// still a valid — bipartiteness-restoring — conflict set, just possibly
+/// heavier than the optimum).
+pub(crate) struct BipartizeRun {
+    /// The (exact or degraded) bipartization.
+    pub outcome: BipartizeOutcome,
+    /// `Some` iff the optimal path tripped its budget and the parity-greedy
+    /// heuristic produced `outcome` instead.
+    pub degraded: Option<BudgetExceeded>,
+}
+
+/// Budgeted optimal bipartization with a graceful-degradation rung: the
+/// face trace charges `Stage::Embed`, the Blossom loop `Stage::Matching`;
+/// on a trip the whole stage falls back to the (cheap, unbudgeted)
+/// parity-greedy heuristic rather than failing the caller.
+pub(crate) fn bipartize_optimal_budgeted(
+    g: &EmbeddedGraph,
+    tjoin: TJoinMethod,
+    blocks: bool,
+    parallelism: usize,
+    budget: &Budget,
+    cache: Option<&mut SolveCache>,
+) -> BipartizeRun {
+    let attempt = match cache {
+        Some(cache) => cached_budgeted(g, tjoin, blocks, parallelism, cache, budget),
+        None => optimal_uncached_budgeted(g, tjoin, blocks, parallelism, budget),
+    };
+    match attempt {
+        Ok(outcome) => BipartizeRun {
+            outcome,
+            degraded: None,
+        },
+        Err(e) => BipartizeRun {
+            outcome: bipartize_with(g, BipartizeMethod::GreedyParity, parallelism),
+            degraded: Some(e),
+        },
+    }
+}
+
+fn optimal_uncached_budgeted(
+    g: &EmbeddedGraph,
+    tjoin: TJoinMethod,
+    blocks: bool,
+    parallelism: usize,
+    budget: &Budget,
+) -> Result<BipartizeOutcome, BudgetExceeded> {
+    let instances = if blocks {
+        extract_block_instances(g, parallelism, budget)?
+    } else {
+        extract_component_instances(g, parallelism, budget)?
+    };
+    let deleted = solve_instances(&instances, tjoin, parallelism, budget)?;
+    Ok(finish(g, deleted))
 }
 
 fn finish(g: &EmbeddedGraph, mut deleted: Vec<EdgeId>) -> BipartizeOutcome {
@@ -230,10 +285,31 @@ pub fn bipartize_with_cache(
     parallelism: usize,
     cache: &mut SolveCache,
 ) -> BipartizeOutcome {
+    match cached_budgeted(g, tjoin, blocks, parallelism, cache, &Budget::unlimited()) {
+        Ok(outcome) => outcome,
+        Err(_) => unreachable!("unlimited budget never trips"),
+    }
+}
+
+/// The budgeted body of [`bipartize_with_cache`]. A budget trip inserts
+/// nothing into the cache (all miss solutions are collected first), so a
+/// tripped round can never pollute later bit-identity; eviction is also
+/// skipped on the trip path, which only delays reclamation.
+// Invariants, not error paths: a key is retained for every miss, and
+// every instance is either solved or answered from cache.
+#[allow(clippy::expect_used)]
+fn cached_budgeted(
+    g: &EmbeddedGraph,
+    tjoin: TJoinMethod,
+    blocks: bool,
+    parallelism: usize,
+    cache: &mut SolveCache,
+    budget: &Budget,
+) -> Result<BipartizeOutcome, BudgetExceeded> {
     let instances = if blocks {
-        extract_block_instances(g, parallelism)
+        extract_block_instances(g, parallelism, budget)?
     } else {
-        extract_component_instances(g, parallelism)
+        extract_component_instances(g, parallelism, budget)?
     };
     cache.generation += 1;
     cache.hits = 0;
@@ -276,10 +352,10 @@ pub fn bipartize_with_cache(
     let joins: Vec<Vec<usize>> =
         aapsm_geom::par_map_indexed(unsolved.len(), workers, MatchingContext::new, |ctx, k| {
             let dt = &instances[unsolved[k]];
-            solve_with(&dt.inst, tjoin, ctx)
-                .expect("odd faces come in even numbers per component, so the T-join is feasible")
-                .edges
-        });
+            solve_dual_join(&dt.inst, tjoin, ctx, budget).map(|join| join.edges)
+        })
+        .into_iter()
+        .collect::<Result<_, BudgetExceeded>>()?;
     for (k, join) in unsolved.iter().zip(joins) {
         let dt = &instances[*k];
         deleted_per_instance[*k] = Some(join.iter().map(|&ei| dt.primal_of_edge[ei]).collect());
@@ -301,7 +377,23 @@ pub fn bipartize_with_cache(
         .into_iter()
         .flat_map(|d| d.expect("every instance solved or cached"))
         .collect();
-    finish(g, deleted)
+    Ok(finish(g, deleted))
+}
+
+/// Solves one dual T-join under the budget. Infeasibility cannot happen
+/// here — odd faces come in even numbers per component — so only budget
+/// trips surface as errors.
+fn solve_dual_join(
+    inst: &TJoinInstance,
+    tjoin: TJoinMethod,
+    ctx: &mut MatchingContext,
+    budget: &Budget,
+) -> Result<aapsm_tjoin::TJoin, BudgetExceeded> {
+    match solve_budgeted(inst, tjoin, ctx, budget) {
+        Ok(join) => Ok(join),
+        Err(TJoinError::Budget(e)) => Err(e),
+        Err(other) => unreachable!("dual T-join of a plane component is feasible: {other:?}"),
+    }
 }
 
 /// Extracts one dual T-join instance per connected component that has odd
@@ -320,12 +412,19 @@ pub fn bipartize_with_cache(
 /// equals the serial trace order restricted to the component, and
 /// component order is [`aapsm_graph::connected_components`] order either
 /// way — which keeps [`SolveCache`] keys stable too.
-fn extract_component_instances(g: &EmbeddedGraph, parallelism: usize) -> Vec<DualTJoin> {
+// Invariant, not an error path: dual T-join instances are well-formed by
+// construction.
+#[allow(clippy::expect_used)]
+fn extract_component_instances(
+    g: &EmbeddedGraph,
+    parallelism: usize,
+    budget: &Budget,
+) -> Result<Vec<DualTJoin>, BudgetExceeded> {
     debug_assert!(aapsm_graph::crossing_pairs(g).is_planar());
-    let embeddings = component_embeddings(g, parallelism);
+    let embeddings = component_embeddings_budgeted(g, parallelism, budget)?;
     let with_odd: Vec<_> = embeddings.iter().filter(|e| e.has_odd_face()).collect();
     if with_odd.is_empty() {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     // Same adaptive policy (and the same dual-edge metric) as
     // `solve_instances`: under auto parallelism, assembling a handful of
@@ -348,7 +447,7 @@ fn extract_component_instances(g: &EmbeddedGraph, parallelism: usize) -> Vec<Dua
     } else {
         effective_workers(parallelism, with_odd.len())
     };
-    aapsm_geom::par_map_indexed(
+    Ok(aapsm_geom::par_map_indexed(
         with_odd.len(),
         workers,
         || (),
@@ -373,14 +472,18 @@ fn extract_component_instances(g: &EmbeddedGraph, parallelism: usize) -> Vec<Dua
                 primal_of_edge: primal,
             }
         },
-    )
+    ))
 }
 
 /// Extracts instances per biconnected block: each block's drawing is
 /// traced and dualized in isolation. Same optimum as the component
 /// decomposition (odd cycles never span blocks), different instance
 /// shapes — this is the paper's ablation axis.
-fn extract_block_instances(g: &EmbeddedGraph, parallelism: usize) -> Vec<DualTJoin> {
+fn extract_block_instances(
+    g: &EmbeddedGraph,
+    parallelism: usize,
+    budget: &Budget,
+) -> Result<Vec<DualTJoin>, BudgetExceeded> {
     let blocks = biconnected_components(g);
     let mut instances = Vec::new();
     let mut scratch = g.clone();
@@ -400,9 +503,9 @@ fn extract_block_instances(g: &EmbeddedGraph, parallelism: usize) -> Vec<DualTJo
         }
         // A block is connected, so this is at most one instance; the
         // worker resolution inside collapses to an inline trace.
-        instances.extend(extract_component_instances(&scratch, parallelism));
+        instances.extend(extract_component_instances(&scratch, parallelism, budget)?);
     }
-    instances
+    Ok(instances)
 }
 
 /// Minimum total dual-edge work before auto parallelism spawns threads.
@@ -419,7 +522,12 @@ const SERIAL_FALLBACK_DUAL_EDGES: usize = 2048;
 ///
 /// Adaptive: under auto parallelism, tiny total instance work (see
 /// [`SERIAL_FALLBACK_DUAL_EDGES`]) keeps the solve on the calling thread.
-fn solve_instances(instances: &[DualTJoin], tjoin: TJoinMethod, parallelism: usize) -> Vec<EdgeId> {
+fn solve_instances(
+    instances: &[DualTJoin],
+    tjoin: TJoinMethod,
+    parallelism: usize,
+    budget: &Budget,
+) -> Result<Vec<EdgeId>, BudgetExceeded> {
     let total_dual_edges: usize = instances.iter().map(|dt| dt.inst.edges().len()).sum();
     let workers = if parallelism == 0 && total_dual_edges < SERIAL_FALLBACK_DUAL_EDGES {
         1
@@ -429,18 +537,15 @@ fn solve_instances(instances: &[DualTJoin], tjoin: TJoinMethod, parallelism: usi
     // Each worker owns one arena for its whole batch; results merge in
     // instance order (see `par_map_indexed`), so the outcome is
     // independent of scheduling.
-    aapsm_geom::par_map_indexed(instances.len(), workers, MatchingContext::new, |ctx, i| {
-        solve_one(&instances[i], tjoin, ctx)
-    })
-    .into_iter()
-    .flatten()
-    .collect()
-}
-
-fn solve_one(dt: &DualTJoin, tjoin: TJoinMethod, ctx: &mut MatchingContext) -> Vec<EdgeId> {
-    let join = solve_with(&dt.inst, tjoin, ctx)
-        .expect("odd faces come in even numbers per component, so the T-join is feasible");
-    join.edges.iter().map(|&ei| dt.primal_of_edge[ei]).collect()
+    let per_instance: Vec<Vec<EdgeId>> =
+        aapsm_geom::par_map_indexed(instances.len(), workers, MatchingContext::new, |ctx, i| {
+            let dt = &instances[i];
+            solve_dual_join(&dt.inst, tjoin, ctx, budget)
+                .map(|join| join.edges.iter().map(|&ei| dt.primal_of_edge[ei]).collect())
+        })
+        .into_iter()
+        .collect::<Result<_, _>>()?;
+    Ok(per_instance.into_iter().flatten().collect())
 }
 
 /// Resolves the `parallelism` knob (`0` = auto) against the instance count.
@@ -456,6 +561,9 @@ fn effective_workers(parallelism: usize, instances: usize) -> usize {
 /// # Panics
 ///
 /// Panics if the graph has more than 20 alive edges.
+// Invariant, not an error path: deleting all edges is always bipartite,
+// so a best subset always exists.
+#[allow(clippy::expect_used)]
 pub fn brute_force_bipartize(g: &EmbeddedGraph) -> BipartizeOutcome {
     let alive: Vec<EdgeId> = g.alive_edges().collect();
     assert!(alive.len() <= 20, "brute force limited to 20 edges");

@@ -31,7 +31,7 @@ use aapsm_layout::{
 };
 
 /// Options of the correction planner.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct CorrectionOptions {
     /// Per-component set-count cap for the exact cover solver: connected
     /// components of the candidate–element incidence with more candidate
@@ -49,6 +49,12 @@ pub struct CorrectionOptions {
     /// [`crate::DetectConfig::parallelism`], so the whole flow sits behind
     /// one knob.
     pub parallelism: usize,
+    /// Work/deadline budget charged by the cover branch-and-bound
+    /// ([`aapsm_fault::Stage::Cover`], one tick per search node). Tripped
+    /// components keep their greedy-warm-start incumbent and the plan
+    /// truthfully reports [`CorrectionPlan::cover_optimal`] `== false`.
+    /// Default: [`aapsm_fault::Budget::unlimited`].
+    pub budget: aapsm_fault::Budget,
 }
 
 impl Default for CorrectionOptions {
@@ -57,6 +63,7 @@ impl Default for CorrectionOptions {
             exact_cover_limit: 256,
             exact_node_limit: 200_000,
             parallelism: 1,
+            budget: aapsm_fault::Budget::unlimited(),
         }
     }
 }
@@ -409,6 +416,7 @@ pub fn plan_correction(
             node_limit_per_component: options.exact_node_limit,
             max_exact_sets: options.exact_cover_limit,
             parallelism: options.parallelism,
+            budget: options.budget.clone(),
         },
     );
     let solution = cover.solution;

@@ -94,6 +94,9 @@ pub fn detect_dark_field(layout: &Layout, rules: &DesignRules) -> DarkFieldRepor
     for e in g.alive_edges() {
         if !deleted.contains(&e) {
             let (u, v) = g.endpoints(e);
+            // Invariant: removing `outcome.deleted` leaves the graph
+            // bipartite, so re-adding the kept edges cannot conflict.
+            #[allow(clippy::expect_used)]
             uf.union(u.index(), v.index(), 1)
                 .expect("bipartization leaves the graph bipartite");
         }

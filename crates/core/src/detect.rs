@@ -1,7 +1,10 @@
 //! The AAPSM conflict-detection pipeline (Sections 3 / 3.1 of the paper).
 
+use crate::bipartize::bipartize_optimal_budgeted;
+use crate::flow::StageProvenance;
 use crate::graphs::{build_conflict_graph, EdgeConstraint, GraphKind};
 use crate::{bipartize, BipartizeMethod};
+use aapsm_fault::Budget;
 use aapsm_graph::{EdgeId, ParityUnionFind, PlanarizeOrder};
 use aapsm_layout::PhaseGeometry;
 use aapsm_tjoin::TJoinMethod;
@@ -43,7 +46,7 @@ pub struct Conflict {
 }
 
 /// Pipeline configuration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct DetectConfig {
     /// Which layout-to-graph reduction to use (PCG = the paper, FG = the
     /// prior-art baseline).
@@ -64,6 +67,12 @@ pub struct DetectConfig {
     /// [`aapsm_graph::crossing_pairs_par`] and
     /// [`aapsm_graph::trace_faces_par`].
     pub parallelism: usize,
+    /// Work/deadline budget honored by [`crate::run_flow`] and the
+    /// [`crate::RedetectEngine`] (charged by the tile build, face trace,
+    /// matching and the Step-2 solve). The direct [`detect_conflicts`]
+    /// entry point runs unbudgeted and ignores this field. Default:
+    /// [`Budget::unlimited`].
+    pub budget: Budget,
 }
 
 impl Default for DetectConfig {
@@ -74,6 +83,7 @@ impl Default for DetectConfig {
             planarize_order: PlanarizeOrder::MinWeightFirst,
             blocks: false,
             parallelism: 1,
+            budget: Budget::unlimited(),
         }
     }
 }
@@ -129,7 +139,16 @@ pub fn detect_conflicts(geom: &PhaseGeometry, config: &DetectConfig) -> DetectRe
     let mut cg = crate::graphs::build_conflict_graph_par(geom, config.graph, config.parallelism);
     // One sweep serves both the statistics and planarization.
     let crossings = aapsm_graph::crossing_pairs_par(&cg.graph, config.parallelism);
-    finish_pipeline(geom, &mut cg, &crossings, config, t0, None)
+    finish_pipeline(
+        geom,
+        &mut cg,
+        &crossings,
+        config,
+        t0,
+        None,
+        &Budget::unlimited(),
+    )
+    .0
 }
 
 /// The shared back half of the detection pipeline: planarize over a
@@ -138,6 +157,12 @@ pub fn detect_conflicts(geom: &PhaseGeometry, config: &DetectConfig) -> DetectRe
 /// report. [`detect_conflicts`] and the incremental
 /// [`crate::RedetectEngine`] both end here, so their reports cannot
 /// diverge once graph and crossing set agree.
+///
+/// Infallible by design: a budget trip inside the optimal bipartization
+/// *degrades* to the parity-greedy heuristic (still a valid conflict
+/// set) and is reported through the returned [`StageProvenance`].
+// Invariant, not an error path: G_p minus D is bipartite by construction.
+#[allow(clippy::expect_used)]
 pub(crate) fn finish_pipeline(
     geom: &PhaseGeometry,
     cg: &mut crate::ConflictGraph,
@@ -145,7 +170,8 @@ pub(crate) fn finish_pipeline(
     config: &DetectConfig,
     t0: Instant,
     cache: Option<&mut crate::SolveCache>,
-) -> DetectReport {
+    budget: &Budget,
+) -> (DetectReport, StageProvenance) {
     let crossings_before = crossings.pairs.len();
     let graph_nodes = cg.graph.node_count();
     let graph_edges = cg.graph.alive_edge_count();
@@ -155,22 +181,20 @@ pub(crate) fn finish_pipeline(
     let build_time = t0.elapsed();
 
     let t1 = Instant::now();
-    let outcome = match cache {
-        Some(cache) => crate::bipartize_with_cache(
-            &cg.graph,
-            config.tjoin,
-            config.blocks,
-            config.parallelism,
-            cache,
-        ),
-        None => crate::bipartize_with(
-            &cg.graph,
-            BipartizeMethod::OptimalDual {
-                tjoin: config.tjoin,
-                blocks: config.blocks,
-            },
-            config.parallelism,
-        ),
+    let run = bipartize_optimal_budgeted(
+        &cg.graph,
+        config.tjoin,
+        config.blocks,
+        config.parallelism,
+        budget,
+        cache,
+    );
+    let outcome = run.outcome;
+    let provenance = match run.degraded {
+        Some(e) => StageProvenance::Degraded(format!(
+            "optimal bipartization fell back to parity-greedy: {e}"
+        )),
+        None => StageProvenance::Exact,
     };
     let bipartize_time = t1.elapsed();
 
@@ -250,19 +274,22 @@ pub(crate) fn finish_pipeline(
         &mut seen,
     );
 
-    DetectReport {
-        conflicts,
-        stats: DetectStats {
-            graph_nodes,
-            graph_edges,
-            crossings: crossings_before,
-            planarize_removed: p_set.len(),
-            bipartize_conflicts,
-            recheck_conflicts,
-            build_time,
-            bipartize_time,
+    (
+        DetectReport {
+            conflicts,
+            stats: DetectStats {
+                graph_nodes,
+                graph_edges,
+                crossings: crossings_before,
+                planarize_removed: p_set.len(),
+                bipartize_conflicts,
+                recheck_conflicts,
+                build_time,
+                bipartize_time,
+            },
         },
-    }
+        provenance,
+    )
 }
 
 /// The greedy bipartization baselines (the paper's GB column).

@@ -1,26 +1,36 @@
 //! The one-call end-to-end flow: a detect → correct → **re-detect**
 //! convergence loop over the incremental [`crate::RedetectEngine`],
 //! followed by phase assignment.
+//!
+//! The flow is *budgeted* and *fault-isolated*: the budget carried by
+//! [`DetectConfig::budget`] is checked at entry and charged by every
+//! stage, degradations are recorded per round in
+//! [`FlowResult::provenance`], and a worker panic that survives the
+//! per-item retry of `aapsm_geom::par_map_indexed` surfaces as
+//! [`FlowError::WorkerPanic`] instead of unwinding through the caller.
 
 use crate::{
     plan_correction, CorrectionOptions, CorrectionPlan, CorrectionReport, DetectConfig,
     DetectReport, RedetectEngine,
 };
+use aapsm_fault::{Budget, BudgetExceeded, Stage};
 use aapsm_layout::{
-    apply_cuts, check_assignable, DesignRules, Layout, PhaseAssignment, PhaseGeometry,
+    apply_cuts, check_assignable, DesignRules, Layout, LayoutError, PhaseAssignment, PhaseGeometry,
 };
 use std::fmt;
 
 /// Configuration of [`run_flow`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct FlowConfig {
-    /// Detection pipeline configuration.
+    /// Detection pipeline configuration. Its [`DetectConfig::budget`] is
+    /// the **flow-wide** budget: [`run_flow`] checks it at entry and
+    /// drives the correction planner's cover solves with it too.
     pub detect: DetectConfig,
-    /// Correction planner options. [`CorrectionOptions::parallelism`] is
-    /// overridden by [`DetectConfig::parallelism`] inside [`run_flow`]:
-    /// the whole flow — detection *and* the correction planner's
-    /// per-component cover solves — sits behind the one knob, and every
-    /// degree is bit-identical.
+    /// Correction planner options. [`CorrectionOptions::parallelism`]
+    /// and [`CorrectionOptions::budget`] are overridden by the `detect`
+    /// field's inside [`run_flow`]: the whole flow — detection *and* the
+    /// correction planner's per-component cover solves — sits behind one
+    /// knob and one budget, and every degree is bit-identical.
     pub correct: CorrectionOptions,
     /// Maximum detect→correct rounds. Round `k+1` re-verifies round
     /// `k`'s cuts incrementally; the loop ends early once a round
@@ -40,6 +50,24 @@ impl Default for FlowConfig {
     }
 }
 
+impl FlowConfig {
+    /// A default configuration whose detection *and* correction stages
+    /// share `budget` — the one-call way to run a deadline-bounded flow.
+    pub fn with_budget(budget: Budget) -> FlowConfig {
+        FlowConfig {
+            detect: DetectConfig {
+                budget: budget.clone(),
+                ..DetectConfig::default()
+            },
+            correct: CorrectionOptions {
+                budget,
+                ..CorrectionOptions::default()
+            },
+            max_rounds: 8,
+        }
+    }
+}
+
 /// One round of the detect→correct→re-detect loop.
 #[derive(Clone, Copy, Debug)]
 pub struct FlowRound {
@@ -51,11 +79,69 @@ pub struct FlowRound {
     pub incremental: bool,
 }
 
+/// How one flow stage of one round obtained its result.
+///
+/// The truthfulness contract of the degradation ladder: a stage may fall
+/// back to a cheaper method when the budget trips, but the fall-back is
+/// always recorded here — a degraded answer can never masquerade as a
+/// proven one.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StageProvenance {
+    /// The stage ran its exact/optimal algorithm to completion.
+    Exact,
+    /// The stage fell back to a cheaper method (the payload says why);
+    /// its result is valid but not proven optimal.
+    Degraded(String),
+    /// The stage did not run (the payload says why).
+    Skipped(String),
+}
+
+impl StageProvenance {
+    /// Whether this stage ran its exact algorithm to completion.
+    pub fn is_exact(&self) -> bool {
+        matches!(self, StageProvenance::Exact)
+    }
+}
+
+/// Per-stage provenance of one [`FlowRound`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RoundProvenance {
+    /// Conflict-graph build (tile-sharded or incremental). Never
+    /// degraded: a graph build that trips its budget aborts the flow
+    /// instead (no cheaper build exists).
+    pub build: StageProvenance,
+    /// Optimal bipartization; degrades to parity-greedy on a budget trip.
+    pub bipartize: StageProvenance,
+    /// Correction cover; degraded when the exact branch-and-bound was
+    /// truncated or budget-tripped (the plan keeps its feasible
+    /// incumbent).
+    pub correct: StageProvenance,
+}
+
+impl RoundProvenance {
+    /// Whether every stage of the round ran exactly.
+    pub fn is_exact(&self) -> bool {
+        self.build.is_exact() && self.bipartize.is_exact() && self.correct.is_exact()
+    }
+
+    fn skipped(reason: &str) -> RoundProvenance {
+        RoundProvenance {
+            build: StageProvenance::Skipped(reason.to_string()),
+            bipartize: StageProvenance::Skipped(reason.to_string()),
+            correct: StageProvenance::Skipped(reason.to_string()),
+        }
+    }
+}
+
 /// Errors of the end-to-end flow.
 #[derive(Clone, Debug)]
 pub enum FlowError {
     /// The design rules are inconsistent.
     BadRules(String),
+    /// The input layout failed sanitization ([`Layout::sanitize`]):
+    /// degenerate rects, duplicated geometry, or coordinates too close
+    /// to the GDS i32 range for the rules' shifter extents.
+    BadLayout(LayoutError),
     /// Some of the *first* detection round's conflicts could not be
     /// corrected by space insertion (indices into that round's report —
     /// the `detection` the caller would have received); the caller
@@ -65,12 +151,20 @@ pub enum FlowError {
     /// partial result with `verified == false` and the leftover count in
     /// the final [`FlowRound`].
     Uncorrectable(Vec<usize>),
+    /// The budget was exhausted (or cancelled) before any partial result
+    /// worth returning existed: already expired at entry, or tripped
+    /// during a graph build — the one stage with no degraded form.
+    Budget(BudgetExceeded),
+    /// A worker panic survived the per-item retry; the payload is the
+    /// panic message.
+    WorkerPanic(String),
 }
 
 impl fmt::Display for FlowError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FlowError::BadRules(msg) => write!(f, "invalid design rules: {msg}"),
+            FlowError::BadLayout(e) => write!(f, "invalid layout: {e}"),
             FlowError::Uncorrectable(v) => {
                 write!(
                     f,
@@ -78,6 +172,8 @@ impl fmt::Display for FlowError {
                     v.len()
                 )
             }
+            FlowError::Budget(e) => write!(f, "flow budget exhausted: {e}"),
+            FlowError::WorkerPanic(msg) => write!(f, "worker panicked: {msg}"),
         }
     }
 }
@@ -103,6 +199,10 @@ pub struct FlowResult {
     pub verified: bool,
     /// The detect→correct rounds the loop ran, in order.
     pub rounds: Vec<FlowRound>,
+    /// Per-stage provenance of each round, parallel to
+    /// [`FlowResult::rounds`]: which stages ran exactly, which degraded
+    /// under the budget, which were skipped.
+    pub provenance: Vec<RoundProvenance>,
 }
 
 impl FlowResult {
@@ -114,6 +214,19 @@ impl FlowResult {
     /// Conflicts detected in the final round (0 when converged).
     pub fn final_conflicts(&self) -> usize {
         self.rounds.last().map_or(0, |r| r.conflicts)
+    }
+
+    /// Whether the flow never walked the degradation ladder: every
+    /// detection stage ran exactly and no cover was truncated. Benign
+    /// skips (a converged round with nothing to correct, the round cap)
+    /// don't count; a budget-stopped final round (all stages skipped)
+    /// does.
+    pub fn all_exact(&self) -> bool {
+        self.provenance.iter().all(|p| {
+            p.build.is_exact()
+                && p.bipartize.is_exact()
+                && !matches!(p.correct, StageProvenance::Degraded(_))
+        })
     }
 }
 
@@ -133,30 +246,84 @@ impl FlowResult {
 /// ([`RedetectEngine`]); every round's report is bit-identical to a
 /// from-scratch detection of the round's layout.
 ///
+/// Under a limited [`DetectConfig::budget`] the flow degrades gracefully
+/// where a cheaper valid method exists (see [`RoundProvenance`]) and
+/// stops early — returning the partial result with `verified == false` —
+/// when the budget trips between rounds; only an entry-expired budget or
+/// a trip inside a graph build errors.
+///
 /// # Errors
 ///
 /// * [`FlowError::BadRules`] for inconsistent design rules;
+/// * [`FlowError::BadLayout`] for layouts failing [`Layout::sanitize`];
 /// * [`FlowError::Uncorrectable`] when some conflicts cannot be fixed by
 ///   spacing (T-shape-like cases the paper routes to feature widening or
-///   mask splitting).
+///   mask splitting);
+/// * [`FlowError::Budget`] when the budget is exhausted with nothing to
+///   return;
+/// * [`FlowError::WorkerPanic`] when a worker panic survives the retry.
 pub fn run_flow(
     layout: &Layout,
     rules: &DesignRules,
     config: &FlowConfig,
 ) -> Result<FlowResult, FlowError> {
     rules.validate().map_err(FlowError::BadRules)?;
-    // One knob for the whole flow: the correction planner's cover solves
-    // run at the detection pipeline's parallelism degree.
+    layout.sanitize(rules).map_err(FlowError::BadLayout)?;
+    let budget = config.detect.budget.clone();
+    budget.check(Stage::GraphBuild).map_err(FlowError::Budget)?;
+    // Panic isolation: `par_map_indexed` already retries a panicked item
+    // once serially; a panic that survives that retry (or one on the
+    // calling thread) is converted to a structured error here rather
+    // than unwinding through the caller.
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_flow_inner(layout, rules, config, &budget)
+    })) {
+        Ok(result) => result,
+        Err(payload) => Err(FlowError::WorkerPanic(panic_message(payload.as_ref()))),
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panic".to_string()
+    }
+}
+
+// Invariants, not error paths: detection runs before the loop, so the
+// engine geometry and the first-round snapshot always exist.
+#[allow(clippy::expect_used)]
+fn run_flow_inner(
+    layout: &Layout,
+    rules: &DesignRules,
+    config: &FlowConfig,
+    budget: &Budget,
+) -> Result<FlowResult, FlowError> {
+    // One knob and one budget for the whole flow: the correction
+    // planner's cover solves run at the detection pipeline's parallelism
+    // degree and charge the detection budget.
     let correct_options = CorrectionOptions {
         parallelism: config.detect.parallelism,
-        ..config.correct
+        budget: budget.clone(),
+        ..config.correct.clone()
     };
-    let mut engine = RedetectEngine::new(*rules, config.detect);
+    let mut engine = RedetectEngine::new(*rules, config.detect.clone());
     let mut current = layout.clone();
     let mut rounds: Vec<FlowRound> = Vec::new();
+    let mut provenance: Vec<RoundProvenance> = Vec::new();
     let mut first: Option<(PhaseGeometry, DetectReport, CorrectionPlan)> = None;
-    let mut report = engine.detect_full(&current);
+    let (mut report, mut bip_prov) = engine
+        .try_detect_full(&current)
+        .map_err(FlowError::Budget)?;
+    // The last successfully detected geometry: the engine drops its
+    // state on a failed re-detect, so the final verification needs its
+    // own copy.
+    let mut last_geom: PhaseGeometry = engine.geometry().expect("detection ran").clone();
     let mut recorded_final = false;
+    let mut budget_stopped = false;
     for _correction_round in 0..config.max_rounds.max(1) {
         let geometry = engine.geometry().expect("detection ran");
         let plan = plan_correction(geometry, &report.conflicts, rules, &correct_options);
@@ -168,6 +335,11 @@ pub fn run_flow(
                 conflicts: 0,
                 cuts: 0,
                 incremental: engine.last_stats().incremental,
+            });
+            provenance.push(RoundProvenance {
+                build: StageProvenance::Exact,
+                bipartize: bip_prov.clone(),
+                correct: StageProvenance::Skipped("no conflicts to correct".to_string()),
             });
             recorded_final = true;
             break;
@@ -188,6 +360,13 @@ pub fn run_flow(
                 cuts: 0,
                 incremental: engine.last_stats().incremental,
             });
+            provenance.push(RoundProvenance {
+                build: StageProvenance::Exact,
+                bipartize: bip_prov.clone(),
+                correct: StageProvenance::Skipped(
+                    "cut-created conflicts have no legal correction line".to_string(),
+                ),
+            });
             recorded_final = true;
             break;
         }
@@ -196,10 +375,45 @@ pub fn run_flow(
             cuts: plan.cuts.len(),
             incremental: engine.last_stats().incremental,
         });
+        provenance.push(RoundProvenance {
+            build: StageProvenance::Exact,
+            bipartize: bip_prov.clone(),
+            correct: if plan.cover_optimal {
+                StageProvenance::Exact
+            } else {
+                StageProvenance::Degraded(
+                    "cover search truncated (node limit or budget); feasible incumbent kept"
+                        .to_string(),
+                )
+            },
+        });
         debug_assert!(!plan.cuts.is_empty(), "correctable conflicts yield cuts");
         let modified = apply_cuts(&current, &plan.cuts);
-        report = engine.redetect_after_correction(&modified, &plan.cuts);
         current = modified;
+        match engine.try_redetect_after_correction(&current, &plan.cuts) {
+            Ok((r, p)) => {
+                report = r;
+                bip_prov = p;
+                last_geom = engine.geometry().expect("detection ran").clone();
+            }
+            Err(e) => {
+                // The cuts just applied were planned from a *verified*
+                // detection, so `current` is a sound partial result; only
+                // its re-verification is missing. Record a truthfully
+                // skipped final round and stop.
+                rounds.push(FlowRound {
+                    conflicts: 0,
+                    cuts: 0,
+                    incremental: false,
+                });
+                provenance.push(RoundProvenance::skipped(&format!(
+                    "re-detection stopped by budget: {e}"
+                )));
+                budget_stopped = true;
+                recorded_final = true;
+                break;
+            }
+        }
     }
     if !recorded_final {
         // Round cap hit: record the last re-detection (converged or not)
@@ -209,21 +423,36 @@ pub fn run_flow(
             cuts: 0,
             incremental: engine.last_stats().incremental,
         });
+        provenance.push(RoundProvenance {
+            build: StageProvenance::Exact,
+            bipartize: bip_prov.clone(),
+            correct: StageProvenance::Skipped("round cap reached".to_string()),
+        });
     }
 
     let (geometry, detection, plan) = first.expect("at least one round ran");
-    let final_geom = engine.geometry().expect("detection ran");
-    let converged = report.conflict_count() == 0;
-    let (assignment, assignable) = match check_assignable(final_geom) {
-        Ok(a) => (a, true),
-        Err(_) => (
-            // Verification failed; return the trivial assignment with
-            // verified = false so callers can inspect.
+    let converged = !budget_stopped && report.conflict_count() == 0;
+    let (assignment, assignable) = if budget_stopped {
+        // `last_geom` predates the final (unverified) cuts; skip the
+        // check and return the trivial assignment with verified = false.
+        (
             PhaseAssignment {
-                phase: vec![0; final_geom.shifters.len()],
+                phase: vec![0; last_geom.shifters.len()],
             },
             false,
-        ),
+        )
+    } else {
+        match check_assignable(&last_geom) {
+            Ok(a) => (a, true),
+            Err(_) => (
+                // Verification failed; return the trivial assignment with
+                // verified = false so callers can inspect.
+                PhaseAssignment {
+                    phase: vec![0; last_geom.shifters.len()],
+                },
+                false,
+            ),
+        }
     };
     let verified = converged && assignable;
     let correction = CorrectionReport::from_modified(current, layout.stats().bbox_area, verified);
@@ -235,6 +464,7 @@ pub fn run_flow(
         assignment,
         verified,
         rounds,
+        provenance,
     })
 }
 
@@ -252,6 +482,8 @@ mod tests {
         assert!(res.plan.cuts.is_empty());
         assert_eq!(res.correction.modified, layout);
         assert!(res.verified);
+        assert!(res.all_exact(), "provenance: {:?}", res.provenance);
+        assert_eq!(res.provenance.len(), res.rounds.len());
     }
 
     #[test]
@@ -264,6 +496,12 @@ mod tests {
         // The assignment satisfies the corrected geometry.
         let geom = extract_phase_geometry(&res.correction.modified, &rules);
         assert!(res.assignment.satisfies(&geom));
+        // Unbudgeted rounds are all-exact except the final skip reason.
+        assert_eq!(res.provenance.len(), res.rounds.len());
+        for p in &res.provenance {
+            assert!(p.build.is_exact());
+            assert!(p.bipartize.is_exact());
+        }
     }
 
     #[test]
@@ -275,6 +513,18 @@ mod tests {
         assert!(matches!(
             run_flow(&fixtures::wire_row(2, 600), &rules, &FlowConfig::default()),
             Err(FlowError::BadRules(_))
+        ));
+    }
+
+    #[test]
+    fn bad_layout_rejected() {
+        let rules = DesignRules::default();
+        let mut rects = fixtures::wire_row(2, 600).rects().to_vec();
+        rects.push(rects[0]); // exact duplicate
+        let layout = aapsm_layout::Layout::from_rects(rects);
+        assert!(matches!(
+            run_flow(&layout, &rules, &FlowConfig::default()),
+            Err(FlowError::BadLayout(LayoutError::DuplicateRect { .. }))
         ));
     }
 
@@ -325,6 +575,11 @@ mod tests {
         assert_eq!(res.round_count(), 2, "rounds: {:?}", res.rounds);
         assert!(res.final_conflicts() > 0);
         assert_eq!(res.rounds[1].cuts, 0, "no further correction attempted");
+        assert!(
+            matches!(res.provenance[1].correct, StageProvenance::Skipped(_)),
+            "provenance: {:?}",
+            res.provenance
+        );
         // A round-0 uncorrectable still errors with indices into the
         // first report.
         let direct = fixtures::corridor_unblock_two_round(&rules);
@@ -348,6 +603,11 @@ mod tests {
         assert!(!res.verified);
         assert_eq!(res.round_count(), 2);
         assert!(res.final_conflicts() > 0);
+        assert!(
+            matches!(res.provenance[1].correct, StageProvenance::Skipped(_)),
+            "provenance: {:?}",
+            res.provenance
+        );
     }
 
     #[test]

@@ -34,6 +34,28 @@
 //! while staying bit-identical to a from-scratch [`detect_conflicts`]
 //! pass (property-tested in `tests/incremental_equivalence.rs`).
 //!
+//! # Budgets, degradation and fault isolation
+//!
+//! Every long-running stage is *budgeted*: [`DetectConfig::budget`] /
+//! [`CorrectionOptions::budget`] carry an [`aapsm_fault::Budget`]
+//! (wall-clock deadline, per-stage work caps, cooperative cancellation)
+//! that the tile build, face trace, Blossom matching and cover
+//! branch-and-bound charge as they work. When a budget trips, the flow
+//! walks a **degradation ladder** instead of failing outright — optimal
+//! bipartization falls back to the parity-greedy heuristic, the exact
+//! cover keeps its (feasible) incumbent — and records what happened in
+//! [`FlowResult::provenance`] ([`StageProvenance::Exact`] /
+//! [`StageProvenance::Degraded`] / [`StageProvenance::Skipped`] per round
+//! and stage), so a degraded answer can never masquerade as a proven one.
+//! Worker panics are isolated per item (`aapsm_geom::par_map_indexed`
+//! retries a poisoned tile/component once serially); a persistent panic
+//! surfaces as [`FlowError::WorkerPanic`] rather than tearing down the
+//! caller. The deterministic fault-injection hooks of [`aapsm_fault`]
+//! (compiled out in release) drive the property suite in
+//! `tests/fault_injection.rs`: every injected fault yields either a
+//! bit-identical complete result or a truthfully flagged degraded/error
+//! result — never a silently wrong one.
+//!
 //! # Parallelism and solver reuse
 //!
 //! The **whole pipeline** is decompose-then-solve behind one knob,
@@ -88,6 +110,8 @@
 //! # Ok::<(), aapsm_core::FlowError>(())
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 mod bipartize;
 mod correct;
 pub mod darkfield;
@@ -108,7 +132,9 @@ pub use detect::{
     detect_conflicts, detect_greedy, Conflict, ConflictSource, ConstraintKind, DetectConfig,
     DetectReport, DetectStats, GreedyKind,
 };
-pub use flow::{run_flow, FlowConfig, FlowError, FlowResult, FlowRound};
+pub use flow::{
+    run_flow, FlowConfig, FlowError, FlowResult, FlowRound, RoundProvenance, StageProvenance,
+};
 pub use graphs::{
     build_conflict_graph, build_conflict_graph_par, build_feature_graph,
     build_phase_conflict_graph, planarize_graph, planarize_graph_par, ConflictGraph, GraphKind,
@@ -116,9 +142,12 @@ pub use graphs::{
 };
 pub use redetect::{RedetectEngine, RedetectStats};
 pub use shard::{
-    build_conflict_graph_tiled, build_conflict_graph_tiled_stateful, TileBuildState, TileConfig,
-    TileReuse,
+    build_conflict_graph_tiled, build_conflict_graph_tiled_stateful,
+    build_conflict_graph_tiled_stateful_budgeted, TileBuildState, TileConfig, TileReuse,
 };
 
+pub use aapsm_fault::{
+    Budget, BudgetExceeded, BudgetSpec, CancelToken, ExhaustReason, Stage as BudgetStage,
+};
 pub use aapsm_graph::PlanarizeOrder;
 pub use aapsm_tjoin::{GadgetKind, TJoinMethod};

@@ -44,8 +44,10 @@
 //! correct unconditionally) and reports it in [`RedetectStats`].
 
 use crate::detect::finish_pipeline;
-use crate::shard::{build_conflict_graph_tiled_stateful, TileBuildState, TileConfig};
+use crate::flow::StageProvenance;
+use crate::shard::{build_conflict_graph_tiled_stateful_budgeted, TileBuildState, TileConfig};
 use crate::{ConflictGraph, DetectConfig, DetectReport, GraphKind, SolveCache};
+use aapsm_fault::BudgetExceeded;
 use aapsm_graph::{crossing_pairs_incremental, crossing_pairs_par, CrossingSet, EdgeId};
 use aapsm_layout::{dirty_regions_for, DesignRules, ExtractState, Layout, PhaseGeometry, SpaceCut};
 use std::time::Instant;
@@ -138,18 +140,43 @@ impl RedetectEngine {
     /// Full detection, establishing (or re-establishing) the retained
     /// state. The report is bit-identical to
     /// [`crate::detect_conflicts`] on the extracted geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the engine's [`DetectConfig::budget`] trips — use
+    /// [`RedetectEngine::try_detect_full`] for budgeted sessions.
     pub fn detect_full(&mut self, layout: &Layout) -> DetectReport {
+        match self.try_detect_full(layout) {
+            Ok((report, _)) => report,
+            Err(e) => panic!("detect_full under a limited budget: {e}"),
+        }
+    }
+
+    /// [`RedetectEngine::detect_full`] honoring the config's
+    /// [`DetectConfig::budget`], returning the bipartization's
+    /// [`StageProvenance`] alongside the report.
+    ///
+    /// # Errors
+    ///
+    /// [`BudgetExceeded`] when the graph build trips the budget (no
+    /// cheaper build exists, so detection cannot degrade there); the
+    /// retained state is dropped and the next call re-detects from
+    /// scratch.
+    pub fn try_detect_full(
+        &mut self,
+        layout: &Layout,
+    ) -> Result<(DetectReport, StageProvenance), BudgetExceeded> {
         let t0 = Instant::now();
         let extract = ExtractState::full(layout, &self.rules, self.config.parallelism);
         let cache = self.state.take().map(|s| s.cache).unwrap_or_default();
-        let report = self.full_back_end(t0, extract, cache);
+        let out = self.full_back_end(t0, extract, cache)?;
         self.stats = RedetectStats {
             incremental: false,
             solve_hits: self.cache_hits(),
             solve_misses: self.cache_misses(),
             ..RedetectStats::default()
         };
-        report
+        Ok(out)
     }
 
     /// Re-detects after `cuts` transformed the previously detected
@@ -162,19 +189,41 @@ impl RedetectEngine {
         modified: &Layout,
         cuts: &[SpaceCut],
     ) -> DetectReport {
+        match self.try_redetect_after_correction(modified, cuts) {
+            Ok((report, _)) => report,
+            Err(e) => panic!("redetect_after_correction under a limited budget: {e}"),
+        }
+    }
+
+    /// [`RedetectEngine::redetect_after_correction`] honoring the
+    /// config's [`DetectConfig::budget`], returning the bipartization's
+    /// [`StageProvenance`] alongside the report.
+    ///
+    /// # Errors
+    ///
+    /// [`BudgetExceeded`] when the (incremental or full) graph build
+    /// trips the budget; the retained state is dropped and the next call
+    /// re-detects from scratch.
+    pub fn try_redetect_after_correction(
+        &mut self,
+        modified: &Layout,
+        cuts: &[SpaceCut],
+    ) -> Result<(DetectReport, StageProvenance), BudgetExceeded> {
         // The FG ablation lacks the stable id layout the remaps rely on;
         // and with no prior state there is nothing to be incremental
         // about. Both run the full pipeline (still solve-cached).
         if self.state.is_none() || self.config.graph == GraphKind::Feature {
-            return self.detect_full(modified);
+            return self.try_detect_full(modified);
         }
         let t0 = Instant::now();
-        let mut state = self.state.take().expect("checked above");
+        let Some(mut state) = self.state.take() else {
+            unreachable!("checked above")
+        };
         let delta = state
             .extract
             .incremental(modified, cuts, &self.rules, self.config.parallelism);
         if delta.fallback {
-            let report = self.full_back_end(t0, state.extract, state.cache);
+            let out = self.full_back_end(t0, state.extract, state.cache)?;
             self.stats = RedetectStats {
                 incremental: false,
                 extraction_fallback: true,
@@ -182,7 +231,7 @@ impl RedetectEngine {
                 solve_misses: self.cache_misses(),
                 ..RedetectStats::default()
             };
-            return report;
+            return Ok(out);
         }
 
         // ---- Incremental front-end. ----
@@ -200,7 +249,8 @@ impl RedetectEngine {
             &delta.overlap_map,
             &delta.overlap_preimage,
             self.config.parallelism,
-        );
+            &self.config.budget,
+        )?;
         let old_of_new = pcg_edge_map(
             &delta.overlap_preimage,
             old_graph.graph.edge_count(),
@@ -216,13 +266,14 @@ impl RedetectEngine {
 
         // ---- Shared back end. ----
         let pristine = cg.clone();
-        let report = finish_pipeline(
+        let (report, provenance) = finish_pipeline(
             extract.geometry(),
             &mut cg,
             &crossings,
             &self.config,
             t0,
             Some(&mut cache),
+            &self.config.budget,
         );
         self.stats = RedetectStats {
             incremental: true,
@@ -241,7 +292,7 @@ impl RedetectEngine {
             tiles,
             cache,
         });
-        report
+        Ok((report, provenance))
     }
 
     /// The from-scratch back end over a ready extraction state: tiled
@@ -252,22 +303,27 @@ impl RedetectEngine {
         t0: Instant,
         extract: ExtractState,
         mut cache: SolveCache,
-    ) -> DetectReport {
+    ) -> Result<(DetectReport, StageProvenance), BudgetExceeded> {
         let tile_cfg = TileConfig {
             tiles: self.tile_count,
             parallelism: self.config.parallelism,
         };
-        let (mut cg, tiles) =
-            build_conflict_graph_tiled_stateful(extract.geometry(), self.config.graph, &tile_cfg);
+        let (mut cg, tiles) = build_conflict_graph_tiled_stateful_budgeted(
+            extract.geometry(),
+            self.config.graph,
+            &tile_cfg,
+            &self.config.budget,
+        )?;
         let crossings = crossing_pairs_par(&cg.graph, self.config.parallelism);
         let pristine = cg.clone();
-        let report = finish_pipeline(
+        let (report, provenance) = finish_pipeline(
             extract.geometry(),
             &mut cg,
             &crossings,
             &self.config,
             t0,
             Some(&mut cache),
+            &self.config.budget,
         );
         self.state = Some(EngineState {
             extract,
@@ -276,7 +332,7 @@ impl RedetectEngine {
             tiles,
             cache,
         });
-        report
+        Ok((report, provenance))
     }
 
     fn cache_hits(&self) -> usize {
@@ -345,7 +401,7 @@ mod tests {
             fixtures::strap_under_bus(6, &rules),
             fixtures::wire_row(5, 600),
         ] {
-            let mut engine = RedetectEngine::new(rules, config);
+            let mut engine = RedetectEngine::new(rules, config.clone());
             let report = engine.detect_full(&layout);
             let scratch = detect_conflicts(&extract_phase_geometry(&layout, &rules), &config);
             assert_reports_match(&report, &scratch);
@@ -371,7 +427,7 @@ mod tests {
         let rules = DesignRules::default();
         let config = DetectConfig::default();
         let layout = fixtures::strap_under_bus(5, &rules);
-        let mut engine = RedetectEngine::new(rules, config);
+        let mut engine = RedetectEngine::new(rules, config.clone());
         engine.detect_full(&layout);
         let cuts = [SpaceCut {
             axis: Axis::Y,

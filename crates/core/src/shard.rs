@@ -66,6 +66,7 @@
 //!    ids depend on same-side overlap ranks that have no stable prefix).
 
 use crate::graphs::{flank_weight_for, ConflictGraph, EdgeConstraint, GraphKind};
+use aapsm_fault::{Budget, BudgetExceeded, FaultSite, Stage};
 use aapsm_geom::{resolve_workers, DirtyRegions, Point, Rect};
 use aapsm_graph::EmbeddedGraph;
 use aapsm_layout::PhaseGeometry;
@@ -271,6 +272,14 @@ fn id_layout(geom: &PhaseGeometry, kind: GraphKind) -> IdLayout {
 
 /// Builds the tile's slice: its owned overlaps and critical features, with
 /// locally-renumbered nodes and canonical global ids.
+///
+/// Charges one [`Stage::GraphBuild`] tick per owned constraint to
+/// `budget`; a tripped budget aborts the build (there is no cheaper way
+/// to construct the graph, so callers surface the error instead of
+/// degrading).
+// Invariant, not an error path: owned feature lists are filtered to
+// critical features (shifters present) at ownership-assignment time.
+#[allow(clippy::expect_used)]
 fn build_tile(
     geom: &PhaseGeometry,
     kind: GraphKind,
@@ -278,7 +287,13 @@ fn build_tile(
     flank_weight: i64,
     owned_overlaps: &[u32],
     owned_features: &[u32],
-) -> TileGraph {
+    budget: &Budget,
+) -> Result<TileGraph, BudgetExceeded> {
+    aapsm_fault::hit(FaultSite::TileBuild);
+    budget.charge(
+        Stage::GraphBuild,
+        (owned_overlaps.len() + owned_features.len()) as u64,
+    )?;
     let mut tg = TileGraph::new();
     let mut interned = aapsm_geom::FxHashMap::default();
     let s = ids.shifters as u32;
@@ -344,13 +359,16 @@ fn build_tile(
             }
         }
     }
-    tg
+    Ok(tg)
 }
 
 /// Scatters tile slices into canonical slots and emits nodes and edges in
 /// exactly the serial order — the partition-agnostic half of the tiled
 /// build: *any* grouping of the constraints, built per group, stitches to
 /// the canonical graph.
+// Invariant, not an error path: the ownership partition (module invariant
+// 1) fills every canonical edge slot exactly once.
+#[allow(clippy::expect_used)]
 fn stitch<'a>(
     geom: &PhaseGeometry,
     kind: GraphKind,
@@ -451,6 +469,8 @@ pub struct TileReuse {
 /// endpoint shifter rects, for a flank the feature body plus both
 /// shifters. This covers the tile core *and* halo, so a rigid box implies
 /// every input of the group's slice translated by one vector.
+// Invariant: owned feature lists only ever hold critical features.
+#[allow(clippy::expect_used)]
 fn group_bbox(geom: &PhaseGeometry, overlaps: &[u32], features: &[u32]) -> Option<Rect> {
     let mut acc: Option<Rect> = None;
     let mut grow = |r: Rect| {
@@ -485,18 +505,37 @@ pub fn build_conflict_graph_tiled_stateful(
     kind: GraphKind,
     config: &TileConfig,
 ) -> (ConflictGraph, TileBuildState) {
+    match build_conflict_graph_tiled_stateful_budgeted(geom, kind, config, &Budget::unlimited()) {
+        Ok(out) => out,
+        Err(_) => unreachable!("unlimited budget never trips"),
+    }
+}
+
+/// [`build_conflict_graph_tiled_stateful`] under a [`Budget`]: one
+/// [`Stage::GraphBuild`] tick is charged per constraint.
+///
+/// # Errors
+///
+/// [`BudgetExceeded`] when the budget trips mid-build; the partial build
+/// is discarded (a conflict graph has no cheaper degraded form).
+pub fn build_conflict_graph_tiled_stateful_budgeted(
+    geom: &PhaseGeometry,
+    kind: GraphKind,
+    config: &TileConfig,
+    budget: &Budget,
+) -> Result<(ConflictGraph, TileBuildState), BudgetExceeded> {
     let k = config.tiles_per_axis();
     let Some(tiling) = Tiling::over(geom.shifters.iter().map(|s| s.rect.center()), k) else {
         // No shifters — nothing to shard.
         let cg = crate::graphs::build_conflict_graph(geom, kind);
-        return (
+        return Ok((
             cg,
             TileBuildState {
                 kind,
                 tiling: None,
                 groups: Vec::new(),
             },
-        );
+        ));
     };
     let ids = id_layout(geom, kind);
     let flank_weight = flank_weight_for(geom);
@@ -533,9 +572,12 @@ pub fn build_conflict_graph_tiled_stateful(
                 flank_weight,
                 &tile_overlaps[t],
                 &tile_features[t],
+                budget,
             )
         },
-    );
+    )
+    .into_iter()
+    .collect::<Result<_, _>>()?;
     let cg = stitch(geom, kind, &ids, flank_weight, built.iter());
 
     // ---- Retain the decomposition. ----
@@ -552,14 +594,14 @@ pub fn build_conflict_graph_tiled_stateful(
     for (slot, tg) in occupied.into_iter().zip(built) {
         groups[slot].graph = tg;
     }
-    (
+    Ok((
         cg,
         TileBuildState {
             kind,
             tiling: Some(tiling),
             groups,
         },
-    )
+    ))
 }
 
 fn overlap_anchor(geom: &PhaseGeometry, o: &aapsm_layout::OverlapPair) -> Point {
@@ -589,15 +631,16 @@ impl TileBuildState {
         overlap_map: &[Option<u32>],
         overlap_preimage: &[Option<u32>],
         parallelism: usize,
-    ) -> (ConflictGraph, TileReuse) {
+        budget: &Budget,
+    ) -> Result<(ConflictGraph, TileReuse), BudgetExceeded> {
         // Only the phase conflict graph has the stable shifter-id prefix
         // the remap arithmetic relies on; the FG baseline (an ablation,
         // never on the flow path) rebuilds from scratch.
         if self.kind == GraphKind::Feature {
-            return self.rebuild_full(geom, parallelism);
+            return self.rebuild_full(geom, parallelism, budget);
         }
         let Some(tiling) = self.tiling.clone() else {
-            return self.rebuild_full(geom, parallelism);
+            return self.rebuild_full(geom, parallelism, budget);
         };
         let ids = id_layout(geom, self.kind);
         let flank_weight = flank_weight_for(geom);
@@ -664,7 +707,7 @@ impl TileBuildState {
                 let t = work[i];
                 let g = &groups[t];
                 match plans[t] {
-                    Plan::Keep(shift) => remap_group(g, &ids, flank_weight, overlap_map, shift),
+                    Plan::Keep(shift) => Ok(remap_group(g, &ids, flank_weight, overlap_map, shift)),
                     Plan::Rebuild => {
                         let mut overlaps: Vec<u32> = g
                             .overlaps
@@ -673,18 +716,27 @@ impl TileBuildState {
                             .collect();
                         overlaps.extend_from_slice(&appended[t]);
                         let features = g.features.clone();
-                        let graph =
-                            build_tile(geom, kind, &ids, flank_weight, &overlaps, &features);
-                        TileGroup {
+                        let graph = build_tile(
+                            geom,
+                            kind,
+                            &ids,
+                            flank_weight,
+                            &overlaps,
+                            &features,
+                            budget,
+                        )?;
+                        Ok(TileGroup {
                             bbox: group_bbox(geom, &overlaps, &features).map(rect_tuple),
                             overlaps,
                             features,
                             graph,
-                        }
+                        })
                     }
                 }
             },
-        );
+        )
+        .into_iter()
+        .collect::<Result<_, BudgetExceeded>>()?;
         let cg = stitch(
             geom,
             kind,
@@ -695,7 +747,7 @@ impl TileBuildState {
         for (t, g) in work.into_iter().zip(rebuilt) {
             self.groups[t] = g;
         }
-        (cg, reuse)
+        Ok((cg, reuse))
     }
 
     /// Full from-scratch rebuild of both the graph and the decomposition
@@ -704,15 +756,17 @@ impl TileBuildState {
         &mut self,
         geom: &PhaseGeometry,
         parallelism: usize,
-    ) -> (ConflictGraph, TileReuse) {
+        budget: &Budget,
+    ) -> Result<(ConflictGraph, TileReuse), BudgetExceeded> {
         let config = TileConfig {
             tiles: self.tiling.as_ref().map_or(0, |t| t.k as usize),
             parallelism,
         };
-        let (cg, state) = build_conflict_graph_tiled_stateful(geom, self.kind, &config);
+        let (cg, state) =
+            build_conflict_graph_tiled_stateful_budgeted(geom, self.kind, &config, budget)?;
         let rebuilt = state.groups.iter().filter(|g| !g.is_empty()).count();
         *self = state;
-        (cg, TileReuse { reused: 0, rebuilt })
+        Ok((cg, TileReuse { reused: 0, rebuilt }))
     }
 }
 
@@ -722,6 +776,8 @@ impl TileBuildState {
 /// rigid vector, and flank edges pick up the (global) flank weight.
 /// Equivalent to — but cheaper than — re-running [`build_tile`] on the
 /// remapped owned lists: no hashing, no interning.
+// Invariant: Plan::Keep requires every owned overlap to be mapped.
+#[allow(clippy::expect_used)]
 fn remap_group(
     g: &TileGroup,
     ids: &IdLayout,

@@ -44,7 +44,7 @@ fn check_correction_loop(layout: &Layout, parallelism: usize, tiles: usize) -> u
         parallelism,
         ..DetectConfig::default()
     };
-    let mut engine = RedetectEngine::with_tiles(rules, config, tiles);
+    let mut engine = RedetectEngine::with_tiles(rules, config.clone(), tiles);
     let mut report = engine.detect_full(layout);
     {
         let scratch_geom = extract_phase_geometry(layout, &rules);
@@ -132,7 +132,7 @@ fn feature_graph_kind_redetects_via_full_path() {
         ..DetectConfig::default()
     };
     let layout = fixtures::strap_under_bus(4, &rules);
-    let mut engine = RedetectEngine::new(rules, config);
+    let mut engine = RedetectEngine::new(rules, config.clone());
     let report = engine.detect_full(&layout);
     let plan = plan_correction(
         engine.geometry().unwrap(),
@@ -227,7 +227,7 @@ proptest! {
     ) {
         let rules = DesignRules::default();
         let config = DetectConfig::default();
-        let mut engine = RedetectEngine::new(rules, config);
+        let mut engine = RedetectEngine::new(rules, config.clone());
         engine.detect_full(&layout);
         let modified = apply_cuts(&layout, &cuts);
         let report = engine.redetect_after_correction(&modified, &cuts);

@@ -1,4 +1,5 @@
 use crate::{solve_greedy, CoverInstance, CoverSolution};
+use aapsm_fault::{Budget, Stage};
 
 /// Outcome of the exact branch-and-bound solver.
 ///
@@ -23,12 +24,18 @@ pub struct ExactOptions {
     /// the per-component grid-line instances produced by the correction
     /// planner.
     pub node_limit: u64,
+    /// Work budget: every search node charges one [`Stage::Cover`] tick.
+    /// A budget trip truncates the search exactly like the node limit —
+    /// the incumbent is returned with [`ExactCover::proven`] `== false`,
+    /// never a silent claim of optimality.
+    pub budget: Budget,
 }
 
 impl Default for ExactOptions {
     fn default() -> Self {
         ExactOptions {
             node_limit: 2_000_000,
+            budget: Budget::unlimited(),
         }
     }
 }
@@ -39,6 +46,7 @@ struct Search<'a> {
     best_weight: i64,
     nodes: u64,
     node_limit: u64,
+    budget: &'a Budget,
     truncated: bool,
 }
 
@@ -80,7 +88,7 @@ impl Search<'_> {
         weight: i64,
     ) {
         self.nodes += 1;
-        if self.nodes > self.node_limit {
+        if self.nodes > self.node_limit || self.budget.charge(Stage::Cover, 1).is_err() {
             self.truncated = true;
             return;
         }
@@ -180,6 +188,7 @@ pub fn solve_exact(inst: &CoverInstance, options: &ExactOptions) -> Option<Exact
         best: Some(warm.chosen),
         nodes: 0,
         node_limit: options.node_limit,
+        budget: &options.budget,
         truncated: false,
     };
     let mut covered = vec![false; inst.universe_size()];
@@ -245,7 +254,14 @@ mod tests {
                 (2, vec![2, 5]),
             ],
         );
-        let out = solve_exact(&inst, &ExactOptions { node_limit: 1 }).unwrap();
+        let out = solve_exact(
+            &inst,
+            &ExactOptions {
+                node_limit: 1,
+                ..ExactOptions::default()
+            },
+        )
+        .unwrap();
         assert!(out.solution.is_feasible(&inst));
         assert!(
             !out.proven,
@@ -255,5 +271,34 @@ mod tests {
         let full = solve_exact(&inst, &ExactOptions::default()).unwrap();
         assert!(full.proven);
         assert!(full.solution.weight <= out.solution.weight);
+    }
+
+    #[test]
+    fn work_budget_trip_truncates_truthfully() {
+        let inst = CoverInstance::new(
+            6,
+            vec![
+                (3, vec![0, 1, 2]),
+                (3, vec![3, 4, 5]),
+                (2, vec![0, 3]),
+                (2, vec![1, 4]),
+                (2, vec![2, 5]),
+            ],
+        );
+        let budget = aapsm_fault::BudgetSpec {
+            cover_ticks: Some(1),
+            ..aapsm_fault::BudgetSpec::default()
+        }
+        .build();
+        let out = solve_exact(
+            &inst,
+            &ExactOptions {
+                budget,
+                ..ExactOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(out.solution.is_feasible(&inst));
+        assert!(!out.proven, "a budget-tripped search must not claim proof");
     }
 }

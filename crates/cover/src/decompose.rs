@@ -36,11 +36,12 @@
 
 use crate::branch::ExactCover;
 use crate::{solve_exact, solve_greedy, CoverInstance, CoverSolution, ExactOptions};
+use aapsm_fault::{Budget, FaultSite};
 use aapsm_geom::{par_map_indexed, resolve_workers};
 use aapsm_graph::UnionFind;
 
 /// Tuning knobs for [`solve_decomposed`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct DecomposeOptions {
     /// Branch-and-bound node budget *per component* (truncated components
     /// keep their incumbent but are not counted as proven optimal).
@@ -51,6 +52,11 @@ pub struct DecomposeOptions {
     /// Worker threads for component solves: `0` = one per available CPU,
     /// `1` = serial, `k` = at most `k`. Every degree is bit-identical.
     pub parallelism: usize,
+    /// Shared work budget charged by every component's branch-and-bound
+    /// ([`aapsm_fault::Stage::Cover`], one tick per search node). Tripped
+    /// components keep their greedy-warm-start incumbent and are reported
+    /// unproven; an unlimited budget (the default) changes nothing.
+    pub budget: Budget,
 }
 
 impl Default for DecomposeOptions {
@@ -59,6 +65,7 @@ impl Default for DecomposeOptions {
             node_limit_per_component: 200_000,
             max_exact_sets: 256,
             parallelism: 1,
+            budget: Budget::unlimited(),
         }
     }
 }
@@ -122,6 +129,7 @@ fn solve_component(
     opts: &DecomposeOptions,
 ) -> (Vec<usize>, bool) {
     debug_assert!(!sets.is_empty());
+    aapsm_fault::hit(FaultSite::CoverComponent);
     if sets.len() == 1 {
         // A single set covering its whole component is trivially the
         // unique minimum cover (weights are positive).
@@ -136,6 +144,8 @@ fn solve_component(
         .collect();
     elems.sort_unstable();
     elems.dedup();
+    // Invariant: `elems` was built from exactly these sets' elements.
+    #[allow(clippy::expect_used)]
     let local_of = |e: usize| {
         elems
             .binary_search(&e)
@@ -157,6 +167,7 @@ fn solve_component(
             &sub,
             &ExactOptions {
                 node_limit: opts.node_limit_per_component,
+                budget: opts.budget.clone(),
             },
         ) {
             Some(ExactCover { solution, proven }) => (solution.chosen, proven),

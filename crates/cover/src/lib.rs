@@ -40,6 +40,8 @@
 //! assert_eq!(sol.weight, 10);
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 mod branch;
 pub mod decompose;
 mod greedy;
@@ -49,6 +51,8 @@ pub use branch::{solve_exact, ExactCover, ExactOptions};
 pub use decompose::{solve_decomposed, DecomposeOptions, DecomposedCover};
 pub use greedy::solve_greedy;
 pub use instance::{CoverInstance, CoverSolution};
+
+pub use aapsm_fault::{Budget, BudgetSpec};
 
 /// Solves exactly when the instance is small (≤ `exact_limit` sets and
 /// elements), greedily otherwise.
@@ -199,7 +203,14 @@ mod tests {
             4,
             vec![(5, vec![0, 1, 2, 3]), (2, vec![0, 1]), (2, vec![2, 3])],
         );
-        let out = solve_exact(&inst, &ExactOptions { node_limit: 1 }).unwrap();
+        let out = solve_exact(
+            &inst,
+            &ExactOptions {
+                node_limit: 1,
+                ..ExactOptions::default()
+            },
+        )
+        .unwrap();
         assert!(!out.proven);
         assert!(out.solution.is_feasible(&inst));
         let (sol, optimal) = solve_auto(&inst, 64);

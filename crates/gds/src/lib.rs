@@ -64,6 +64,11 @@ pub enum GdsError {
     },
     /// A coordinate overflowed the GDSII 32-bit range on write.
     CoordinateOverflow,
+    /// The decoded layout failed input sanitization
+    /// ([`aapsm_layout::Layout::sanitize`] under default rules):
+    /// degenerate or duplicate rectangles, or coordinates unusably close
+    /// to the i32 limit.
+    InvalidLayout(aapsm_layout::LayoutError),
 }
 
 impl fmt::Display for GdsError {
@@ -77,6 +82,7 @@ impl fmt::Display for GdsError {
                 write!(f, "boundary {boundary} is not an axis-aligned rectangle")
             }
             GdsError::CoordinateOverflow => write!(f, "coordinate exceeds the gds 32-bit range"),
+            GdsError::InvalidLayout(e) => write!(f, "decoded layout failed sanitization: {e}"),
         }
     }
 }
@@ -189,12 +195,31 @@ fn gds_real(value: f64) -> [u8; 8] {
 /// Reads the rectangles of the first structure of a GDSII stream.
 ///
 /// Non-rectangular boundaries are an error; unknown records (texts,
-/// references, properties) are skipped.
+/// references, properties) are skipped. The decoded layout is passed
+/// through [`aapsm_layout::Layout::sanitize`] (default rules) before it
+/// is returned, so corrupt or adversarial streams yield a structured
+/// [`GdsError`] — never a panic and never a layout the pipeline cannot
+/// process soundly.
 ///
 /// # Errors
 ///
 /// See [`GdsError`].
 pub fn read_gds(bytes: &[u8]) -> Result<Layout, GdsError> {
+    // Deterministic fault injection (debug builds only — the hook is
+    // compiled out in release): when a plan targets GDS, one byte of a
+    // private copy is flipped. The corruption property suite asserts the
+    // reader then returns a structured error or a sanitized layout,
+    // never panics.
+    let corrupted: Vec<u8>;
+    let bytes = match aapsm_fault::gds_corrupt_offset(bytes.len()) {
+        Some(off) => {
+            let mut copy = bytes.to_vec();
+            copy[off] ^= 0xff;
+            corrupted = copy;
+            &corrupted[..]
+        }
+        None => bytes,
+    };
     let mut rects = Vec::new();
     let mut offset = 0usize;
     let mut boundary_index = 0usize;
@@ -234,7 +259,11 @@ pub fn read_gds(bytes: &[u8]) -> Result<Layout, GdsError> {
     if !saw_endlib {
         return Err(GdsError::Truncated);
     }
-    Ok(Layout::from_rects(rects))
+    let layout = Layout::from_rects(rects);
+    layout
+        .sanitize(&aapsm_layout::DesignRules::default())
+        .map_err(GdsError::InvalidLayout)?;
+    Ok(layout)
 }
 
 fn rect_from_boundary(pts: &[(i64, i64)], index: usize) -> Result<Rect, GdsError> {
@@ -339,6 +368,78 @@ mod tests {
     fn empty_layout_roundtrips() {
         let bytes = write_gds(&Layout::new(), "EMPTY");
         assert!(read_gds(&bytes).unwrap().is_empty());
+    }
+
+    #[test]
+    fn duplicate_rect_stream_fails_sanitization() {
+        // Two byte-identical boundaries: the reader decodes them fine but
+        // sanitization rejects the result with a structured error.
+        let r = Rect::new(0, 0, 100, 400);
+        let layout = Layout::from_rects(vec![r, r]);
+        assert!(matches!(
+            read_gds(&write_gds(&layout, "T")),
+            Err(GdsError::InvalidLayout(
+                aapsm_layout::LayoutError::DuplicateRect {
+                    first: 0,
+                    second: 1
+                }
+            ))
+        ));
+    }
+
+    fn reference_stream(seed: u64) -> Vec<u8> {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let rects: Vec<Rect> = (0..rng.gen_range(1..40))
+            .map(|i| {
+                let x = i64::from(i) * 20_000 + rng.gen_range(0..5_000);
+                let y = rng.gen_range(-500_000..500_000);
+                Rect::new(x, y, x + rng.gen_range(1..5000), y + rng.gen_range(1..5000))
+            })
+            .collect();
+        write_gds(&Layout::from_rects(rects), "T")
+    }
+
+    #[test]
+    fn truncation_never_panics() {
+        // Property: every prefix of a valid stream either parses or
+        // returns a structured error — the reader never panics on
+        // truncated input.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for seed in 0..8 {
+            let bytes = reference_stream(seed);
+            for _ in 0..200 {
+                let cut = rng.gen_range(0..bytes.len());
+                let _ = read_gds(&bytes[..cut]);
+            }
+            // Exhaustive short prefixes (header/record-boundary edges).
+            for cut in 0..bytes.len().min(64) {
+                let _ = read_gds(&bytes[..cut]);
+            }
+        }
+    }
+
+    #[test]
+    fn byte_flips_never_panic() {
+        // Property: flipping any byte (to any value) yields Ok or a
+        // structured GdsError — never a panic, never an unsanitized
+        // layout (read_gds sanitizes whatever it decodes).
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        for seed in 0..8 {
+            let bytes = reference_stream(seed);
+            for _ in 0..400 {
+                let mut corrupt = bytes.clone();
+                let at = rng.gen_range(0..corrupt.len());
+                corrupt[at] = rng.gen_range(0..256) as u8;
+                if let Ok(layout) = read_gds(&corrupt) {
+                    assert!(layout
+                        .sanitize(&aapsm_layout::DesignRules::default())
+                        .is_ok());
+                }
+            }
+        }
     }
 
     #[test]

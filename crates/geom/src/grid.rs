@@ -92,22 +92,68 @@ pub fn resolve_workers(parallelism: usize) -> usize {
 /// the output is independent of scheduling. `workers <= 1` (or a single
 /// item) runs inline on the calling thread with the same one `init()`.
 ///
+/// # Panic isolation
+///
+/// A panic in `f` is caught per item instead of taking down the whole
+/// map: the panicking worker discards its (possibly poisoned) state,
+/// re-`init()`s, and keeps draining the cursor; after the join, every
+/// failed index is retried **once, serially, with a fresh state**. `f`
+/// being a pure function of its index (the scaffold's standing
+/// contract — worker state is reusable scratch that never influences
+/// results), a transiently-injected panic heals to a bit-identical
+/// output. A second panic on the retry is genuine and is propagated via
+/// [`std::panic::resume_unwind`]. The serial path applies the same
+/// catch-and-retry, so every parallelism degree has identical semantics.
+///
 /// # Panics
 ///
-/// Propagates panics from `f` (workers are joined with `expect`).
+/// Propagates panics from `f` that recur on the retry, and any panic
+/// from `init()`.
 pub fn par_map_indexed<T, S, I, F>(count: usize, workers: usize, init: I, f: F) -> Vec<T>
 where
     T: Send,
     I: Fn() -> S + Sync,
     F: Fn(&mut S, usize) -> T + Sync,
 {
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+    // One guarded application. `AssertUnwindSafe` is sound here because a
+    // failed state is thrown away, never observed again.
+    let attempt = |state: &mut S, i: usize| catch_unwind(AssertUnwindSafe(|| f(state, i)));
+    // Retry pass over the indices whose first attempt panicked: once,
+    // serially, each with a pristine state; a second panic propagates.
+    let retry = |slots: &mut [Option<T>], failed: Vec<usize>| {
+        for i in failed {
+            let mut state = init();
+            match attempt(&mut state, i) {
+                Ok(out) => slots[i] = Some(out),
+                Err(payload) => resume_unwind(payload),
+            }
+        }
+    };
+
     if workers <= 1 || count <= 1 {
+        let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
+        let mut failed = Vec::new();
         let mut state = init();
-        return (0..count).map(|i| f(&mut state, i)).collect();
+        for (i, slot) in slots.iter_mut().enumerate() {
+            match attempt(&mut state, i) {
+                Ok(out) => *slot = Some(out),
+                Err(_) => {
+                    failed.push(i);
+                    state = init();
+                }
+            }
+        }
+        retry(&mut slots, failed);
+        return slots
+            .into_iter()
+            .map(|s| s.expect("every index is produced exactly once"))
+            .collect();
     }
     let cursor = std::sync::atomic::AtomicUsize::new(0);
     let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
-    let batches: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+    let batches: Vec<Vec<(usize, Option<T>)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers.min(count))
             .map(|_| {
                 scope.spawn(|| {
@@ -118,7 +164,13 @@ where
                         if i >= count {
                             break;
                         }
-                        batch.push((i, f(&mut state, i)));
+                        match attempt(&mut state, i) {
+                            Ok(out) => batch.push((i, Some(out))),
+                            Err(_) => {
+                                batch.push((i, None));
+                                state = init();
+                            }
+                        }
                     }
                     batch
                 })
@@ -129,9 +181,15 @@ where
             .map(|h| h.join().expect("parallel map worker panicked"))
             .collect()
     });
+    let mut failed = Vec::new();
     for (i, out) in batches.into_iter().flatten() {
-        slots[i] = Some(out);
+        match out {
+            Some(out) => slots[i] = Some(out),
+            None => failed.push(i),
+        }
     }
+    failed.sort_unstable();
+    retry(&mut slots, failed);
     slots
         .into_iter()
         .map(|s| s.expect("every index is produced exactly once"))
@@ -633,6 +691,83 @@ mod tests {
             b.sort_unstable();
             assert_eq!(a, b);
         }
+    }
+
+    #[test]
+    fn par_map_heals_a_transient_panic_per_degree() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        for workers in [1usize, 2, 4, 8] {
+            // Each index panics exactly on its first attempt for one
+            // chosen victim; the retry pass must heal it to the same
+            // output the fault-free map produces.
+            let victim = 7usize;
+            let attempts = AtomicUsize::new(0);
+            let out = par_map_indexed(
+                16,
+                workers,
+                || (),
+                |(), i| {
+                    if i == victim && attempts.fetch_add(1, Ordering::SeqCst) == 0 {
+                        panic!("transient worker fault");
+                    }
+                    i * i
+                },
+            );
+            assert_eq!(
+                out,
+                (0..16).map(|i| i * i).collect::<Vec<_>>(),
+                "workers {workers}"
+            );
+            assert_eq!(attempts.load(Ordering::SeqCst), 2, "workers {workers}");
+        }
+    }
+
+    #[test]
+    fn par_map_propagates_a_persistent_panic() {
+        for workers in [1usize, 4] {
+            let caught = std::panic::catch_unwind(|| {
+                par_map_indexed(
+                    8,
+                    workers,
+                    || (),
+                    |(), i| {
+                        if i == 3 {
+                            panic!("persistent worker fault");
+                        }
+                        i
+                    },
+                )
+            });
+            let payload = caught.expect_err("second failure must propagate");
+            let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+            assert_eq!(msg, "persistent worker fault", "workers {workers}");
+        }
+    }
+
+    #[test]
+    fn par_map_reinits_state_after_a_panic() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        // A panicking item must not leave its half-mutated state visible
+        // to later items: the worker re-inits. We detect reuse of a
+        // poisoned state by marking it before the panic.
+        let attempts = AtomicUsize::new(0);
+        let out = par_map_indexed(
+            12,
+            1,
+            || false, // state: "poisoned" marker
+            |poisoned, i| {
+                assert!(
+                    !*poisoned,
+                    "item {i} saw a state poisoned by a caught panic"
+                );
+                if i == 5 && attempts.fetch_add(1, Ordering::SeqCst) == 0 {
+                    *poisoned = true;
+                    panic!("poisoning fault");
+                }
+                i
+            },
+        );
+        assert_eq!(out, (0..12).collect::<Vec<_>>());
     }
 
     #[test]

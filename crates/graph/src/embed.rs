@@ -35,6 +35,7 @@ use crate::{
     build_dual, connected_components, trace_faces, DualEdge, DualGraph, EdgeId, EmbeddedGraph,
     Faces,
 };
+use aapsm_fault::{Budget, BudgetExceeded, FaultSite, Stage};
 use aapsm_geom::{par_map_indexed, resolve_workers};
 
 /// The faces of one connected component's plane drawing, in dense local
@@ -99,8 +100,27 @@ fn trace_workers(g: &EmbeddedGraph, parallelism: usize, components: usize) -> us
 /// the module docs for the merge rule). Same planarity contract and
 /// zero-length-edge panics as the serial trace.
 pub fn component_embeddings(g: &EmbeddedGraph, parallelism: usize) -> Vec<ComponentEmbedding> {
+    match component_embeddings_budgeted(g, parallelism, &Budget::unlimited()) {
+        Ok(embeddings) => embeddings,
+        Err(_) => unreachable!("unlimited budget never trips"),
+    }
+}
+
+/// [`component_embeddings`] under a [`Budget`]: each component's trace
+/// charges [`Stage::Embed`] with its half-edge count before running, and
+/// the whole call aborts with the first trip.
+///
+/// # Errors
+///
+/// Returns [`BudgetExceeded`] when the deadline, embed work cap, or
+/// cancellation token trips; partial traces are discarded.
+pub fn component_embeddings_budgeted(
+    g: &EmbeddedGraph,
+    parallelism: usize,
+    budget: &Budget,
+) -> Result<Vec<ComponentEmbedding>, BudgetExceeded> {
     let partition = ComponentPartition::of(g);
-    trace_partition(g, &partition, parallelism)
+    trace_partition(g, &partition, parallelism, budget)
 }
 
 /// The serial O(V + E) preamble of per-component tracing: dense node
@@ -145,7 +165,8 @@ fn trace_partition(
     g: &EmbeddedGraph,
     partition: &ComponentPartition,
     parallelism: usize,
-) -> Vec<ComponentEmbedding> {
+    budget: &Budget,
+) -> Result<Vec<ComponentEmbedding>, BudgetExceeded> {
     let workers = trace_workers(g, parallelism, partition.work.len());
     par_map_indexed(
         partition.work.len(),
@@ -153,14 +174,18 @@ fn trace_partition(
         || (),
         |(), k| {
             let (c, edges) = &partition.work[k];
-            trace_component(
+            aapsm_fault::hit(FaultSite::EmbedComponent);
+            budget.charge(Stage::Embed, 2 * edges.len() as u64)?;
+            Ok(trace_component(
                 g,
                 edges,
                 &partition.node_local,
                 partition.node_counts[*c] as usize,
-            )
+            ))
         },
     )
+    .into_iter()
+    .collect()
 }
 
 /// [`trace_edge_list`] packaged as a [`ComponentEmbedding`] (clones the
@@ -306,7 +331,10 @@ pub fn trace_faces_par(g: &EmbeddedGraph, parallelism: usize) -> Faces {
         // local renumbering + merge would only add overhead.
         return trace_faces(g);
     }
-    let embeddings = trace_partition(g, &partition, parallelism);
+    let embeddings = match trace_partition(g, &partition, parallelism, &Budget::unlimited()) {
+        Ok(embeddings) => embeddings,
+        Err(_) => unreachable!("unlimited budget never trips"),
+    };
     merge_embeddings(g, &embeddings)
 }
 
@@ -500,6 +528,27 @@ mod tests {
         assert_eq!(embs[0].face_count(), 2);
         assert!(embs[0].has_odd_face());
         assert!(embs[0].anchors.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn budgeted_embeddings_trip_or_match_exactly() {
+        let mut g = EmbeddedGraph::new();
+        let a = g.add_node(p(0, 0));
+        let b = g.add_node(p(100, 0));
+        let c = g.add_node(p(50, 80));
+        g.add_edge(a, b, 1);
+        g.add_edge(b, c, 1);
+        g.add_edge(c, a, 1);
+        let starved = aapsm_fault::BudgetSpec {
+            embed_ticks: Some(1),
+            ..aapsm_fault::BudgetSpec::default()
+        }
+        .build();
+        let err = component_embeddings_budgeted(&g, 1, &starved)
+            .expect_err("1 tick cannot pay for 6 half-edges");
+        assert_eq!(err.stage, Stage::Embed);
+        let ok = component_embeddings_budgeted(&g, 2, &Budget::unlimited()).expect("unlimited");
+        assert_eq!(ok, component_embeddings(&g, 2));
     }
 
     #[test]

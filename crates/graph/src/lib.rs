@@ -50,7 +50,10 @@ pub use crossings::{
     crossing_pairs_with_cell_par, CrossingAdjacency, CrossingSet,
 };
 pub use dual::{build_dual, DualEdge, DualGraph};
-pub use embed::{build_dual_par, component_embeddings, trace_faces_par, ComponentEmbedding};
+pub use embed::{
+    build_dual_par, component_embeddings, component_embeddings_budgeted, trace_faces_par,
+    ComponentEmbedding,
+};
 pub use faces::{trace_faces, Faces};
 pub use graph::{EdgeId, EmbeddedGraph, NodeId};
 pub use planarize::{

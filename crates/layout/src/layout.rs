@@ -20,6 +20,52 @@ pub struct LayoutStats {
     pub bbox_area: i128,
 }
 
+/// A structured input-sanitization error from [`Layout::sanitize`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LayoutError {
+    /// A rectangle has non-positive extent on some axis (defensive:
+    /// [`Rect`]'s constructors already reject these, but layouts can
+    /// arrive through deserialization paths with weaker invariants).
+    EmptyRect {
+        /// Index of the offending rectangle.
+        index: usize,
+    },
+    /// Two rectangles are byte-identical duplicates: the extraction
+    /// pipeline assumes non-overlapping geometry, and an exact duplicate
+    /// silently doubles weights downstream.
+    DuplicateRect {
+        /// Index of the first copy.
+        first: usize,
+        /// Index of the second copy.
+        second: usize,
+    },
+    /// A coordinate sits too close to the GDSII i32 limit for the rules'
+    /// shifter extents: synthesizing shifters/spacing probes around the
+    /// feature would overflow the interchange range.
+    CoordinateOutOfRange {
+        /// Index of the offending rectangle.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LayoutError::EmptyRect { index } => {
+                write!(f, "rect {index} has zero area")
+            }
+            LayoutError::DuplicateRect { first, second } => {
+                write!(f, "rect {second} duplicates rect {first}")
+            }
+            LayoutError::CoordinateOutOfRange { index } => {
+                write!(f, "rect {index} coordinates too close to the GDS i32 limit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LayoutError {}
+
 /// A design-rule violation found by [`Layout::validate`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum LayoutViolation {
@@ -86,6 +132,55 @@ impl Layout {
             bbox,
             bbox_area: bbox.map_or(0, |b| b.area()),
         }
+    }
+
+    /// Input sanitization: rejects layouts the pipeline cannot process
+    /// soundly — degenerate rects, exact duplicate geometry, and
+    /// coordinates so close to the GDSII i32 limit that the rules'
+    /// shifter extents (body + overhang + spacing probe) would overflow
+    /// the interchange range. Called by `aapsm_gds::read_gds` and
+    /// `aapsm_core::run_flow` before any extraction.
+    ///
+    /// Distinct from [`Layout::validate`], which reports *design-rule*
+    /// violations (overlap/spacing) on otherwise well-formed input.
+    ///
+    /// # Errors
+    ///
+    /// The first [`LayoutError`] found, in rect-index order.
+    pub fn sanitize(&self, rules: &DesignRules) -> Result<(), LayoutError> {
+        let margin = rules.shifter_width.max(0)
+            + rules.shifter_overhang.max(0)
+            + rules.shifter_spacing.max(0)
+            + rules.min_feature_space.max(0);
+        let limit = i64::from(i32::MAX) - margin;
+        let mut seen: std::collections::HashMap<(i64, i64, i64, i64), usize> =
+            std::collections::HashMap::with_capacity(self.rects.len());
+        for (i, r) in self.rects.iter().enumerate() {
+            if r.width() <= 0 || r.height() <= 0 {
+                return Err(LayoutError::EmptyRect { index: i });
+            }
+            let reach = r
+                .x_lo()
+                .abs()
+                .max(r.x_hi().abs())
+                .max(r.y_lo().abs())
+                .max(r.y_hi().abs());
+            if reach > limit {
+                return Err(LayoutError::CoordinateOutOfRange { index: i });
+            }
+            match seen.entry((r.x_lo(), r.y_lo(), r.x_hi(), r.y_hi())) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    return Err(LayoutError::DuplicateRect {
+                        first: *e.get(),
+                        second: i,
+                    });
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(i);
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Checks feature overlap and spacing rules, returning all violations.
@@ -180,6 +275,40 @@ mod tests {
         let rules = DesignRules::default();
         let l = Layout::from_rects(vec![Rect::new(0, 0, 100, 400), Rect::new(400, 0, 500, 400)]);
         assert!(l.validate(&rules).is_empty());
+    }
+
+    #[test]
+    fn sanitize_accepts_clean_and_rejects_bad_layouts() {
+        let rules = DesignRules::default();
+        let clean =
+            Layout::from_rects(vec![Rect::new(0, 0, 100, 400), Rect::new(400, 0, 500, 400)]);
+        assert_eq!(clean.sanitize(&rules), Ok(()));
+        assert_eq!(Layout::new().sanitize(&rules), Ok(()));
+
+        let dup = Layout::from_rects(vec![
+            Rect::new(0, 0, 100, 400),
+            Rect::new(400, 0, 500, 400),
+            Rect::new(0, 0, 100, 400),
+        ]);
+        assert_eq!(
+            dup.sanitize(&rules),
+            Err(LayoutError::DuplicateRect {
+                first: 0,
+                second: 2
+            })
+        );
+
+        let far = i64::from(i32::MAX) - 10;
+        let out = Layout::from_rects(vec![Rect::new(far - 100, 0, far, 400)]);
+        assert_eq!(
+            out.sanitize(&rules),
+            Err(LayoutError::CoordinateOutOfRange { index: 0 })
+        );
+        let neg = Layout::from_rects(vec![Rect::new(-far, 0, -far + 100, 400)]);
+        assert_eq!(
+            neg.sanitize(&rules),
+            Err(LayoutError::CoordinateOutOfRange { index: 0 })
+        );
     }
 
     #[test]

@@ -41,7 +41,7 @@ mod transform;
 pub use assign::{check_assignable, AssignabilityWitness, PhaseAssignment};
 pub use incremental::{dirty_regions_for, ExtractDelta, ExtractState};
 pub use io::{parse_layout, write_layout, ParseLayoutError};
-pub use layout::{Layout, LayoutStats, LayoutViolation};
+pub use layout::{Layout, LayoutError, LayoutStats, LayoutViolation};
 pub use phase_geom::{
     extract_phase_geometry, extract_phase_geometry_par, DirectConflict, Feature,
     FeatureOrientation, OverlapPair, PhaseGeometry, Shifter, Side,

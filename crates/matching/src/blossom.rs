@@ -17,6 +17,7 @@
 //! makes skipping the classic O(cap²) whole-matrix initialization sound.
 
 use crate::Matching;
+use aapsm_fault::{Budget, BudgetExceeded, Stage};
 
 const INF: i64 = i64::MAX / 4;
 
@@ -389,8 +390,10 @@ impl Solver {
 
     /// One phase: grows alternating trees from all unmatched surface nodes,
     /// adjusting duals, until an augmentation happens (true) or no further
-    /// progress is possible (false).
-    fn matching_phase(&mut self) -> bool {
+    /// progress is possible (false). Each dual-adjustment iteration
+    /// charges one [`Stage::Matching`] tick to `budget`, so a budgeted
+    /// solve trips mid-search instead of running to completion.
+    fn matching_phase(&mut self, budget: &Budget) -> Result<bool, BudgetExceeded> {
         for x in 0..=self.n_x {
             self.s[x] = -1;
             self.slack[x] = 0;
@@ -404,9 +407,10 @@ impl Solver {
             }
         }
         if self.q.is_empty() {
-            return false;
+            return Ok(false);
         }
         loop {
+            budget.charge(Stage::Matching, 1)?;
             while let Some(u) = self.q.pop_front() {
                 if self.s[self.st[u]] == 1 {
                     continue;
@@ -415,7 +419,7 @@ impl Solver {
                     if self.g_at(u, v).w > 0 && self.st[u] != self.st[v] {
                         if self.e_delta(self.g_at(u, v)) == 0 {
                             if self.on_found_edge(self.g_at(u, v)) {
-                                return true;
+                                return Ok(true);
                             }
                         } else {
                             let stv = self.st[v];
@@ -444,7 +448,7 @@ impl Solver {
                 match self.s[self.st[u]] {
                     0 => {
                         if self.lab[u] <= d {
-                            return false;
+                            return Ok(false);
                         }
                         self.lab[u] -= d;
                     }
@@ -469,7 +473,7 @@ impl Solver {
                     && self.e_delta(self.g_at(self.slack[x], x)) == 0
                     && self.on_found_edge(self.g_at(self.slack[x], x))
                 {
-                    return true;
+                    return Ok(true);
                 }
             }
             for b in (self.n + 1)..=self.n_x {
@@ -480,24 +484,32 @@ impl Solver {
         }
     }
 
-    fn run(&mut self) {
+    fn run(&mut self, budget: &Budget) -> Result<(), BudgetExceeded> {
         // `flower_from` needs no eager setup: its real-node rows are never
         // read (every `ff` read is on a blossom id), and `add_blossom`
         // zeroes a blossom's row before filling it.
         for u in 1..=self.n {
             self.lab[u] = self.w_max;
         }
-        while self.matching_phase() {}
+        while self.matching_phase(budget)? {}
+        Ok(())
     }
 
     /// Computes a maximum weight matching on this arena (see
-    /// [`crate::MatchingContext::max_weight_matching`] for the contract).
-    pub(crate) fn solve_max_weight(&mut self, n: usize, edges: &[(usize, usize, i64)]) -> Matching {
+    /// [`crate::MatchingContext::max_weight_matching`] for the contract),
+    /// charging dual-adjustment work to `budget`. A budget trip abandons
+    /// the solve — partial matchings are never returned.
+    pub(crate) fn solve_max_weight(
+        &mut self,
+        n: usize,
+        edges: &[(usize, usize, i64)],
+        budget: &Budget,
+    ) -> Result<Matching, BudgetExceeded> {
         if n == 0 {
-            return Matching {
+            return Ok(Matching {
                 mate: Vec::new(),
                 weight: 0,
-            };
+            });
         }
         self.reset(n);
         for &(u, v, w) in edges {
@@ -529,7 +541,7 @@ impl Solver {
                 );
             }
         }
-        self.run();
+        self.run(budget)?;
         let mut weight = 0i64;
         let mut mate = vec![None; n];
         for u in 1..=n {
@@ -541,7 +553,7 @@ impl Solver {
                 }
             }
         }
-        Matching { mate, weight }
+        Ok(Matching { mate, weight })
     }
 }
 

@@ -47,6 +47,8 @@ pub mod exhaustive;
 
 pub use blossom::max_weight_matching;
 
+pub use aapsm_fault::{Budget, BudgetExceeded, Stage};
+
 /// A reusable Blossom solver arena.
 ///
 /// Buffer capacities persist across calls: a context that has solved an
@@ -83,7 +85,27 @@ impl MatchingContext {
 
     /// [`max_weight_matching`] on this context's arena.
     pub fn max_weight_matching(&mut self, n: usize, edges: &[(usize, usize, i64)]) -> Matching {
-        self.solver.solve_max_weight(n, edges)
+        match self.solver.solve_max_weight(n, edges, &Budget::unlimited()) {
+            Ok(m) => m,
+            // An unlimited budget never refuses work.
+            Err(_) => unreachable!("unlimited budget tripped"),
+        }
+    }
+
+    /// [`MatchingContext::max_weight_matching`], charging Blossom
+    /// dual-adjustment work to `budget`.
+    ///
+    /// # Errors
+    ///
+    /// [`BudgetExceeded`] when the [`Stage::Matching`] budget trips; the
+    /// solve is abandoned whole (no partial matching is returned).
+    pub fn try_max_weight_matching(
+        &mut self,
+        n: usize,
+        edges: &[(usize, usize, i64)],
+        budget: &Budget,
+    ) -> Result<Matching, BudgetExceeded> {
+        self.solver.solve_max_weight(n, edges, budget)
     }
 
     /// [`min_weight_perfect_matching`] on this context's arena.
@@ -92,7 +114,28 @@ impl MatchingContext {
         n: usize,
         edges: &[(usize, usize, i64)],
     ) -> Option<Matching> {
-        min_weight_perfect_matching_impl(self, n, edges)
+        match min_weight_perfect_matching_impl(self, n, edges, &Budget::unlimited()) {
+            Ok(m) => m,
+            // An unlimited budget never refuses work.
+            Err(_) => unreachable!("unlimited budget tripped"),
+        }
+    }
+
+    /// [`MatchingContext::min_weight_perfect_matching`], charging Blossom
+    /// dual-adjustment work to `budget`. `Ok(None)` means the graph has
+    /// no perfect matching — a budget trip is a distinct outcome
+    /// (`Err`), so callers can tell "infeasible" from "out of budget".
+    ///
+    /// # Errors
+    ///
+    /// [`BudgetExceeded`] when the [`Stage::Matching`] budget trips.
+    pub fn try_min_weight_perfect_matching(
+        &mut self,
+        n: usize,
+        edges: &[(usize, usize, i64)],
+        budget: &Budget,
+    ) -> Result<Option<Matching>, BudgetExceeded> {
+        min_weight_perfect_matching_impl(self, n, edges, budget)
     }
 
     /// Releases every arena buffer, returning the context to its freshly
@@ -192,22 +235,23 @@ impl Matching {
 /// Panics if an edge references a node `>= n`, is a self-loop, or exceeds
 /// the weight headroom above.
 pub fn min_weight_perfect_matching(n: usize, edges: &[(usize, usize, i64)]) -> Option<Matching> {
-    with_thread_context(|ctx| min_weight_perfect_matching_impl(ctx, n, edges))
+    with_thread_context(|ctx| ctx.min_weight_perfect_matching(n, edges))
 }
 
 fn min_weight_perfect_matching_impl(
     ctx: &mut MatchingContext,
     n: usize,
     edges: &[(usize, usize, i64)],
-) -> Option<Matching> {
+    budget: &Budget,
+) -> Result<Option<Matching>, BudgetExceeded> {
     if n == 0 {
-        return Some(Matching {
+        return Ok(Some(Matching {
             mate: Vec::new(),
             weight: 0,
-        });
+        }));
     }
     if n % 2 == 1 {
-        return None;
+        return Ok(None);
     }
     const W_LIMIT: i64 = 1 << 40;
     let mut w_max = 0i64;
@@ -225,9 +269,9 @@ fn min_weight_perfect_matching_impl(
         .iter()
         .map(|&(u, v, w)| (u, v, base + (w_max - w)))
         .collect();
-    let m = ctx.max_weight_matching(n, &transformed);
+    let m = ctx.try_max_weight_matching(n, &transformed, budget)?;
     if !m.is_perfect() {
-        return None;
+        return Ok(None);
     }
     let weight = m
         .pairs()
@@ -241,10 +285,10 @@ fn min_weight_perfect_matching_impl(
                 .expect("matched pair corresponds to an input edge")
         })
         .sum();
-    Some(Matching {
+    Ok(Some(Matching {
         mate: m.mate,
         weight,
-    })
+    }))
 }
 
 #[cfg(test)]

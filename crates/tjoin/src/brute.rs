@@ -32,7 +32,7 @@ pub fn solve_brute(inst: &TJoinInstance) -> Option<TJoin> {
                 continue 'subsets;
             }
         }
-        if best.is_none() || weight < best.unwrap().0 {
+        if best.is_none_or(|(bw, _)| weight < bw) {
             best = Some((weight, mask));
         }
     }

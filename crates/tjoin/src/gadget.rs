@@ -46,6 +46,7 @@
 //! ghost+dummy form.
 
 use crate::{TJoin, TJoinError, TJoinInstance};
+use aapsm_fault::Budget;
 use aapsm_matching::MatchingContext;
 
 /// Gadget decomposition policy.
@@ -130,6 +131,23 @@ pub fn solve_gadget_with(
     inst: &TJoinInstance,
     kind: GadgetKind,
     ctx: &mut MatchingContext,
+) -> Result<(TJoin, GadgetStats), TJoinError> {
+    solve_gadget_budgeted(inst, kind, ctx, &Budget::unlimited())
+}
+
+/// [`solve_gadget_with`] under a [`Budget`]: the Blossom matching charges
+/// [`aapsm_fault::Stage::Matching`] ticks and aborts early when it trips.
+///
+/// # Errors
+///
+/// Returns [`TJoinError::Infeasible`] when some component has an odd
+/// number of T-nodes and [`TJoinError::Budget`] when the budget trips
+/// inside the matching.
+pub fn solve_gadget_budgeted(
+    inst: &TJoinInstance,
+    kind: GadgetKind,
+    ctx: &mut MatchingContext,
+    budget: &Budget,
 ) -> Result<(TJoin, GadgetStats), TJoinError> {
     inst.check_feasible()?;
     let n = inst.node_count();
@@ -292,9 +310,17 @@ pub fn solve_gadget_with(
     };
 
     // ---- 3. Perfect matching. ----
-    let matching = ctx
-        .min_weight_perfect_matching(meta.len(), &medges)
-        .expect("feasible T-join instance always yields a perfectly matchable gadget graph");
+    let Some(matching) = ctx.try_min_weight_perfect_matching(meta.len(), &medges, budget)? else {
+        // A feasible T-join instance always yields a perfectly matchable
+        // gadget graph; reaching this arm means the construction is buggy.
+        debug_assert!(
+            false,
+            "feasible T-join instance produced an unmatchable gadget graph"
+        );
+        return Err(TJoinError::Internal {
+            context: "gadget graph of a feasible instance has no perfect matching",
+        });
+    };
 
     // ---- 4. Extraction. ----
     let home = |e: usize| assigned_to[e];
@@ -313,6 +339,9 @@ pub fn solve_gadget_with(
             // the join.
             in_join[e] = matching.mate[ghost_node[e]] != Some(dummy_node[e]);
         } else {
+            // Invariant: `try_min_weight_perfect_matching` only returns
+            // perfect matchings, so every node has a mate.
+            #[allow(clippy::expect_used)]
             let partner = matching.mate[true_node[e]].expect("perfect matching");
             let context = match meta[partner] {
                 NodeMeta::Dummy(e2) => {

@@ -32,6 +32,23 @@ pub enum TJoinError {
         /// A node of an offending component.
         witness: usize,
     },
+    /// The solve ran out of budget (wall-clock deadline, work cap, or
+    /// cooperative cancellation). The partial state is discarded; callers
+    /// may retry with a larger budget or degrade to a heuristic.
+    Budget(aapsm_fault::BudgetExceeded),
+    /// An internal invariant of a reduction was violated. Never expected to
+    /// occur; reported as an error instead of panicking so library callers
+    /// stay isolated from solver bugs.
+    Internal {
+        /// Which invariant broke.
+        context: &'static str,
+    },
+}
+
+impl From<aapsm_fault::BudgetExceeded> for TJoinError {
+    fn from(e: aapsm_fault::BudgetExceeded) -> Self {
+        TJoinError::Budget(e)
+    }
 }
 
 impl fmt::Display for TJoinError {
@@ -45,6 +62,10 @@ impl fmt::Display for TJoinError {
                 f,
                 "no T-join exists: component of node {witness} has an odd number of T-nodes"
             ),
+            TJoinError::Budget(e) => write!(f, "t-join solve out of budget: {e}"),
+            TJoinError::Internal { context } => {
+                write!(f, "t-join solver invariant violated: {context}")
+            }
         }
     }
 }

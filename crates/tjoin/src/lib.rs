@@ -43,15 +43,20 @@
 //! # Ok::<(), aapsm_tjoin::TJoinError>(())
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod brute;
 mod gadget;
 mod instance;
 mod shortest_path;
 
-pub use gadget::{solve_gadget, solve_gadget_with, GadgetKind, GadgetStats};
+pub use gadget::{solve_gadget, solve_gadget_budgeted, solve_gadget_with, GadgetKind, GadgetStats};
 pub use instance::{TJoin, TJoinError, TJoinInstance};
-pub use shortest_path::{solve_shortest_path, solve_shortest_path_with};
+pub use shortest_path::{
+    solve_shortest_path, solve_shortest_path_budgeted, solve_shortest_path_with,
+};
 
+pub use aapsm_fault::{Budget, BudgetExceeded};
 pub use aapsm_matching::MatchingContext;
 
 /// Which reduction to use for solving a T-join instance.
@@ -97,9 +102,29 @@ pub fn solve_with(
     method: TJoinMethod,
     ctx: &mut MatchingContext,
 ) -> Result<TJoin, TJoinError> {
+    solve_budgeted(inst, method, ctx, &Budget::unlimited())
+}
+
+/// [`solve_with`] under a [`Budget`]: the Blossom dual-adjustment loop
+/// charges [`aapsm_fault::Stage::Matching`] ticks and aborts early when the
+/// budget trips.
+///
+/// # Errors
+///
+/// Returns [`TJoinError::Infeasible`] when some connected component
+/// contains an odd number of T-nodes, and [`TJoinError::Budget`] when the
+/// deadline, matching work cap, or cancellation token trips mid-solve.
+pub fn solve_budgeted(
+    inst: &TJoinInstance,
+    method: TJoinMethod,
+    ctx: &mut MatchingContext,
+    budget: &Budget,
+) -> Result<TJoin, TJoinError> {
     match method {
-        TJoinMethod::Gadget(kind) => solve_gadget_with(inst, kind, ctx).map(|(join, _)| join),
-        TJoinMethod::ShortestPath => solve_shortest_path_with(inst, ctx),
+        TJoinMethod::Gadget(kind) => {
+            solve_gadget_budgeted(inst, kind, ctx, budget).map(|(join, _)| join)
+        }
+        TJoinMethod::ShortestPath => solve_shortest_path_budgeted(inst, ctx, budget),
     }
 }
 

@@ -1,6 +1,7 @@
 //! The Edmonds–Johnson shortest-path reduction for minimum-weight T-joins.
 
 use crate::{TJoin, TJoinError, TJoinInstance};
+use aapsm_fault::Budget;
 use aapsm_matching::MatchingContext;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -37,6 +38,23 @@ pub fn solve_shortest_path_with(
     inst: &TJoinInstance,
     ctx: &mut MatchingContext,
 ) -> Result<TJoin, TJoinError> {
+    solve_shortest_path_budgeted(inst, ctx, &Budget::unlimited())
+}
+
+/// [`solve_shortest_path_with`] under a [`Budget`]: the Blossom matching
+/// over the T-node complete graph charges
+/// [`aapsm_fault::Stage::Matching`] ticks and aborts early when it trips.
+///
+/// # Errors
+///
+/// Returns [`TJoinError::Infeasible`] when some component has an odd
+/// number of T-nodes and [`TJoinError::Budget`] when the budget trips
+/// inside the matching.
+pub fn solve_shortest_path_budgeted(
+    inst: &TJoinInstance,
+    ctx: &mut MatchingContext,
+    budget: &Budget,
+) -> Result<TJoin, TJoinError> {
     inst.check_feasible()?;
     let t_nodes: Vec<usize> = (0..inst.node_count())
         .filter(|&v| inst.t_set()[v])
@@ -67,9 +85,16 @@ pub fn solve_shortest_path_with(
             }
         }
     }
-    let matching = ctx
-        .min_weight_perfect_matching(t_nodes.len(), &matching_edges)
-        .expect("even T per component guarantees a perfect matching");
+    let Some(matching) =
+        ctx.try_min_weight_perfect_matching(t_nodes.len(), &matching_edges, budget)?
+    else {
+        // `check_feasible` guarantees an even T count per component, which
+        // makes the T-node distance graph perfectly matchable.
+        debug_assert!(false, "even T per component yielded no perfect matching");
+        return Err(TJoinError::Internal {
+            context: "T-node distance graph of a feasible instance has no perfect matching",
+        });
+    };
 
     // XOR the matched shortest paths.
     let mut in_join = vec![false; inst.edges().len()];
@@ -77,6 +102,9 @@ pub fn solve_shortest_path_with(
         let mut v = t_nodes[j];
         let target = t_nodes[i];
         while v != target {
+            // Invariant: the matching only pairs T-nodes with a finite
+            // distance, so the Dijkstra parent chain reaches the target.
+            #[allow(clippy::expect_used)]
             let ei = parent_all[i][v].expect("path exists to matched partner");
             in_join[ei] ^= true;
             let (a, b, _) = inst.edges()[ei];
@@ -103,7 +131,7 @@ fn dijkstra(inst: &TJoinInstance, source: usize) -> (Vec<Option<i64>>, Vec<Optio
             let (a, b, w) = inst.edges()[ei];
             let v = if a == u { b } else { a };
             let nd = d + w;
-            if dist[v].is_none() || nd < dist[v].unwrap() {
+            if dist[v].is_none_or(|dv| nd < dv) {
                 dist[v] = Some(nd);
                 parent[v] = Some(ei);
                 heap.push(Reverse((nd, v)));

@@ -9,6 +9,7 @@
 //!
 //! | module | crate | contents |
 //! |---|---|---|
+//! | [`fault`] | `aapsm-fault` | budgets, deadlines, fault injection |
 //! | [`geom`] | `aapsm-geom` | exact integer geometry |
 //! | [`graph`] | `aapsm-graph` | embedded graphs, planarization, faces, duals |
 //! | [`matching`] | `aapsm-matching` | Blossom min-weight perfect matching |
@@ -39,6 +40,7 @@
 
 pub use aapsm_core as core;
 pub use aapsm_cover as cover;
+pub use aapsm_fault as fault;
 pub use aapsm_gds as gds;
 pub use aapsm_geom as geom;
 pub use aapsm_graph as graph;
