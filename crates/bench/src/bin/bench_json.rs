@@ -32,6 +32,7 @@ use aapsm_core::{ConflictGraph, PlanarizeOrder};
 use aapsm_geom::Axis;
 use aapsm_layout::synth::scaling_suite;
 use aapsm_layout::{apply_cuts, extract_phase_geometry, extract_phase_geometry_par, DesignRules};
+use aapsm_service::{DetectionService, LoadLadder, Request, ResponseKind, ServiceConfig};
 use std::time::Instant;
 
 /// Fastest of `reps` runs, in seconds (min damps scheduler noise better
@@ -436,27 +437,124 @@ fn main() {
         );
     }
 
-    for (bench, path, rows) in [
+    let throughput_json = measure_throughput(&rules, workers);
+
+    for (bench, path, rows, extra) in [
         (
             "bipartize_scaling",
             "BENCH_bipartize_scaling.json",
             &legacy_rows,
+            String::new(),
         ),
         (
             "detect_pipeline",
             "BENCH_detect_pipeline.json",
             &pipeline_rows,
+            format!(",\n  \"throughput\": {throughput_json}"),
         ),
     ] {
         let json = format!(
-            "{{\n  \"bench\": \"{}\",\n  \"workers\": {},\n  \"reps\": {},\n  \"designs\": [\n{}\n  ]\n}}\n",
+            "{{\n  \"bench\": \"{}\",\n  \"workers\": {},\n  \"reps\": {},\n  \"designs\": [\n{}\n  ]{}\n}}\n",
             bench,
             workers,
             reps,
-            rows.join(",\n")
+            rows.join(",\n"),
+            extra
         );
         std::fs::write(path, &json).expect("write bench JSON");
         println!("{json}");
         eprintln!("wrote {path}");
     }
+}
+
+/// Service-layer throughput: concurrent editor sessions streaming warm
+/// re-detections at the resident service, measured at the client
+/// (submit → response). Every answer is asserted bit-identical to the
+/// direct pipeline before any number is reported, and no degradation is
+/// tolerated (no ladder, no deadline — this measures exact answers).
+fn measure_throughput(rules: &DesignRules, workers: usize) -> String {
+    const SESSIONS: usize = 8;
+    const PER_SESSION: usize = 20;
+    eprintln!("measuring service throughput ...");
+    let suite = scaling_suite();
+    let design = &suite[1]; // rows_x4: large enough to dominate overhead
+    let layout = aapsm_layout::synth::generate(&design.params, rules);
+    let baseline = {
+        let geom = extract_phase_geometry(&layout, rules);
+        detect_conflicts(&geom, &DetectConfig::default()).conflicts
+    };
+
+    let mut config = ServiceConfig::new(*rules);
+    config.workers = 0; // one worker per CPU
+    config.queue_capacity = SESSIONS * 2;
+    config.ladder = LoadLadder::default();
+    let service = DetectionService::start(config).expect("service start");
+    let ids: Vec<_> = (0..SESSIONS)
+        .map(|_| service.open_session(layout.clone()).expect("open session"))
+        .collect();
+
+    let t0 = Instant::now();
+    let mut latencies: Vec<f64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = ids
+            .iter()
+            .map(|&id| {
+                let service = &service;
+                let baseline = &baseline;
+                scope.spawn(move || {
+                    let mut lat = Vec::with_capacity(PER_SESSION);
+                    for _ in 0..PER_SESSION {
+                        let t = Instant::now();
+                        let response = service.request(id, Request::Detect).expect("detect");
+                        lat.push(t.elapsed().as_secs_f64());
+                        assert!(!response.degraded(), "unloaded service degraded an answer");
+                        match &response.kind {
+                            ResponseKind::Detection { conflicts, .. } => {
+                                assert_eq!(
+                                    conflicts, baseline,
+                                    "service answer diverged from the direct pipeline"
+                                );
+                            }
+                            other => panic!("expected a detection, got {other:?}"),
+                        }
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let wall = t0.elapsed().as_secs_f64();
+    let report = service.shutdown(std::time::Duration::from_secs(60));
+    assert!(report.within_deadline, "bench service failed to drain");
+
+    latencies.sort_by(f64::total_cmp);
+    let pct_ms =
+        |p: f64| -> f64 { latencies[((latencies.len() - 1) as f64 * p).round() as usize] * 1e3 };
+    let total = SESSIONS * PER_SESSION;
+    let req_per_sec = total as f64 / wall.max(1e-12);
+    eprintln!(
+        "  {} requests over {} sessions: {:.0} req/s, p50 {:.2} ms, p99 {:.2} ms",
+        total,
+        SESSIONS,
+        req_per_sec,
+        pct_ms(0.50),
+        pct_ms(0.99),
+    );
+    format!(
+        concat!(
+            "{{\"design\": \"{}\", \"sessions\": {}, \"requests\": {}, ",
+            "\"workers\": {}, \"req_per_sec\": {:.1}, ",
+            "\"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"identical\": true}}"
+        ),
+        design.name,
+        SESSIONS,
+        total,
+        workers,
+        req_per_sec,
+        pct_ms(0.50),
+        pct_ms(0.99),
+    )
 }

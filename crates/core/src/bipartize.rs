@@ -110,6 +110,27 @@ pub fn bipartize_with(
     }
 }
 
+/// Per-call solve-cache activity of one bipartization, for the caller's
+/// statistics (zero for uncached runs).
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct CacheActivity {
+    /// Instances answered from the cache in this call.
+    pub hits: usize,
+    /// Instances solved fresh in this call.
+    pub misses: usize,
+}
+
+/// How one bipartization call memoizes its per-instance solutions.
+pub(crate) enum CacheRef<'a> {
+    /// No memoization.
+    None,
+    /// Through a caller-owned cache (single-session engines).
+    Owned(&'a mut SolveCache),
+    /// Through a cross-session shared cache; the lock is scoped to the
+    /// lookup and the commit, never to the solve.
+    Shared(&'a SharedSolveCache),
+}
+
 /// Outcome of a budgeted optimal bipartization attempt, with truthful
 /// degradation provenance: `degraded` carries the budget trip that forced
 /// the fall-back to [`BipartizeMethod::GreedyParity`] (the result is then
@@ -121,6 +142,8 @@ pub(crate) struct BipartizeRun {
     /// `Some` iff the optimal path tripped its budget and the parity-greedy
     /// heuristic produced `outcome` instead.
     pub degraded: Option<BudgetExceeded>,
+    /// Solve-cache hits/misses of this call.
+    pub activity: CacheActivity,
 }
 
 /// Budgeted optimal bipartization with a graceful-degradation rung: the
@@ -133,20 +156,36 @@ pub(crate) fn bipartize_optimal_budgeted(
     blocks: bool,
     parallelism: usize,
     budget: &Budget,
-    cache: Option<&mut SolveCache>,
+    cache: CacheRef<'_>,
 ) -> BipartizeRun {
     let attempt = match cache {
-        Some(cache) => cached_budgeted(g, tjoin, blocks, parallelism, cache, budget),
-        None => optimal_uncached_budgeted(g, tjoin, blocks, parallelism, budget),
+        CacheRef::Owned(cache) => {
+            cached_budgeted(g, tjoin, blocks, parallelism, &mut *cache, budget).map(|outcome| {
+                (
+                    outcome,
+                    CacheActivity {
+                        hits: cache.hits,
+                        misses: cache.misses,
+                    },
+                )
+            })
+        }
+        CacheRef::Shared(shared) => {
+            cached_shared_budgeted(g, tjoin, blocks, parallelism, shared, budget)
+        }
+        CacheRef::None => optimal_uncached_budgeted(g, tjoin, blocks, parallelism, budget)
+            .map(|outcome| (outcome, CacheActivity::default())),
     };
     match attempt {
-        Ok(outcome) => BipartizeRun {
+        Ok((outcome, activity)) => BipartizeRun {
             outcome,
             degraded: None,
+            activity,
         },
         Err(e) => BipartizeRun {
             outcome: bipartize_with(g, BipartizeMethod::GreedyParity, parallelism),
             degraded: Some(e),
+            activity: CacheActivity::default(),
         },
     }
 }
@@ -209,8 +248,25 @@ impl InstanceKey {
 struct CachedJoin {
     /// Local instance edge indices of the minimum T-join.
     edges: Vec<usize>,
-    /// Generation of the last solve/hit (for eviction).
+    /// Generation of the last solve/hit (for idle eviction).
     last_used: u64,
+    /// Monotone recency stamp of the last solve/hit (for LRU eviction).
+    touched: u64,
+}
+
+/// Cumulative activity and occupancy of a [`SolveCache`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Retained solutions right now.
+    pub entries: usize,
+    /// The LRU capacity bound.
+    pub capacity: usize,
+    /// Lifetime instances answered from the cache.
+    pub hits: u64,
+    /// Lifetime instances solved fresh.
+    pub misses: u64,
+    /// Lifetime entries evicted (idle-based and LRU combined).
+    pub evictions: u64,
 }
 
 /// A cross-round memo of dual T-join solutions, keyed by exact instance
@@ -223,22 +279,60 @@ struct CachedJoin {
 /// `flank_weight_for` precisely so a few removed overlaps elsewhere do
 /// not reweight every flank edge). Solving is the dominant pipeline cost,
 /// so replaying those solutions is the back-end half of the incremental
-/// re-detect. Entries idle for [`SolveCache::MAX_IDLE_GENERATIONS`]
-/// rounds are evicted.
+/// re-detect.
+///
+/// The cache is **bounded** on two axes. Entries idle for
+/// [`SolveCache::MAX_IDLE_GENERATIONS`] rounds are evicted (the
+/// round-based policy of the single-session engine; disabled by
+/// [`SolveCache::with_capacity`]), and the entry count never exceeds the
+/// LRU capacity (default [`SolveCache::DEFAULT_CAPACITY`]): beyond it the
+/// least-recently-touched entries go first, so a resident process cannot
+/// grow the memo without bound. Lifetime hit/miss/eviction counters are
+/// in [`SolveCache::stats`].
 ///
 /// A cache must only ever be used with **one** [`TJoinMethod`]/`blocks`
 /// configuration: different solvers may return different (equally
 /// optimal) joins, and mixing them would break bit-identity with the
 /// uncached path. [`crate::RedetectEngine`] owns one cache per fixed
-/// configuration, which enforces this.
-#[derive(Clone, Default)]
+/// configuration, which enforces this; a [`SharedSolveCache`] must be
+/// shared only among engines with one fixed configuration for the same
+/// reason.
+#[derive(Clone)]
 pub struct SolveCache {
     map: std::collections::HashMap<InstanceKey, CachedJoin>,
     generation: u64,
+    /// Monotone LRU clock; every hit or insert advances it.
+    touch: u64,
+    /// Maximum retained entries (≥ 1).
+    capacity: usize,
+    /// Generations an entry may idle before eviction; `None` disables the
+    /// idle policy (cross-session caches, where one session's rounds must
+    /// not age out another's entries).
+    idle_limit: Option<u64>,
+    stat_hits: u64,
+    stat_misses: u64,
+    stat_evictions: u64,
     /// Instances answered from the cache in the last call.
     pub hits: usize,
     /// Instances solved fresh in the last call.
     pub misses: usize,
+}
+
+impl Default for SolveCache {
+    fn default() -> Self {
+        SolveCache {
+            map: std::collections::HashMap::new(),
+            generation: 0,
+            touch: 0,
+            capacity: SolveCache::DEFAULT_CAPACITY,
+            idle_limit: Some(SolveCache::MAX_IDLE_GENERATIONS),
+            stat_hits: 0,
+            stat_misses: 0,
+            stat_evictions: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
 }
 
 impl SolveCache {
@@ -247,9 +341,27 @@ impl SolveCache {
     /// it) and come back unchanged.
     const MAX_IDLE_GENERATIONS: u64 = 2;
 
-    /// Creates an empty cache.
+    /// Default LRU capacity: generous for any single design (a round
+    /// produces one instance per odd component), small enough that a
+    /// resident process's memo stays bounded.
+    pub const DEFAULT_CAPACITY: usize = 4096;
+
+    /// Creates an empty cache with the default capacity and the
+    /// round-idle eviction policy.
     pub fn new() -> SolveCache {
         SolveCache::default()
+    }
+
+    /// Creates an empty cache bounded to `capacity` entries (clamped to
+    /// ≥ 1), with round-idle eviction **disabled** — the configuration
+    /// for a cache shared across sessions, where interleaved rounds from
+    /// one session must not age out another session's entries.
+    pub fn with_capacity(capacity: usize) -> SolveCache {
+        SolveCache {
+            capacity: capacity.max(1),
+            idle_limit: None,
+            ..SolveCache::default()
+        }
     }
 
     /// Number of retained solutions.
@@ -261,16 +373,101 @@ impl SolveCache {
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
     }
+
+    /// The LRU capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Lifetime hit/miss/eviction counters and current occupancy.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            entries: self.map.len(),
+            capacity: self.capacity,
+            hits: self.stat_hits,
+            misses: self.stat_misses,
+            evictions: self.stat_evictions,
+        }
+    }
+
+    fn next_touch(&mut self) -> u64 {
+        self.touch += 1;
+        self.touch
+    }
+
+    /// Applies both eviction policies: drop round-idle entries (when the
+    /// policy is enabled), then trim to capacity, least-recently-touched
+    /// first. Deterministic: recency stamps are unique.
+    fn evict(&mut self) {
+        if let Some(idle) = self.idle_limit {
+            let generation = self.generation;
+            let before = self.map.len();
+            self.map.retain(|_, v| generation - v.last_used < idle);
+            self.stat_evictions += (before - self.map.len()) as u64;
+        }
+        while self.map.len() > self.capacity {
+            let victim = self
+                .map
+                .iter()
+                .min_by_key(|(_, v)| v.touched)
+                .map(|(k, _)| k.clone());
+            let Some(key) = victim else { break };
+            self.map.remove(&key);
+            self.stat_evictions += 1;
+        }
+    }
 }
 
 impl std::fmt::Debug for SolveCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SolveCache")
             .field("entries", &self.map.len())
+            .field("capacity", &self.capacity)
             .field("generation", &self.generation)
             .field("hits", &self.hits)
             .field("misses", &self.misses)
             .finish()
+    }
+}
+
+/// A [`SolveCache`] behind an `Arc<Mutex>`, shareable across sessions and
+/// threads. Keys are canonical instance bytes and the solvers are
+/// deterministic, so cross-session hits are sound: a byte-equal
+/// instance's cached join is exactly what a fresh solve would return,
+/// whoever solved it first.
+///
+/// The lock is held only for the lookup and the commit — the solve of the
+/// missing instances (the dominant cost) runs unlocked, so concurrent
+/// sessions never serialize on each other's matching work. Two sessions
+/// missing the same instance concurrently both solve it; the duplicate
+/// work is wasted but the duplicate insert is harmless (identical
+/// deterministic solution).
+#[derive(Clone, Debug, Default)]
+pub struct SharedSolveCache {
+    inner: std::sync::Arc<std::sync::Mutex<SolveCache>>,
+}
+
+impl SharedSolveCache {
+    /// A shared cache bounded to `capacity` entries (round-idle eviction
+    /// disabled; see [`SolveCache::with_capacity`]).
+    pub fn new(capacity: usize) -> SharedSolveCache {
+        SharedSolveCache {
+            inner: std::sync::Arc::new(std::sync::Mutex::new(SolveCache::with_capacity(capacity))),
+        }
+    }
+
+    /// Lifetime hit/miss/eviction counters and current occupancy.
+    pub fn stats(&self) -> CacheStats {
+        self.lock().stats()
+    }
+
+    /// A poisoned lock only means a panicking thread died mid-access; the
+    /// cache map itself is always structurally valid (no partial inserts
+    /// escape), so recover the guard instead of propagating.
+    fn lock(&self) -> std::sync::MutexGuard<'_, SolveCache> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 }
 
@@ -291,38 +488,38 @@ pub fn bipartize_with_cache(
     }
 }
 
-/// The budgeted body of [`bipartize_with_cache`]. A budget trip inserts
-/// nothing into the cache (all miss solutions are collected first), so a
-/// tripped round can never pollute later bit-identity; eviction is also
-/// skipped on the trip path, which only delays reclamation.
-// Invariants, not error paths: a key is retained for every miss, and
-// every instance is either solved or answered from cache.
-#[allow(clippy::expect_used)]
-fn cached_budgeted(
-    g: &EmbeddedGraph,
-    tjoin: TJoinMethod,
-    blocks: bool,
-    parallelism: usize,
-    cache: &mut SolveCache,
-    budget: &Budget,
-) -> Result<BipartizeOutcome, BudgetExceeded> {
-    let instances = if blocks {
-        extract_block_instances(g, parallelism, budget)?
-    } else {
-        extract_component_instances(g, parallelism, budget)?
-    };
+/// The cached-vs-to-solve split of one call's instances, produced under
+/// the cache lock by [`cache_lookup`] and consumed lock-free afterwards.
+struct CacheSplit {
+    /// Per-instance primal deleted edges; `Some` for hits, filled in for
+    /// misses once solved.
+    deleted_per_instance: Vec<Option<Vec<EdgeId>>>,
+    /// Indices of instances that must be solved fresh.
+    unsolved: Vec<usize>,
+    /// The miss keys, retained for the commit (`None` for hits).
+    keys: Vec<Option<InstanceKey>>,
+    /// Hits answered in this lookup.
+    hits: usize,
+}
+
+/// The lookup phase: answers hits from the cache, updates recency, and
+/// returns the split. Also resets the cache's per-call `hits`/`misses`
+/// counters. Short and allocation-light — safe to run under a shared
+/// cache's lock.
+fn cache_lookup(cache: &mut SolveCache, instances: &[DualTJoin]) -> CacheSplit {
     cache.generation += 1;
     cache.hits = 0;
     cache.misses = 0;
-
-    // Split into cached and to-solve instances.
     let mut deleted_per_instance: Vec<Option<Vec<EdgeId>>> = vec![None; instances.len()];
     let mut unsolved: Vec<usize> = Vec::new();
     let mut keys: Vec<Option<InstanceKey>> = vec![None; instances.len()];
     for (i, dt) in instances.iter().enumerate() {
         let key = InstanceKey::of(&dt.inst);
+        let generation = cache.generation;
+        let touched = cache.next_touch();
         if let Some(entry) = cache.map.get_mut(&key) {
-            entry.last_used = cache.generation;
+            entry.last_used = generation;
+            entry.touched = touched;
             deleted_per_instance[i] = Some(
                 entry
                     .edges
@@ -337,9 +534,26 @@ fn cached_budgeted(
         }
     }
     cache.misses = unsolved.len();
+    cache.stat_hits += cache.hits as u64;
+    cache.stat_misses += cache.misses as u64;
+    CacheSplit {
+        deleted_per_instance,
+        unsolved,
+        keys,
+        hits: cache.hits,
+    }
+}
 
-    // Solve the misses with the same scheduling policy as the uncached
-    // path, then file their joins.
+/// The solve phase: runs the missing instances with the same scheduling
+/// policy as the uncached path. Lock-free by construction — it only reads
+/// the instances and the split.
+fn solve_missing(
+    instances: &[DualTJoin],
+    unsolved: &[usize],
+    tjoin: TJoinMethod,
+    parallelism: usize,
+    budget: &Budget,
+) -> Result<Vec<Vec<usize>>, BudgetExceeded> {
     let miss_dual_edges: usize = unsolved
         .iter()
         .map(|&i| instances[i].inst.edges().len())
@@ -349,35 +563,103 @@ fn cached_budgeted(
     } else {
         effective_workers(parallelism, unsolved.len())
     };
-    let joins: Vec<Vec<usize>> =
-        aapsm_geom::par_map_indexed(unsolved.len(), workers, MatchingContext::new, |ctx, k| {
-            let dt = &instances[unsolved[k]];
-            solve_dual_join(&dt.inst, tjoin, ctx, budget).map(|join| join.edges)
-        })
-        .into_iter()
-        .collect::<Result<_, BudgetExceeded>>()?;
-    for (k, join) in unsolved.iter().zip(joins) {
+    aapsm_geom::par_map_indexed(unsolved.len(), workers, MatchingContext::new, |ctx, k| {
+        let dt = &instances[unsolved[k]];
+        solve_dual_join(&dt.inst, tjoin, ctx, budget).map(|join| join.edges)
+    })
+    .into_iter()
+    .collect::<Result<_, BudgetExceeded>>()
+}
+
+/// The commit phase: files the solved joins into the split and inserts
+/// them into the cache, then evicts. Short — safe to run under a shared
+/// cache's lock. A budget trip in the solve phase reaches neither this
+/// nor eviction (nothing is inserted), so a tripped round can never
+/// pollute later bit-identity.
+// Invariant, not an error path: a key is retained for every miss.
+#[allow(clippy::expect_used)]
+fn cache_commit(
+    cache: &mut SolveCache,
+    instances: &[DualTJoin],
+    split: &mut CacheSplit,
+    joins: Vec<Vec<usize>>,
+) {
+    for (k, join) in split.unsolved.iter().zip(joins) {
         let dt = &instances[*k];
-        deleted_per_instance[*k] = Some(join.iter().map(|&ei| dt.primal_of_edge[ei]).collect());
+        split.deleted_per_instance[*k] =
+            Some(join.iter().map(|&ei| dt.primal_of_edge[ei]).collect());
+        let last_used = cache.generation;
+        let touched = cache.next_touch();
         cache.map.insert(
-            keys[*k].take().expect("key retained for every miss"),
+            split.keys[*k].take().expect("key retained for every miss"),
             CachedJoin {
                 edges: join,
-                last_used: cache.generation,
+                last_used,
+                touched,
             },
         );
     }
+    cache.evict();
+}
 
-    let generation = cache.generation;
-    cache
-        .map
-        .retain(|_, v| generation - v.last_used < SolveCache::MAX_IDLE_GENERATIONS);
-
-    let deleted: Vec<EdgeId> = deleted_per_instance
+// Invariant, not an error path: every instance is either solved or
+// answered from cache.
+#[allow(clippy::expect_used)]
+fn assemble(g: &EmbeddedGraph, split: CacheSplit) -> BipartizeOutcome {
+    let deleted: Vec<EdgeId> = split
+        .deleted_per_instance
         .into_iter()
         .flat_map(|d| d.expect("every instance solved or cached"))
         .collect();
-    Ok(finish(g, deleted))
+    finish(g, deleted)
+}
+
+/// The budgeted body of [`bipartize_with_cache`]: lookup → solve misses →
+/// commit, all against a caller-owned cache.
+fn cached_budgeted(
+    g: &EmbeddedGraph,
+    tjoin: TJoinMethod,
+    blocks: bool,
+    parallelism: usize,
+    cache: &mut SolveCache,
+    budget: &Budget,
+) -> Result<BipartizeOutcome, BudgetExceeded> {
+    let instances = if blocks {
+        extract_block_instances(g, parallelism, budget)?
+    } else {
+        extract_component_instances(g, parallelism, budget)?
+    };
+    let mut split = cache_lookup(cache, &instances);
+    let joins = solve_missing(&instances, &split.unsolved, tjoin, parallelism, budget)?;
+    cache_commit(cache, &instances, &mut split, joins);
+    Ok(assemble(g, split))
+}
+
+/// [`cached_budgeted`] against a [`SharedSolveCache`]: the same three
+/// phases, with the lock scoped to the lookup and the commit only — the
+/// solve of the missing instances runs unlocked, so concurrent sessions
+/// never serialize on each other's matching work.
+fn cached_shared_budgeted(
+    g: &EmbeddedGraph,
+    tjoin: TJoinMethod,
+    blocks: bool,
+    parallelism: usize,
+    shared: &SharedSolveCache,
+    budget: &Budget,
+) -> Result<(BipartizeOutcome, CacheActivity), BudgetExceeded> {
+    let instances = if blocks {
+        extract_block_instances(g, parallelism, budget)?
+    } else {
+        extract_component_instances(g, parallelism, budget)?
+    };
+    let mut split = cache_lookup(&mut shared.lock(), &instances);
+    let joins = solve_missing(&instances, &split.unsolved, tjoin, parallelism, budget)?;
+    cache_commit(&mut shared.lock(), &instances, &mut split, joins);
+    let activity = CacheActivity {
+        hits: split.hits,
+        misses: split.unsolved.len(),
+    };
+    Ok((assemble(g, split), activity))
 }
 
 /// Solves one dual T-join under the budget. Infeasibility cannot happen
@@ -780,6 +1062,92 @@ mod tests {
         assert_eq!(cache.len(), 2);
         bipartize_with_cache(&g2, TJoinMethod::default(), false, 1, &mut cache);
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn solve_cache_capacity_bound_evicts_lru() {
+        // Three distinct single-triangle graphs against a capacity-1
+        // cache: each new solve evicts the previous entry, and lifetime
+        // counters see every hit, miss and eviction.
+        let graphs: Vec<EmbeddedGraph> = [(5, 3, 2), (9, 8, 7), (13, 12, 11)]
+            .iter()
+            .map(|&(w1, w2, w3)| {
+                let mut g = EmbeddedGraph::new();
+                let a = g.add_node(Point::new(0, 0));
+                let b = g.add_node(Point::new(100, 0));
+                let c = g.add_node(Point::new(50, 80));
+                g.add_edge(a, b, w1);
+                g.add_edge(b, c, w2);
+                g.add_edge(c, a, w3);
+                g
+            })
+            .collect();
+        let mut cache = SolveCache::with_capacity(1);
+        assert_eq!(cache.capacity(), 1);
+        for g in &graphs {
+            bipartize_with_cache(g, TJoinMethod::default(), false, 1, &mut cache);
+            assert_eq!(cache.len(), 1, "capacity bound must hold");
+        }
+        // Re-solving the most recent graph hits; an evicted one misses.
+        bipartize_with_cache(&graphs[2], TJoinMethod::default(), false, 1, &mut cache);
+        assert_eq!(cache.hits, 1);
+        bipartize_with_cache(&graphs[0], TJoinMethod::default(), false, 1, &mut cache);
+        assert_eq!(cache.misses, 1);
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.capacity, 1);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 4);
+        assert_eq!(stats.evictions, 3);
+        // `with_capacity` disables round-idle eviction: the capacity is
+        // the only policy, so an entry survives arbitrarily many idle
+        // generations as long as the cache has room.
+        let mut roomy = SolveCache::with_capacity(16);
+        bipartize_with_cache(&graphs[0], TJoinMethod::default(), false, 1, &mut roomy);
+        for _ in 0..4 {
+            bipartize_with_cache(&graphs[1], TJoinMethod::default(), false, 1, &mut roomy);
+        }
+        assert_eq!(roomy.len(), 2, "no idle eviction under with_capacity");
+    }
+
+    #[test]
+    fn shared_cache_cross_session_hits_are_bit_identical() {
+        // Two "sessions" solving the same graph through one shared cache:
+        // the second session's instances are answered from entries the
+        // first session seeded, and the outcome matches the uncached
+        // path bit for bit.
+        let mut g = EmbeddedGraph::new();
+        for ox in [0i64, 10_000] {
+            let a = g.add_node(Point::new(ox, 0));
+            let b = g.add_node(Point::new(ox + 100, 0));
+            let c = g.add_node(Point::new(ox + 50, 80));
+            g.add_edge(a, b, 5);
+            g.add_edge(b, c, 3);
+            g.add_edge(c, a, 2);
+        }
+        let tjoin = TJoinMethod::default();
+        let plain = bipartize_with(
+            &g,
+            BipartizeMethod::OptimalDual {
+                tjoin,
+                blocks: false,
+            },
+            1,
+        );
+        let shared = SharedSolveCache::new(64);
+        let (first, a1) =
+            cached_shared_budgeted(&g, tjoin, false, 1, &shared, &Budget::unlimited()).unwrap();
+        assert_eq!(first.deleted, plain.deleted);
+        assert_eq!(a1.hits, 0);
+        assert!(a1.misses > 0);
+        let (second, a2) =
+            cached_shared_budgeted(&g, tjoin, false, 2, &shared, &Budget::unlimited()).unwrap();
+        assert_eq!(second.deleted, plain.deleted);
+        assert_eq!(a2.misses, 0);
+        assert!(a2.hits > 0);
+        let stats = shared.stats();
+        assert_eq!(stats.hits, a2.hits as u64);
+        assert_eq!(stats.misses, a1.misses as u64);
     }
 
     #[test]

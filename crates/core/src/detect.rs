@@ -1,6 +1,6 @@
 //! The AAPSM conflict-detection pipeline (Sections 3 / 3.1 of the paper).
 
-use crate::bipartize::bipartize_optimal_budgeted;
+use crate::bipartize::{bipartize_optimal_budgeted, CacheActivity, CacheRef};
 use crate::flow::StageProvenance;
 use crate::graphs::{build_conflict_graph, EdgeConstraint, GraphKind};
 use crate::{bipartize, BipartizeMethod};
@@ -24,7 +24,7 @@ pub enum ConstraintKind {
 }
 
 /// Which pipeline stage selected a conflict.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum ConflictSource {
     /// Selected by optimal bipartization (Step 2).
     Bipartization,
@@ -35,7 +35,7 @@ pub enum ConflictSource {
 }
 
 /// One AAPSM conflict selected for correction.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct Conflict {
     /// The constraint to void.
     pub constraint: ConstraintKind,
@@ -145,7 +145,7 @@ pub fn detect_conflicts(geom: &PhaseGeometry, config: &DetectConfig) -> DetectRe
         &crossings,
         config,
         t0,
-        None,
+        CacheRef::None,
         &Budget::unlimited(),
     )
     .0
@@ -169,9 +169,9 @@ pub(crate) fn finish_pipeline(
     crossings: &aapsm_graph::CrossingSet,
     config: &DetectConfig,
     t0: Instant,
-    cache: Option<&mut crate::SolveCache>,
+    cache: CacheRef<'_>,
     budget: &Budget,
-) -> (DetectReport, StageProvenance) {
+) -> (DetectReport, StageProvenance, CacheActivity) {
     let crossings_before = crossings.pairs.len();
     let graph_nodes = cg.graph.node_count();
     let graph_edges = cg.graph.alive_edge_count();
@@ -190,6 +190,7 @@ pub(crate) fn finish_pipeline(
         cache,
     );
     let outcome = run.outcome;
+    let activity = run.activity;
     let provenance = match run.degraded {
         Some(e) => StageProvenance::Degraded(format!(
             "optimal bipartization fell back to parity-greedy: {e}"
@@ -289,6 +290,7 @@ pub(crate) fn finish_pipeline(
             },
         },
         provenance,
+        activity,
     )
 }
 

@@ -11,7 +11,7 @@
 
 use crate::{
     plan_correction, CorrectionOptions, CorrectionPlan, CorrectionReport, DetectConfig,
-    DetectReport, RedetectEngine,
+    DetectReport, RedetectEngine, SharedSolveCache,
 };
 use aapsm_fault::{Budget, BudgetExceeded, Stage};
 use aapsm_layout::{
@@ -38,6 +38,12 @@ pub struct FlowConfig {
     /// feature-blocked shifter corridor (the stretched geometry opens a
     /// clear sightline), so a single round is not always enough.
     pub max_rounds: usize,
+    /// Optional cross-session dual-T-join memo: when set, the flow's
+    /// internal [`RedetectEngine`] routes its solve cache through this
+    /// shared cache (the resident service points every session here).
+    /// Every flow sharing one cache must use the same
+    /// [`DetectConfig::tjoin`]/[`DetectConfig::blocks`] configuration.
+    pub solve_cache: Option<SharedSolveCache>,
 }
 
 impl Default for FlowConfig {
@@ -46,6 +52,7 @@ impl Default for FlowConfig {
             detect: DetectConfig::default(),
             correct: CorrectionOptions::default(),
             max_rounds: 8,
+            solve_cache: None,
         }
     }
 }
@@ -64,6 +71,7 @@ impl FlowConfig {
                 ..CorrectionOptions::default()
             },
             max_rounds: 8,
+            solve_cache: None,
         }
     }
 }
@@ -168,9 +176,16 @@ impl fmt::Display for FlowError {
             FlowError::Uncorrectable(v) => {
                 write!(
                     f,
-                    "{} conflicts not correctable by space insertion",
+                    "{} conflicts not correctable by space insertion (report indices",
                     v.len()
-                )
+                )?;
+                for (n, i) in v.iter().take(8).enumerate() {
+                    write!(f, "{} {i}", if n == 0 { "" } else { "," })?;
+                }
+                if v.len() > 8 {
+                    write!(f, ", …")?;
+                }
+                write!(f, ")")
             }
             FlowError::Budget(e) => write!(f, "flow budget exhausted: {e}"),
             FlowError::WorkerPanic(msg) => write!(f, "worker panicked: {msg}"),
@@ -178,7 +193,17 @@ impl fmt::Display for FlowError {
     }
 }
 
-impl std::error::Error for FlowError {}
+impl std::error::Error for FlowError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FlowError::BadLayout(e) => Some(e),
+            FlowError::Budget(e) => Some(e),
+            FlowError::BadRules(_) | FlowError::Uncorrectable(_) | FlowError::WorkerPanic(_) => {
+                None
+            }
+        }
+    }
+}
 
 /// Everything the flow produced.
 #[derive(Clone, Debug)]
@@ -311,6 +336,9 @@ fn run_flow_inner(
         ..config.correct.clone()
     };
     let mut engine = RedetectEngine::new(*rules, config.detect.clone());
+    if let Some(cache) = &config.solve_cache {
+        engine.set_shared_cache(cache.clone());
+    }
     let mut current = layout.clone();
     let mut rounds: Vec<FlowRound> = Vec::new();
     let mut provenance: Vec<RoundProvenance> = Vec::new();

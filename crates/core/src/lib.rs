@@ -123,7 +123,7 @@ mod shard;
 
 pub use bipartize::{
     bipartize, bipartize_with, bipartize_with_cache, brute_force_bipartize, BipartizeMethod,
-    BipartizeOutcome, SolveCache,
+    BipartizeOutcome, CacheStats, SharedSolveCache, SolveCache,
 };
 pub use correct::{
     apply_correction, plan_correction, CorrectionOptions, CorrectionPlan, CorrectionReport,

@@ -43,11 +43,12 @@
 //! pipeline for that round (still through the solve cache, which is
 //! correct unconditionally) and reports it in [`RedetectStats`].
 
+use crate::bipartize::{CacheActivity, CacheRef};
 use crate::detect::finish_pipeline;
 use crate::flow::StageProvenance;
 use crate::shard::{build_conflict_graph_tiled_stateful_budgeted, TileBuildState, TileConfig};
-use crate::{ConflictGraph, DetectConfig, DetectReport, GraphKind, SolveCache};
-use aapsm_fault::BudgetExceeded;
+use crate::{ConflictGraph, DetectConfig, DetectReport, GraphKind, SharedSolveCache, SolveCache};
+use aapsm_fault::{Budget, BudgetExceeded};
 use aapsm_graph::{crossing_pairs_incremental, crossing_pairs_par, CrossingSet, EdgeId};
 use aapsm_layout::{dirty_regions_for, DesignRules, ExtractState, Layout, PhaseGeometry, SpaceCut};
 use std::time::Instant;
@@ -100,6 +101,9 @@ pub struct RedetectEngine {
     /// Tiles per axis for the sharded build (`0` = auto from the
     /// parallelism degree).
     tile_count: usize,
+    /// When set, dual-T-join memoization goes through this cross-session
+    /// cache instead of the state-owned one.
+    shared_cache: Option<SharedSolveCache>,
     state: Option<EngineState>,
     stats: RedetectStats,
 }
@@ -121,9 +125,28 @@ impl RedetectEngine {
             rules,
             config,
             tile_count,
+            shared_cache: None,
             state: None,
             stats: RedetectStats::default(),
         }
+    }
+
+    /// Routes the engine's dual-T-join memoization through a
+    /// cross-session [`SharedSolveCache`] instead of the engine-owned
+    /// cache. Every engine sharing one cache must use the same
+    /// [`DetectConfig::tjoin`]/[`DetectConfig::blocks`] configuration
+    /// (see the [`SolveCache`] docs); keys are canonical instance bytes,
+    /// so hits seeded by *other* sessions are sound.
+    pub fn set_shared_cache(&mut self, cache: SharedSolveCache) {
+        self.shared_cache = Some(cache);
+    }
+
+    /// Replaces the budget driving subsequent rounds — how a resident
+    /// service maps per-request deadlines onto a long-lived engine. The
+    /// retained state is unaffected: a tighter budget only limits new
+    /// work.
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.config.budget = budget;
     }
 
     /// The geometry of the last detected layout (`None` before the first
@@ -169,14 +192,14 @@ impl RedetectEngine {
         let t0 = Instant::now();
         let extract = ExtractState::full(layout, &self.rules, self.config.parallelism);
         let cache = self.state.take().map(|s| s.cache).unwrap_or_default();
-        let out = self.full_back_end(t0, extract, cache)?;
+        let (report, provenance, activity) = self.full_back_end(t0, extract, cache)?;
         self.stats = RedetectStats {
             incremental: false,
-            solve_hits: self.cache_hits(),
-            solve_misses: self.cache_misses(),
+            solve_hits: activity.hits,
+            solve_misses: activity.misses,
             ..RedetectStats::default()
         };
-        Ok(out)
+        Ok((report, provenance))
     }
 
     /// Re-detects after `cuts` transformed the previously detected
@@ -223,15 +246,16 @@ impl RedetectEngine {
             .extract
             .incremental(modified, cuts, &self.rules, self.config.parallelism);
         if delta.fallback {
-            let out = self.full_back_end(t0, state.extract, state.cache)?;
+            let (report, provenance, activity) =
+                self.full_back_end(t0, state.extract, state.cache)?;
             self.stats = RedetectStats {
                 incremental: false,
                 extraction_fallback: true,
-                solve_hits: self.cache_hits(),
-                solve_misses: self.cache_misses(),
+                solve_hits: activity.hits,
+                solve_misses: activity.misses,
                 ..RedetectStats::default()
             };
-            return Ok(out);
+            return Ok((report, provenance));
         }
 
         // ---- Incremental front-end. ----
@@ -266,13 +290,17 @@ impl RedetectEngine {
 
         // ---- Shared back end. ----
         let pristine = cg.clone();
-        let (report, provenance) = finish_pipeline(
+        let cache_ref = match &self.shared_cache {
+            Some(shared) => CacheRef::Shared(shared),
+            None => CacheRef::Owned(&mut cache),
+        };
+        let (report, provenance, activity) = finish_pipeline(
             extract.geometry(),
             &mut cg,
             &crossings,
             &self.config,
             t0,
-            Some(&mut cache),
+            cache_ref,
             &self.config.budget,
         );
         self.stats = RedetectStats {
@@ -282,8 +310,8 @@ impl RedetectEngine {
             rescanned_pairs: delta.rescanned_pairs,
             tiles_reused: reuse.reused,
             tiles_rebuilt: reuse.rebuilt,
-            solve_hits: cache.hits,
-            solve_misses: cache.misses,
+            solve_hits: activity.hits,
+            solve_misses: activity.misses,
         };
         self.state = Some(EngineState {
             extract,
@@ -303,7 +331,7 @@ impl RedetectEngine {
         t0: Instant,
         extract: ExtractState,
         mut cache: SolveCache,
-    ) -> Result<(DetectReport, StageProvenance), BudgetExceeded> {
+    ) -> Result<(DetectReport, StageProvenance, CacheActivity), BudgetExceeded> {
         let tile_cfg = TileConfig {
             tiles: self.tile_count,
             parallelism: self.config.parallelism,
@@ -316,13 +344,17 @@ impl RedetectEngine {
         )?;
         let crossings = crossing_pairs_par(&cg.graph, self.config.parallelism);
         let pristine = cg.clone();
-        let (report, provenance) = finish_pipeline(
+        let cache_ref = match &self.shared_cache {
+            Some(shared) => CacheRef::Shared(shared),
+            None => CacheRef::Owned(&mut cache),
+        };
+        let (report, provenance, activity) = finish_pipeline(
             extract.geometry(),
             &mut cg,
             &crossings,
             &self.config,
             t0,
-            Some(&mut cache),
+            cache_ref,
             &self.config.budget,
         );
         self.state = Some(EngineState {
@@ -332,15 +364,7 @@ impl RedetectEngine {
             tiles,
             cache,
         });
-        Ok((report, provenance))
-    }
-
-    fn cache_hits(&self) -> usize {
-        self.state.as_ref().map_or(0, |s| s.cache.hits)
-    }
-
-    fn cache_misses(&self) -> usize {
-        self.state.as_ref().map_or(0, |s| s.cache.misses)
+        Ok((report, provenance, activity))
     }
 }
 

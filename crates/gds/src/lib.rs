@@ -87,7 +87,14 @@ impl fmt::Display for GdsError {
     }
 }
 
-impl std::error::Error for GdsError {}
+impl std::error::Error for GdsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GdsError::InvalidLayout(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 fn push_record(out: &mut Vec<u8>, kind: (u8, u8), data: &[u8]) {
     let len = 4 + data.len();

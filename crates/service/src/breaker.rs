@@ -1,0 +1,177 @@
+//! Per-session circuit breaker: deterministic, count-based, clock-free.
+//!
+//! Classic breakers re-probe after a *time* cooldown; under test that
+//! makes trip/recovery schedules racy. This one counts: after
+//! `trip_threshold` consecutive panic-class failures the circuit opens,
+//! the next `cooldown_rejects` submissions are shed with
+//! [`crate::ServiceError::CircuitOpen`], then exactly one half-open probe
+//! is admitted. A successful probe closes the circuit; a failed probe
+//! re-opens it (restarting the cooldown). Every transition is a pure
+//! function of the observed outcome sequence.
+//!
+//! Only panic-class failures count: a budget trip is evidence of *load*,
+//! not of a poisoned session, so it neither advances nor resets the
+//! failure count by itself — an actual success does the resetting.
+
+use crate::config::BreakerConfig;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum State {
+    /// Healthy; counts consecutive panic-class failures.
+    Closed { failures: u32 },
+    /// Quarantined; sheds until `rejected` reaches the cooldown.
+    Open { failures: u32, rejected: u32 },
+    /// One probe is in flight; its outcome decides.
+    HalfOpen { failures: u32 },
+}
+
+/// See the module docs.
+#[derive(Clone, Debug)]
+pub(crate) struct CircuitBreaker {
+    config: BreakerConfig,
+    state: State,
+}
+
+impl CircuitBreaker {
+    pub(crate) fn new(config: BreakerConfig) -> CircuitBreaker {
+        CircuitBreaker {
+            config,
+            state: State::Closed { failures: 0 },
+        }
+    }
+
+    /// Admission check. `Err(failures)` sheds the request (circuit open,
+    /// still cooling down); `Ok(())` admits it — possibly as the
+    /// half-open probe.
+    pub(crate) fn admit(&mut self) -> Result<(), u32> {
+        match self.state {
+            State::Closed { .. } | State::HalfOpen { .. } => Ok(()),
+            State::Open { failures, rejected } => {
+                if rejected >= self.config.cooldown_rejects {
+                    self.state = State::HalfOpen { failures };
+                    Ok(())
+                } else {
+                    self.state = State::Open {
+                        failures,
+                        rejected: rejected + 1,
+                    };
+                    Err(failures)
+                }
+            }
+        }
+    }
+
+    /// Records a non-poisonous outcome (success, or a permanent
+    /// input/load error): closes the circuit and resets the count.
+    pub(crate) fn record_success(&mut self) {
+        self.state = State::Closed { failures: 0 };
+    }
+
+    /// Records a panic-class failure; returns `true` when this failure
+    /// trips the circuit open (for metrics).
+    pub(crate) fn record_failure(&mut self) -> bool {
+        if self.config.trip_threshold == 0 {
+            return false; // breaker disabled
+        }
+        let failures = match self.state {
+            State::Closed { failures } => failures + 1,
+            // A failed half-open probe re-opens immediately.
+            State::HalfOpen { failures } => failures + 1,
+            State::Open { failures, rejected } => {
+                // Shouldn't happen (open sessions shed at admission), but
+                // stay open if it does.
+                self.state = State::Open { failures, rejected };
+                return false;
+            }
+        };
+        let was_closed = matches!(self.state, State::Closed { .. });
+        if !was_closed || failures >= self.config.trip_threshold {
+            self.state = State::Open {
+                failures,
+                rejected: 0,
+            };
+            true
+        } else {
+            self.state = State::Closed { failures };
+            false
+        }
+    }
+
+    /// Whether the circuit is currently open (shedding or about to
+    /// probe).
+    pub(crate) fn is_open(&self) -> bool {
+        !matches!(self.state, State::Closed { .. })
+    }
+
+    /// Consecutive panic-class failures recorded so far.
+    #[cfg(test)]
+    fn failures(&self) -> u32 {
+        match self.state {
+            State::Closed { failures }
+            | State::Open { failures, .. }
+            | State::HalfOpen { failures } => failures,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker(threshold: u32, cooldown: u32) -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            trip_threshold: threshold,
+            cooldown_rejects: cooldown,
+        })
+    }
+
+    #[test]
+    fn trips_after_threshold_consecutive_failures() {
+        let mut b = breaker(3, 2);
+        assert!(!b.record_failure());
+        assert!(!b.record_failure());
+        assert!(b.admit().is_ok(), "still closed below threshold");
+        assert!(b.record_failure(), "third consecutive failure trips");
+        assert!(b.is_open());
+        assert_eq!(b.admit(), Err(3));
+        assert_eq!(b.admit(), Err(3));
+        assert!(b.admit().is_ok(), "half-open probe after cooldown");
+    }
+
+    #[test]
+    fn success_resets_the_count() {
+        let mut b = breaker(3, 1);
+        b.record_failure();
+        b.record_failure();
+        b.record_success();
+        assert!(!b.record_failure());
+        assert!(!b.record_failure());
+        assert!(!b.is_open(), "count restarted after success");
+        assert!(b.record_failure());
+    }
+
+    #[test]
+    fn half_open_probe_outcome_decides() {
+        let mut b = breaker(1, 1);
+        assert!(b.record_failure(), "threshold 1 trips immediately");
+        assert!(b.admit().is_err(), "one cooldown rejection");
+        assert!(b.admit().is_ok(), "probe admitted");
+        assert!(b.record_failure(), "failed probe re-opens");
+        assert!(b.admit().is_err(), "cooldown restarts");
+        assert!(b.admit().is_ok());
+        b.record_success();
+        assert!(!b.is_open());
+        assert_eq!(b.failures(), 0);
+        assert!(b.admit().is_ok());
+    }
+
+    #[test]
+    fn zero_threshold_disables_the_breaker() {
+        let mut b = breaker(0, 5);
+        for _ in 0..100 {
+            assert!(!b.record_failure());
+        }
+        assert!(b.admit().is_ok());
+        assert!(!b.is_open());
+    }
+}

@@ -1,0 +1,89 @@
+//! Lock-free service counters. Workers bump relaxed atomics; a snapshot
+//! is a plain struct of the values at one instant (individually atomic,
+//! not mutually consistent — fine for observability).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+#[derive(Debug, Default)]
+pub(crate) struct Metrics {
+    pub submitted: AtomicU64,
+    pub admitted: AtomicU64,
+    pub completed: AtomicU64,
+    pub failed: AtomicU64,
+    pub rejected_overload: AtomicU64,
+    pub rejected_breaker: AtomicU64,
+    pub rejected_shutdown: AtomicU64,
+    pub retries: AtomicU64,
+    pub panics: AtomicU64,
+    pub engine_rebuilds: AtomicU64,
+    pub breaker_trips: AtomicU64,
+    pub degraded: AtomicU64,
+    pub ladder_tightened: AtomicU64,
+    pub max_queue_depth: AtomicU64,
+}
+
+impl Metrics {
+    pub(crate) fn observe_depth(&self, depth: usize) {
+        self.max_queue_depth
+            .fetch_max(depth as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> MetricsSnapshot {
+        let get = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        MetricsSnapshot {
+            submitted: get(&self.submitted),
+            admitted: get(&self.admitted),
+            completed: get(&self.completed),
+            failed: get(&self.failed),
+            rejected_overload: get(&self.rejected_overload),
+            rejected_breaker: get(&self.rejected_breaker),
+            rejected_shutdown: get(&self.rejected_shutdown),
+            retries: get(&self.retries),
+            panics: get(&self.panics),
+            engine_rebuilds: get(&self.engine_rebuilds),
+            breaker_trips: get(&self.breaker_trips),
+            degraded: get(&self.degraded),
+            ladder_tightened: get(&self.ladder_tightened),
+            max_queue_depth: get(&self.max_queue_depth),
+        }
+    }
+}
+
+pub(crate) fn inc(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Point-in-time view of the service counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Submissions attempted (admitted or not).
+    pub submitted: u64,
+    /// Submissions that entered the queue.
+    pub admitted: u64,
+    /// Requests answered `Ok` (possibly degraded — see `degraded`).
+    pub completed: u64,
+    /// Requests answered with a structured error.
+    pub failed: u64,
+    /// Submissions shed at the admission high-watermark.
+    pub rejected_overload: u64,
+    /// Submissions shed by an open per-session circuit breaker.
+    pub rejected_breaker: u64,
+    /// Submissions or queued jobs refused because the service was
+    /// draining or stopped.
+    pub rejected_shutdown: u64,
+    /// Transparent retries after panic-class failures.
+    pub retries: u64,
+    /// Panic-class failures observed (before retry classification).
+    pub panics: u64,
+    /// Crash-only engine teardowns (session rebuilt from its retained
+    /// sanitized layout).
+    pub engine_rebuilds: u64,
+    /// Circuit-breaker trip events.
+    pub breaker_trips: u64,
+    /// `Ok` responses whose provenance reports degradation.
+    pub degraded: u64,
+    /// Admissions that received tightened ladder caps.
+    pub ladder_tightened: u64,
+    /// Deepest admission queue observed.
+    pub max_queue_depth: u64,
+}

@@ -18,6 +18,7 @@
 //! | [`layout`] | `aapsm-layout` | layouts, rules, shifters, generators |
 //! | [`gds`] | `aapsm-gds` | GDSII stream reader/writer |
 //! | [`core`] | `aapsm-core` | the paper's detection + correction flow |
+//! | [`service`] | `aapsm-service` | resident multi-session detection service |
 //! | [`render`] | `aapsm-render` | SVG figures |
 //!
 //! # Quickstart
@@ -47,6 +48,7 @@ pub use aapsm_graph as graph;
 pub use aapsm_layout as layout;
 pub use aapsm_matching as matching;
 pub use aapsm_render as render;
+pub use aapsm_service as service;
 pub use aapsm_tjoin as tjoin;
 
 /// The most common imports for flow users.
