@@ -5,10 +5,14 @@
 //! design, per stage, plus the totals) is compared; the gate **fails**
 //! (exit 1) when a fresh timing exceeds the committed one by more than
 //! `BENCH_GATE_PCT` percent (default 25). Fields whose committed value
-//! is under 10 ms (`BENCH_GATE_FLOOR_MS`) are reported but never gated —
-//! small timings are scheduler noise, not signal. Throughput
-//! (`req_per_sec`) gates in the opposite direction: a drop beyond the
-//! threshold fails.
+//! is under the noise floor [`GATE_FLOOR_MS`] (10 ms; override
+//! `BENCH_GATE_FLOOR_MS`, and the active value is logged in each gate
+//! header) are reported but never gated — small timings are scheduler
+//! noise, not signal. Throughput (`req_per_sec`) gates in the opposite
+//! direction: a drop beyond the threshold fails. Behavior counters
+//! (`*_picks` — the T-join engine choices the auto-selection made) are
+//! gated for **exact equality**: a method-mix drift is a behavior
+//! change, not timing noise, so no threshold or floor applies.
 //!
 //! The parser below is a minimal recursive-descent JSON reader (the
 //! build environment has no registry access for serde); it accepts
@@ -224,10 +228,29 @@ fn parse(text: &str) -> Result<Value, String> {
     Ok(v)
 }
 
-/// Flattens every gateable metric of a snapshot into
-/// `path → (value, larger_is_better)`.
-fn metrics(root: &Value) -> BTreeMap<String, (f64, bool)> {
+/// How one flattened metric is judged.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Gate {
+    /// A timing: fresh may not exceed committed by the threshold.
+    SmallerBetter,
+    /// A throughput: fresh may not drop below committed by the threshold.
+    LargerBetter,
+    /// A behavior counter: fresh must equal committed exactly.
+    Exact,
+}
+
+/// Flattens every gateable metric of a snapshot into `path → (value, gate)`.
+fn metrics(root: &Value) -> BTreeMap<String, (f64, Gate)> {
     let mut out = BTreeMap::new();
+    let field_gate = |key: &str| {
+        if key.ends_with("_ms") {
+            Some(Gate::SmallerBetter)
+        } else if key.ends_with("_picks") {
+            Some(Gate::Exact)
+        } else {
+            None
+        }
+    };
     for design in root.get("designs").map(Value::arr).unwrap_or(&[]) {
         let name = design
             .get("design")
@@ -239,15 +262,17 @@ fn metrics(root: &Value) -> BTreeMap<String, (f64, bool)> {
             _ => continue,
         } {
             match value {
-                Value::Num(n) if key.ends_with("_ms") => {
-                    out.insert(format!("{name}.{key}"), (*n, false));
+                Value::Num(n) => {
+                    if let Some(gate) = field_gate(key) {
+                        out.insert(format!("{name}.{key}"), (*n, gate));
+                    }
                 }
                 Value::Obj(stages) if key == "stages" => {
                     for (stage, fields) in stages {
                         if let Value::Obj(fields) = fields {
                             for (field, v) in fields {
-                                if let (true, Some(n)) = (field.ends_with("_ms"), v.num()) {
-                                    out.insert(format!("{name}.{stage}.{field}"), (n, false));
+                                if let (Some(gate), Some(n)) = (field_gate(field), v.num()) {
+                                    out.insert(format!("{name}.{stage}.{field}"), (n, gate));
                                 }
                             }
                         }
@@ -259,11 +284,14 @@ fn metrics(root: &Value) -> BTreeMap<String, (f64, bool)> {
     }
     if let Some(tp) = root.get("throughput") {
         if let Some(n) = tp.get("req_per_sec").and_then(Value::num) {
-            out.insert("throughput.req_per_sec".to_string(), (n, true));
+            out.insert(
+                "throughput.req_per_sec".to_string(),
+                (n, Gate::LargerBetter),
+            );
         }
         for field in ["p50_ms", "p99_ms"] {
             if let Some(n) = tp.get(field).and_then(Value::num) {
-                out.insert(format!("throughput.{field}"), (n, false));
+                out.insert(format!("throughput.{field}"), (n, Gate::SmallerBetter));
             }
         }
     }
@@ -300,21 +328,34 @@ fn main() {
         };
         let committed = read_metrics(committed_path);
         let fresh = read_metrics(fresh_path);
-        println!("== {committed_path} vs {fresh_path} (threshold {pct}%)");
-        for (path, &(old, larger_is_better)) in &committed {
+        println!(
+            "== {committed_path} vs {fresh_path} (threshold {pct}%, noise floor {floor_ms} ms)"
+        );
+        for (path, &(old, gate)) in &committed {
             let Some(&(new, _)) = fresh.get(path) else {
                 println!("  MISSING  {path} (in committed, not in fresh)");
                 failures += 1;
                 continue;
             };
+            if gate == Gate::Exact {
+                let verdict = if new == old {
+                    gated += 1;
+                    "ok"
+                } else {
+                    failures += 1;
+                    "FAIL"
+                };
+                println!("  {verdict:>7}  {path}: {old} -> {new} (exact)");
+                continue;
+            }
             let delta_pct = if old.abs() < 1e-12 {
                 0.0
-            } else if larger_is_better {
+            } else if gate == Gate::LargerBetter {
                 (old - new) / old * 100.0 // positive = regression (slower)
             } else {
                 (new - old) / old * 100.0
             };
-            let gateable = larger_is_better || old >= floor_ms;
+            let gateable = gate == Gate::LargerBetter || old >= floor_ms;
             let verdict = if !gateable {
                 "noise"
             } else if delta_pct > pct {

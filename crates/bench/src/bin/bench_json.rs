@@ -25,8 +25,8 @@
 
 use aapsm_core::{
     bipartize_with, build_conflict_graph, build_conflict_graph_par, build_conflict_graph_tiled,
-    detect_conflicts, plan_correction, planarize_graph_par, BipartizeMethod, CorrectionOptions,
-    DetectConfig, GraphKind, RedetectEngine, TJoinMethod, TileConfig,
+    detect_conflicts, plan_correction, planarize_graph_par, tjoin_method_census, BipartizeMethod,
+    CorrectionOptions, DetectConfig, GraphKind, RedetectEngine, TJoinMethod, TileConfig,
 };
 use aapsm_core::{ConflictGraph, PlanarizeOrder};
 use aapsm_geom::Axis;
@@ -205,6 +205,11 @@ fn main() {
             "{}: parallel bipartization diverged from serial",
             design.name
         );
+        // Which T-join engine the auto-selection picked per dual
+        // instance: a design-visible behavior counter (gated for exact
+        // equality by bench_gate — a method-mix drift is a behavior
+        // change, not timing noise).
+        let census = tjoin_method_census(&cg.graph, false);
 
         // ---- Stage 6: incremental re-detect of the correction loop.
         // Two rounds are measured against a from-scratch extract+detect
@@ -331,7 +336,28 @@ fn main() {
             .filter(|s| s.name != "face_dual")
             .map(|s| s.parallel_ms)
             .sum();
-        let mut stage_json: Vec<String> = stages.iter().map(|s| s.json()).collect();
+        let mut stage_json: Vec<String> = stages
+            .iter()
+            .map(|s| {
+                if s.name == "bipartize" {
+                    format!(
+                        concat!(
+                            "\"bipartize\": {{\"serial_ms\": {:.3}, \"parallel_ms\": {:.3}, ",
+                            "\"speedup\": {:.3}, ",
+                            "\"closure_picks\": {}, \"gadget_picks\": {}, ",
+                            "\"identical\": true}}"
+                        ),
+                        s.serial_ms,
+                        s.parallel_ms,
+                        s.serial_ms / s.parallel_ms.max(1e-12),
+                        census.closure,
+                        census.gadget,
+                    )
+                } else {
+                    s.json()
+                }
+            })
+            .collect();
         stage_json.push(format!(
             concat!(
                 "\"correction_plan\": {{",
@@ -400,7 +426,9 @@ fn main() {
                 "\"graph_nodes\": {}, \"graph_edges\": {}, \"conflicts\": {}, ",
                 "\"build_ms\": {:.3}, \"planarize_ms\": {:.3}, ",
                 "\"bipartize_serial_ms\": {:.3}, \"bipartize_parallel_ms\": {:.3}, ",
-                "\"speedup\": {:.3}, \"identical\": true}}"
+                "\"speedup\": {:.3}, ",
+                "\"closure_picks\": {}, \"gadget_picks\": {}, ",
+                "\"identical\": true}}"
             ),
             design.name,
             design.params.rows,
@@ -413,6 +441,8 @@ fn main() {
             bipartize_serial_s * 1e3,
             bipartize_parallel_s * 1e3,
             bipartize_serial_s / bipartize_parallel_s.max(1e-12),
+            census.closure,
+            census.gadget,
         ));
         eprintln!(
             "  extract {:.2}/{:.2} ms, build {:.2}/{:.2} ms, planarize {:.2}/{:.2} ms, bipartize {:.2}/{:.2} ms (serial/parallel, {} workers)",

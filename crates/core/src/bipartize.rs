@@ -248,6 +248,13 @@ impl InstanceKey {
 struct CachedJoin {
     /// Local instance edge indices of the minimum T-join.
     edges: Vec<usize>,
+    /// The concrete method that produced this join (never
+    /// [`TJoinMethod::Auto`]; see [`aapsm_tjoin::resolve_method`]).
+    /// Different solvers may return different equally-optimal joins, so a
+    /// lookup under a different resolved method is a miss, not a hit —
+    /// this keeps every cached result bit-identical to what the caller's
+    /// own configuration would have computed fresh.
+    method: TJoinMethod,
     /// Generation of the last solve/hit (for idle eviction).
     last_used: u64,
     /// Monotone recency stamp of the last solve/hit (for LRU eviction).
@@ -290,13 +297,17 @@ pub struct CacheStats {
 /// grow the memo without bound. Lifetime hit/miss/eviction counters are
 /// in [`SolveCache::stats`].
 ///
-/// A cache must only ever be used with **one** [`TJoinMethod`]/`blocks`
-/// configuration: different solvers may return different (equally
-/// optimal) joins, and mixing them would break bit-identity with the
-/// uncached path. [`crate::RedetectEngine`] owns one cache per fixed
-/// configuration, which enforces this; a [`SharedSolveCache`] must be
-/// shared only among engines with one fixed configuration for the same
-/// reason.
+/// Every entry records **method provenance**: the concrete
+/// [`TJoinMethod`] (with [`TJoinMethod::Auto`] resolved per instance by
+/// [`aapsm_tjoin::resolve_method`]) that produced its join. A lookup whose
+/// resolved method differs from the entry's is a miss — the instance is
+/// re-solved and the entry overwritten — because different solvers may
+/// return different (equally optimal) joins and serving one across
+/// configurations would break bit-identity with the uncached path. This
+/// makes it safe to share one cache across engines with different
+/// `tjoin` configurations; the `blocks` axis needs no tag because both
+/// decompositions key the same canonical instance bytes and a byte-equal
+/// instance has the same solution either way.
 #[derive(Clone)]
 pub struct SolveCache {
     map: std::collections::HashMap<InstanceKey, CachedJoin>,
@@ -498,6 +509,9 @@ struct CacheSplit {
     unsolved: Vec<usize>,
     /// The miss keys, retained for the commit (`None` for hits).
     keys: Vec<Option<InstanceKey>>,
+    /// The resolved concrete method per miss, retained for the commit's
+    /// provenance tag (`None` for hits).
+    methods: Vec<Option<TJoinMethod>>,
     /// Hits answered in this lookup.
     hits: usize,
 }
@@ -506,31 +520,41 @@ struct CacheSplit {
 /// returns the split. Also resets the cache's per-call `hits`/`misses`
 /// counters. Short and allocation-light — safe to run under a shared
 /// cache's lock.
-fn cache_lookup(cache: &mut SolveCache, instances: &[DualTJoin]) -> CacheSplit {
+///
+/// A hit requires both a byte-equal instance key **and** matching method
+/// provenance: the entry must have been produced by the same concrete
+/// method `tjoin` resolves to for this instance (see [`CachedJoin`]).
+fn cache_lookup(cache: &mut SolveCache, instances: &[DualTJoin], tjoin: TJoinMethod) -> CacheSplit {
     cache.generation += 1;
     cache.hits = 0;
     cache.misses = 0;
     let mut deleted_per_instance: Vec<Option<Vec<EdgeId>>> = vec![None; instances.len()];
     let mut unsolved: Vec<usize> = Vec::new();
     let mut keys: Vec<Option<InstanceKey>> = vec![None; instances.len()];
+    let mut methods: Vec<Option<TJoinMethod>> = vec![None; instances.len()];
     for (i, dt) in instances.iter().enumerate() {
         let key = InstanceKey::of(&dt.inst);
+        let concrete = aapsm_tjoin::resolve_method(tjoin, &dt.inst);
         let generation = cache.generation;
         let touched = cache.next_touch();
-        if let Some(entry) = cache.map.get_mut(&key) {
-            entry.last_used = generation;
-            entry.touched = touched;
-            deleted_per_instance[i] = Some(
-                entry
-                    .edges
-                    .iter()
-                    .map(|&ei| dt.primal_of_edge[ei])
-                    .collect(),
-            );
-            cache.hits += 1;
-        } else {
-            keys[i] = Some(key);
-            unsolved.push(i);
+        match cache.map.get_mut(&key) {
+            Some(entry) if entry.method == concrete => {
+                entry.last_used = generation;
+                entry.touched = touched;
+                deleted_per_instance[i] = Some(
+                    entry
+                        .edges
+                        .iter()
+                        .map(|&ei| dt.primal_of_edge[ei])
+                        .collect(),
+                );
+                cache.hits += 1;
+            }
+            _ => {
+                keys[i] = Some(key);
+                methods[i] = Some(concrete);
+                unsolved.push(i);
+            }
         }
     }
     cache.misses = unsolved.len();
@@ -540,6 +564,7 @@ fn cache_lookup(cache: &mut SolveCache, instances: &[DualTJoin]) -> CacheSplit {
         deleted_per_instance,
         unsolved,
         keys,
+        methods,
         hits: cache.hits,
     }
 }
@@ -554,15 +579,7 @@ fn solve_missing(
     parallelism: usize,
     budget: &Budget,
 ) -> Result<Vec<Vec<usize>>, BudgetExceeded> {
-    let miss_dual_edges: usize = unsolved
-        .iter()
-        .map(|&i| instances[i].inst.edges().len())
-        .sum();
-    let workers = if parallelism == 0 && miss_dual_edges < SERIAL_FALLBACK_DUAL_EDGES {
-        1
-    } else {
-        effective_workers(parallelism, unsolved.len())
-    };
+    let workers = solve_worker_count(instances, unsolved.len(), parallelism);
     aapsm_geom::par_map_indexed(unsolved.len(), workers, MatchingContext::new, |ctx, k| {
         let dt = &instances[unsolved[k]];
         solve_dual_join(&dt.inst, tjoin, ctx, budget).map(|join| join.edges)
@@ -594,6 +611,9 @@ fn cache_commit(
             split.keys[*k].take().expect("key retained for every miss"),
             CachedJoin {
                 edges: join,
+                method: split.methods[*k]
+                    .take()
+                    .expect("method retained for every miss"),
                 last_used,
                 touched,
             },
@@ -629,7 +649,7 @@ fn cached_budgeted(
     } else {
         extract_component_instances(g, parallelism, budget)?
     };
-    let mut split = cache_lookup(cache, &instances);
+    let mut split = cache_lookup(cache, &instances, tjoin);
     let joins = solve_missing(&instances, &split.unsolved, tjoin, parallelism, budget)?;
     cache_commit(cache, &instances, &mut split, joins);
     Ok(assemble(g, split))
@@ -652,7 +672,7 @@ fn cached_shared_budgeted(
     } else {
         extract_component_instances(g, parallelism, budget)?
     };
-    let mut split = cache_lookup(&mut shared.lock(), &instances);
+    let mut split = cache_lookup(&mut shared.lock(), &instances, tjoin);
     let joins = solve_missing(&instances, &split.unsolved, tjoin, parallelism, budget)?;
     cache_commit(&mut shared.lock(), &instances, &mut split, joins);
     let activity = CacheActivity {
@@ -810,12 +830,7 @@ fn solve_instances(
     parallelism: usize,
     budget: &Budget,
 ) -> Result<Vec<EdgeId>, BudgetExceeded> {
-    let total_dual_edges: usize = instances.iter().map(|dt| dt.inst.edges().len()).sum();
-    let workers = if parallelism == 0 && total_dual_edges < SERIAL_FALLBACK_DUAL_EDGES {
-        1
-    } else {
-        effective_workers(parallelism, instances.len())
-    };
+    let workers = solve_worker_count(instances, instances.len(), parallelism);
     // Each worker owns one arena for its whole batch; results merge in
     // instance order (see `par_map_indexed`), so the outcome is
     // independent of scheduling.
@@ -835,6 +850,62 @@ fn effective_workers(parallelism: usize, instances: usize) -> usize {
     aapsm_geom::resolve_workers(parallelism)
         .min(instances)
         .max(1)
+}
+
+/// Worker count for solving (a subset of) a call's instances. The
+/// adaptive serial fallback is decided by the **total** dual-edge work of
+/// all the call's instances, never by the subset actually being solved:
+/// the cached path hands this the post-lookup miss subset, and basing the
+/// decision on the misses alone would let a warm cache fall back to
+/// serial while the uncached path spawns workers for the byte-identical
+/// input — same results (the policy is pure scheduling), but divergent
+/// thread behavior on identical inputs is exactly what the parallel
+/// property suite pins down.
+fn solve_worker_count(instances: &[DualTJoin], batch: usize, parallelism: usize) -> usize {
+    let total_dual_edges: usize = instances.iter().map(|dt| dt.inst.edges().len()).sum();
+    if parallelism == 0 && total_dual_edges < SERIAL_FALLBACK_DUAL_EDGES {
+        1
+    } else {
+        effective_workers(parallelism, batch)
+    }
+}
+
+/// Per-method pick counts of the [`TJoinMethod::Auto`] heuristic over a
+/// drawing's extracted dual instances.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MethodCensus {
+    /// Instances routed to the Edmonds–Johnson metric closure
+    /// ([`TJoinMethod::ShortestPath`]).
+    pub closure: usize,
+    /// Instances routed to a gadget reduction.
+    pub gadget: usize,
+}
+
+/// How [`TJoinMethod::Auto`] splits `g`'s dual T-join instances between
+/// the metric closure and the gadget reduction, under the component
+/// (`blocks = false`) or biconnected-block (`blocks = true`)
+/// decomposition. Purely diagnostic — the benchmark harness emits and
+/// gates these counts so the heuristic's behavior per design is
+/// machine-checked.
+pub fn tjoin_method_census(g: &EmbeddedGraph, blocks: bool) -> MethodCensus {
+    let extracted = if blocks {
+        extract_block_instances(g, 1, &Budget::unlimited())
+    } else {
+        extract_component_instances(g, 1, &Budget::unlimited())
+    };
+    let instances = match extracted {
+        Ok(instances) => instances,
+        Err(_) => unreachable!("unlimited budget never trips"),
+    };
+    let mut census = MethodCensus::default();
+    for dt in &instances {
+        match aapsm_tjoin::resolve_method(TJoinMethod::Auto, &dt.inst) {
+            TJoinMethod::ShortestPath => census.closure += 1,
+            TJoinMethod::Gadget(_) => census.gadget += 1,
+            TJoinMethod::Auto => unreachable!("resolve_method never returns Auto"),
+        }
+    }
+    census
 }
 
 /// Brute-force minimum-weight bipartization by subset enumeration (test
@@ -1148,6 +1219,114 @@ mod tests {
         let stats = shared.stats();
         assert_eq!(stats.hits, a2.hits as u64);
         assert_eq!(stats.misses, a1.misses as u64);
+    }
+
+    /// Synthesizes `count` dual instances of `edges_each` path edges (no
+    /// T-nodes; only the edge totals matter to the scheduling policy).
+    fn synth_instances(count: usize, edges_each: usize) -> Vec<DualTJoin> {
+        (0..count)
+            .map(|_| {
+                let edges: Vec<(usize, usize, i64)> =
+                    (0..edges_each).map(|i| (i, i + 1, 1)).collect();
+                let inst =
+                    TJoinInstance::new(edges_each + 1, edges, vec![false; edges_each + 1]).unwrap();
+                DualTJoin {
+                    inst,
+                    primal_of_edge: Vec::new(),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn serial_fallback_decision_uses_total_work_not_the_solved_subset() {
+        // Below the threshold: auto parallelism stays serial no matter
+        // how many instances are actually being solved.
+        let small = synth_instances(8, 100); // 800 dual edges < 2048
+        assert_eq!(solve_worker_count(&small, small.len(), 0), 1);
+        assert_eq!(solve_worker_count(&small, 2, 0), 1);
+        // At/above the threshold: a warm cache (batch = few misses) and
+        // the plain path (batch = all) make the same spawn decision —
+        // this is the regression: the miss subset's own edge count (200,
+        // far below the threshold) must not flip the cached path serial.
+        let large = synth_instances(16, 200); // 3200 dual edges ≥ 2048
+        let plain = solve_worker_count(&large, large.len(), 0);
+        let cached = solve_worker_count(&large, 2, 0);
+        assert_eq!(
+            plain > 1,
+            cached > 1,
+            "warm cache must not flip the serial-fallback decision"
+        );
+        // Explicit worker counts bypass the fallback entirely.
+        assert_eq!(solve_worker_count(&small, small.len(), 3), 3);
+        assert_eq!(solve_worker_count(&large, 2, 3), 2);
+    }
+
+    #[test]
+    fn cache_misses_on_method_mismatch_and_overwrites() {
+        // Two far-apart triangles: two instances, each a 3-edge dual
+        // triangle with 2 odd faces — Auto resolves them to the closure.
+        let mut g = EmbeddedGraph::new();
+        for ox in [0i64, 10_000] {
+            let a = g.add_node(Point::new(ox, 0));
+            let b = g.add_node(Point::new(ox + 100, 0));
+            let c = g.add_node(Point::new(ox + 50, 80));
+            g.add_edge(a, b, 5);
+            g.add_edge(b, c, 3);
+            g.add_edge(c, a, 2);
+        }
+        let gadget = TJoinMethod::Gadget(GadgetKind::default());
+        let mut cache = SolveCache::with_capacity(64);
+        let first = bipartize_with_cache(&g, TJoinMethod::ShortestPath, false, 1, &mut cache);
+        assert_eq!(cache.misses, 2);
+        // Same instances, different configured method: provenance
+        // mismatch re-solves everything instead of serving the closure's
+        // joins to a gadget-configured caller.
+        let second = bipartize_with_cache(&g, gadget, false, 1, &mut cache);
+        assert_eq!(cache.hits, 0, "method mismatch must not hit");
+        assert_eq!(cache.misses, 2);
+        // The entries were overwritten with gadget provenance: replay hits.
+        let third = bipartize_with_cache(&g, gadget, false, 1, &mut cache);
+        assert_eq!(cache.hits, 2);
+        assert_eq!(cache.misses, 0);
+        // Auto resolves these sparse-T instances to the closure, so it
+        // misses against the gadget-tagged entries, then hits itself.
+        let fourth = bipartize_with_cache(&g, TJoinMethod::Auto, false, 1, &mut cache);
+        assert_eq!(cache.misses, 2);
+        let fifth = bipartize_with_cache(&g, TJoinMethod::Auto, false, 1, &mut cache);
+        assert_eq!(cache.hits, 2);
+        for out in [&second, &third, &fourth, &fifth] {
+            assert_eq!(out.weight, first.weight);
+        }
+    }
+
+    #[test]
+    fn method_census_counts_auto_picks() {
+        // One sparse-T triangle component → closure pick.
+        let mut g = EmbeddedGraph::new();
+        let a = g.add_node(Point::new(0, 0));
+        let b = g.add_node(Point::new(100, 0));
+        let c = g.add_node(Point::new(50, 80));
+        g.add_edge(a, b, 5);
+        g.add_edge(b, c, 3);
+        g.add_edge(c, a, 2);
+        let census = tjoin_method_census(&g, false);
+        assert_eq!(
+            census,
+            MethodCensus {
+                closure: 1,
+                gadget: 0
+            }
+        );
+        // A bipartite square extracts no instance at all.
+        let mut sq = EmbeddedGraph::new();
+        let n: Vec<_> = (0..4)
+            .map(|i| sq.add_node(Point::new([0, 100, 100, 0][i], [0, 0, 100, 100][i])))
+            .collect();
+        for i in 0..4 {
+            sq.add_edge(n[i], n[(i + 1) % 4], 1);
+        }
+        assert_eq!(tjoin_method_census(&sq, false), MethodCensus::default());
     }
 
     #[test]

@@ -464,6 +464,7 @@ mod tests {
             TJoinMethod::Gadget(aapsm_tjoin::GadgetKind::Optimized),
             TJoinMethod::Gadget(aapsm_tjoin::GadgetKind::default()),
             TJoinMethod::ShortestPath,
+            TJoinMethod::Auto,
         ]
         .into_iter()
         .map(|tj| {

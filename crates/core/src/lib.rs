@@ -122,8 +122,8 @@ mod redetect;
 mod shard;
 
 pub use bipartize::{
-    bipartize, bipartize_with, bipartize_with_cache, brute_force_bipartize, BipartizeMethod,
-    BipartizeOutcome, CacheStats, SharedSolveCache, SolveCache,
+    bipartize, bipartize_with, bipartize_with_cache, brute_force_bipartize, tjoin_method_census,
+    BipartizeMethod, BipartizeOutcome, CacheStats, MethodCensus, SharedSolveCache, SolveCache,
 };
 pub use correct::{
     apply_correction, plan_correction, CorrectionOptions, CorrectionPlan, CorrectionReport,
@@ -150,4 +150,4 @@ pub use aapsm_fault::{
     Budget, BudgetExceeded, BudgetSpec, CancelToken, ExhaustReason, Stage as BudgetStage,
 };
 pub use aapsm_graph::PlanarizeOrder;
-pub use aapsm_tjoin::{GadgetKind, TJoinMethod};
+pub use aapsm_tjoin::{resolve_method, select_method, GadgetKind, TJoinMethod};

@@ -17,9 +17,9 @@
 //!    matching by exhaustive subset DP.
 //!
 //! Every oracle must agree with every configuration (both decomposition
-//! modes, gadget and shortest-path T-join engines, every parallelism
-//! degree) on total weight, and every returned deletion set must actually
-//! leave the graph bipartite.
+//! modes; gadget, shortest-path and auto-selected T-join engines; every
+//! parallelism degree) on total weight, and every returned deletion set
+//! must actually leave the graph bipartite.
 
 use aapsm_core::{bipartize_with, BipartizeMethod, GadgetKind, TJoinMethod};
 use aapsm_graph::{
@@ -161,6 +161,7 @@ fn configs() -> Vec<BipartizeMethod> {
         for tjoin in [
             TJoinMethod::Gadget(GadgetKind::default()),
             TJoinMethod::ShortestPath,
+            TJoinMethod::Auto,
         ] {
             out.push(BipartizeMethod::OptimalDual { tjoin, blocks });
         }
@@ -234,6 +235,14 @@ fn oracle_agreement_on_adversarial_shapes() {
     g.add_edge(b1, c1, 9);
     g.add_edge(c0, a0, 3);
     g.add_edge(c1, a1, 4);
+    {
+        let inst = dual_instance(&g).expect("triangles have odd faces");
+        assert_eq!(
+            aapsm_core::select_method(&inst),
+            TJoinMethod::ShortestPath,
+            "sparse-T shape must auto-select the metric closure"
+        );
+    }
     shapes.push(("interleaved triangles", g));
 
     // An odd triangle with a pendant tree (bridges must never be chosen).
@@ -267,15 +276,56 @@ fn oracle_agreement_on_adversarial_shapes() {
     g.add_edge(d, m, 7);
     shapes.push(("bowtie", g));
 
+    // Bipartite square: no odd faces at all, so the dual T-join has
+    // |T| = 0 and every method must return an empty zero-weight answer.
+    let mut g = EmbeddedGraph::new();
+    let a = g.add_node(p(0, 0));
+    let b = g.add_node(p(100, 0));
+    let c = g.add_node(p(100, 100));
+    let d = g.add_node(p(0, 100));
+    g.add_edge(a, b, 2);
+    g.add_edge(b, c, 3);
+    g.add_edge(c, d, 4);
+    g.add_edge(d, a, 5);
+    shapes.push(("bipartite square", g));
+
+    // Dense-|T| fan: apex over a path of 8 nodes makes 7 odd triangle
+    // faces plus an odd (9-edge) outer face, so |T| = 8 against 15 dual
+    // edges — the K_|T| closure instance out-sizes the dual and the
+    // auto-selection must keep the gadget here. The sparse shapes above
+    // sit on the other side of the threshold.
+    let mut g = EmbeddedGraph::new();
+    let apex = g.add_node(p(350, -200));
+    let path: Vec<_> = (0..8).map(|i| g.add_node(p(i * 100, 0))).collect();
+    for w in path.windows(2) {
+        g.add_edge(w[0], w[1], 2);
+    }
+    for (i, &u) in path.iter().enumerate() {
+        g.add_edge(apex, u, 3 + i as i64);
+    }
+    {
+        let inst = dual_instance(&g).expect("fan has odd faces");
+        assert_eq!(
+            aapsm_core::select_method(&inst),
+            TJoinMethod::Gadget(GadgetKind::default()),
+            "dense fan must auto-select the gadget"
+        );
+    }
+    shapes.push(("dense-T fan", g));
+
     for (name, g) in shapes {
         let cover = oracle_cover_weight(&g);
-        let inst = dual_instance(&g).expect("every shape has an odd face");
-        assert_eq!(oracle_tjoin_weight(&inst), cover, "{name}: T-join oracle");
-        assert_eq!(
-            oracle_matching_weight(&inst),
-            Some(cover),
-            "{name}: matching oracle"
-        );
+        match dual_instance(&g) {
+            Some(inst) => {
+                assert_eq!(oracle_tjoin_weight(&inst), cover, "{name}: T-join oracle");
+                assert_eq!(
+                    oracle_matching_weight(&inst),
+                    Some(cover),
+                    "{name}: matching oracle"
+                );
+            }
+            None => assert_eq!(cover, 0, "{name}: bipartite shape must cost 0"),
+        }
         for method in configs() {
             for parallelism in DEGREES {
                 let out = bipartize_with(&g, method, parallelism);

@@ -38,6 +38,7 @@ mod interval;
 mod point;
 mod rect;
 mod segment;
+mod soa;
 
 pub use dirty::{CutSpec, DirtyRegions};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
@@ -46,3 +47,4 @@ pub use interval::Interval;
 pub use point::{Orientation, Point};
 pub use rect::{Axis, Rect};
 pub use segment::Segment;
+pub use soa::{RectSoA, SegmentSoA};

@@ -1,5 +1,5 @@
 use crate::{EdgeId, EmbeddedGraph};
-use aapsm_geom::{DirtyRegions, GridIndex};
+use aapsm_geom::{DirtyRegions, GridIndex, SegmentSoA};
 
 /// The set of crossing edge pairs of a straight-line drawing.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -128,18 +128,25 @@ pub fn crossing_pairs_with_cell_par(
     parallelism: usize,
 ) -> CrossingSet {
     let alive: Vec<EdgeId> = g.alive_edges().collect();
+    // The sweep probes far more candidate pairs than it reports, so the
+    // crossing test reads endpoint coordinates from a packed SoA buffer
+    // (bit-identical to [`aapsm_geom::Segment::crosses`]) instead of
+    // chasing node positions through the graph per probe.
+    let mut segs = SegmentSoA::with_capacity(alive.len());
     let mut grid = GridIndex::new(cell);
     for (i, &e) in alive.iter().enumerate() {
+        segs.push(&g.segment(e));
         let (x_lo, y_lo, x_hi, y_hi) = g.segment(e).bbox_ranges();
         grid.insert(i as u32, (x_lo, y_lo, x_hi, y_hi));
     }
+    let segs = &segs;
     let mut pairs = grid.par_collect_pairs(parallelism, |ia, ib| {
-        let (ea, eb) = (alive[ia as usize], alive[ib as usize]);
         // Edges sharing a graph node share that segment endpoint, which
         // [`Segment::crosses`] already discounts; edges that *additionally*
         // overlap (parallel edges, collinear containment) are genuine
         // planarity violations and must be reported.
-        if g.segment(ea).crosses(&g.segment(eb)) {
+        if segs.crosses(ia as usize, ib as usize) {
+            let (ea, eb) = (alive[ia as usize], alive[ib as usize]);
             let (lo, hi) = if ea.index() < eb.index() {
                 (ea, eb)
             } else {
@@ -266,7 +273,12 @@ pub fn crossing_pairs_incremental(
         extents.select_nth_unstable(mid);
         let cell = extents[mid].max(16);
         let mut grid = GridIndex::new(cell);
+        // Packed endpoints indexed by edge id — same locality win as the
+        // from-scratch sweep (every edge is alive here by contract, so
+        // ids are dense).
+        let mut segs = SegmentSoA::with_capacity(edge_count);
         for e in new_g.all_edges() {
+            segs.push(&new_g.segment(e));
             grid.insert(e.0, new_g.segment(e).bbox_ranges());
         }
         let mut scratch = aapsm_geom::QueryScratch::default();
@@ -278,7 +290,7 @@ pub fn crossing_pairs_incremental(
                 if p == s || (suspect[p.index()] && p.index() < s.index()) {
                     continue;
                 }
-                if new_g.segment(s).crosses(&new_g.segment(p)) {
+                if segs.crosses(s.index(), p.index()) {
                     let (lo, hi) = if s.index() < p.index() {
                         (s, p)
                     } else {

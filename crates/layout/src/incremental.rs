@@ -48,7 +48,7 @@ use crate::phase_geom::{
     canonicalize_constraints, classify_features, feature_box, scan_pair, shifter_probe, ScanHit,
 };
 use crate::{DesignRules, Layout, PhaseGeometry, SpaceCut};
-use aapsm_geom::{Axis, CutSpec, DirtyRegions, GridIndex};
+use aapsm_geom::{Axis, CutSpec, DirtyRegions, GridIndex, RectSoA};
 
 /// Retained extraction state: the geometry of the last extracted layout
 /// plus the spatial indices that produced it.
@@ -107,10 +107,12 @@ impl ExtractState {
 
         let spacing_sq = (rules.shifter_spacing as i128) * (rules.shifter_spacing as i128);
         let shifters = &geom.shifters;
+        let boxes = RectSoA::from_rects(shifters.iter().map(|s| &s.rect));
         let features = &geom.features;
         let hits = shifter_grid.par_collect_pairs(parallelism, |ia, ib| {
             scan_pair(
                 shifters,
+                &boxes,
                 features,
                 &feature_grid,
                 rules,
@@ -261,6 +263,7 @@ impl ExtractState {
 
         // ---- Dirty candidates: pairs with a probe touching a slab. ----
         let spacing_sq = (rules.shifter_spacing as i128) * (rules.shifter_spacing as i128);
+        let fresh_boxes = RectSoA::from_rects(fresh.shifters.iter().map(|s| &s.rect));
         let mut scratch = aapsm_geom::QueryScratch::default();
         let mut found = Vec::new();
         let mut near_slab = vec![false; fresh.shifters.len()];
@@ -306,6 +309,7 @@ impl ExtractState {
                 rescanned += 1;
                 hits.extend(scan_pair(
                     &fresh.shifters,
+                    &fresh_boxes,
                     &fresh.features,
                     &self.feature_grid,
                     rules,

@@ -1,5 +1,5 @@
 use crate::{DesignRules, Layout};
-use aapsm_geom::{Axis, GridIndex, Rect};
+use aapsm_geom::{Axis, GridIndex, Rect, RectSoA};
 
 /// Orientation of a feature (which sides its shifters flank).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -246,8 +246,19 @@ pub(crate) fn feature_box(f: &Feature) -> (i64, i64, i64, i64) {
 /// the feature set; neither candidate enumeration order nor feature-grid
 /// internal ordering can change its result (covered spans are re-sorted
 /// inside `corridor_blocked`).
+///
+/// `boxes` packs the shifter rects (same indexing as `shifters`); the
+/// spacing prefilter — which rejects the overwhelming majority of grid
+/// candidates — runs entirely on those contiguous coordinate arrays, so
+/// the reject path never loads a `Shifter` struct. The SoA predicates are
+/// bit-identical to the `Rect` ones ([`aapsm_geom::RectSoA`]).
+// Deliberately flat: this is the pair-scan hot loop's inner call and both
+// callers hold every argument by name already — a bundling struct would be
+// built per call site just to be destructured here.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn scan_pair(
     shifters: &[Shifter],
+    boxes: &RectSoA,
     features: &[Feature],
     feature_grid: &GridIndex,
     rules: &DesignRules,
@@ -255,16 +266,15 @@ pub(crate) fn scan_pair(
     a: usize,
     b: usize,
 ) -> Option<ScanHit> {
-    let (sa, sb) = (shifters[a], shifters[b]);
-    let gap_sq = sa.rect.euclid_gap_sq(&sb.rect);
-    if gap_sq >= spacing_sq {
+    if boxes.gap_sq(a, b) >= spacing_sq {
         return None;
     }
+    let (sa, sb) = (shifters[a], shifters[b]);
     if corridor_blocked(features, feature_grid, rules, &sa, &sb) {
         return None;
     }
-    let gap_x = sa.rect.x_gap(&sb.rect);
-    let gap_y = sa.rect.y_gap(&sb.rect);
+    let gap_x = boxes.x_gap(a, b);
+    let gap_y = boxes.y_gap(a, b);
     let weight = (rules.shifter_spacing - gap_x.max(gap_y)).max(1);
     Some(if sa.feature == sb.feature {
         ScanHit::Direct(DirectConflict {

@@ -18,6 +18,8 @@
 
 use crate::Matching;
 use aapsm_fault::{Budget, BudgetExceeded, Stage};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 const INF: i64 = i64::MAX / 4;
 
@@ -46,6 +48,20 @@ pub(crate) struct Solver {
     q: std::collections::VecDeque<usize>,
     w_max: i64,
     grow_events: u64,
+    /// Lazy priority queue over the surface slack edges, keyed on
+    /// *price* = effective delta + [`Solver::acc`]. The effective delta
+    /// of a surface node's best slack edge (the full `e_delta` for an
+    /// unvisited node, half of it for an S-node) decreases by exactly `d`
+    /// under every dual adjustment by `d`, while `acc` increases by `d` —
+    /// so a pushed price stays correct until the node's slack edge or
+    /// class changes, and an entry is current iff its price equals the
+    /// node's recomputed effective delta plus `acc` (stale entries are
+    /// discarded on pop). This replaces the O(V) min-slack and
+    /// tight-edge rescans per dual adjustment.
+    heap: BinaryHeap<Reverse<(i64, usize)>>,
+    /// Cumulative dual adjustment of the current phase (see
+    /// [`Solver::heap`]).
+    acc: i64,
 }
 
 impl Solver {
@@ -68,6 +84,8 @@ impl Solver {
             q: std::collections::VecDeque::new(),
             w_max: 0,
             grow_events: 0,
+            heap: BinaryHeap::new(),
+            acc: 0,
         }
     }
 
@@ -140,6 +158,8 @@ impl Solver {
         self.vis_t = 0;
         self.q.clear();
         self.w_max = 0;
+        self.heap.clear();
+        self.acc = 0;
     }
 
     #[inline]
@@ -167,11 +187,35 @@ impl Solver {
         self.lab[e.u as usize] + self.lab[e.v as usize] - e.w * 2
     }
 
+    /// Price of surface node `x`'s current slack edge for the lazy heap,
+    /// `None` when `x` has no heap-tracked slack (dead surface, no slack
+    /// edge, or T-class — T-nodes never bound a dual adjustment and their
+    /// slack edges never tighten under one).
+    fn slack_price(&self, x: usize) -> Option<i64> {
+        if self.st[x] != x || self.slack[x] == 0 {
+            return None;
+        }
+        let delta = self.e_delta(self.g_at(self.slack[x], x));
+        let eff = match self.s[x] {
+            -1 => delta,
+            0 => delta / 2,
+            _ => return None,
+        };
+        Some(eff + self.acc)
+    }
+
+    fn heap_push(&mut self, x: usize) {
+        if let Some(price) = self.slack_price(x) {
+            self.heap.push(Reverse((price, x)));
+        }
+    }
+
     fn update_slack(&mut self, u: usize, x: usize) {
         if self.slack[x] == 0
             || self.e_delta(self.g_at(u, x)) < self.e_delta(self.g_at(self.slack[x], x))
         {
             self.slack[x] = u;
+            self.heap_push(x);
         }
     }
 
@@ -398,6 +442,8 @@ impl Solver {
             self.s[x] = -1;
             self.slack[x] = 0;
         }
+        self.heap.clear();
+        self.acc = 0;
         self.q.clear();
         for x in 1..=self.n_x {
             if self.st[x] == x && self.mate[x] == 0 {
@@ -434,15 +480,18 @@ impl Solver {
                     d = d.min(self.lab[b] / 2);
                 }
             }
-            for x in 1..=self.n_x {
-                if self.st[x] == x && self.slack[x] != 0 {
-                    let delta = self.e_delta(self.g_at(self.slack[x], x));
-                    if self.s[x] == -1 {
-                        d = d.min(delta);
-                    } else if self.s[x] == 0 {
-                        d = d.min(delta / 2);
-                    }
+            // Lazy minimum over the surface slack edges: discard stale
+            // tops (price no longer matches the node's current slack
+            // state), then read the first current one. Every live slack
+            // keeps an exact-price entry in the heap, so the surviving
+            // top is the true minimum; it stays in the heap because any
+            // adjustment by at most its effective delta keeps it current.
+            while let Some(&Reverse((price, x))) = self.heap.peek() {
+                if self.slack_price(x) == Some(price) {
+                    d = d.min(price - self.acc);
+                    break;
                 }
+                self.heap.pop();
             }
             for u in 1..=self.n {
                 match self.s[self.st[u]] {
@@ -465,14 +514,31 @@ impl Solver {
                     }
                 }
             }
+            self.acc += d;
             self.q.clear();
-            for x in 1..=self.n_x {
-                if self.st[x] == x
-                    && self.slack[x] != 0
-                    && self.st[self.slack[x]] != x
-                    && self.e_delta(self.g_at(self.slack[x], x)) == 0
-                    && self.on_found_edge(self.g_at(self.slack[x], x))
-                {
+            // Newly tight slack edges are exactly the current entries
+            // whose price has drifted down to `acc` (effective delta 0).
+            // Processing one can push further tight entries (a new
+            // blossom's fresh slack can already be tight); the loop keeps
+            // draining until only strictly positive slack remains.
+            while let Some(&Reverse((price, x))) = self.heap.peek() {
+                if price > self.acc {
+                    if self.slack_price(x) == Some(price) {
+                        break; // current ⇒ true minimum ⇒ nothing tight left
+                    }
+                    self.heap.pop();
+                    continue;
+                }
+                self.heap.pop();
+                if self.slack_price(x) != Some(price) {
+                    continue;
+                }
+                let e = self.g_at(self.slack[x], x);
+                // Same guards as the historical rescan: the edge must be
+                // *exactly* tight (an S-node's floored half-delta can hit
+                // zero one adjustment before its delta does) and must
+                // leave the surface node.
+                if self.st[self.slack[x]] != x && self.e_delta(e) == 0 && self.on_found_edge(e) {
                     return Ok(true);
                 }
             }

@@ -50,7 +50,7 @@ use aapsm_fault::Budget;
 use aapsm_matching::MatchingContext;
 
 /// Gadget decomposition policy.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum GadgetKind {
     /// One complete gadget per node (no junctions).
     Complete,

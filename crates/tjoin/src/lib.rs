@@ -22,6 +22,33 @@
 //!   all-pairs shortest paths among T-nodes, matching on the complete
 //!   T-graph, symmetric difference of the matched paths.
 //!
+//! # Auto-selection
+//!
+//! [`TJoinMethod::Auto`] (the default) picks per instance between the two
+//! reductions by comparing the matching instances they produce. The gadget
+//! reduction hands Blossom a graph with Θ(E) nodes regardless of |T|; the
+//! metric closure hands it K_|T| after an O(|T|·E log V) Dijkstra sweep.
+//! Since the dense Blossom solver is cubic in its node count, the closure
+//! wins whenever the T-set is sparse relative to the edge set — which for
+//! conflict-graph duals (few odd faces among many) is nearly always. The
+//! heuristic in [`select_method`] is deliberately simple and purely a
+//! function of instance shape: `ShortestPath` iff
+//! `|T|² ≤ CLOSURE_DENSITY_FACTOR · |E|`, else `Gadget` — dense-T
+//! instances (most faces odd, e.g. fully triangulated regions) keep the
+//! gadget path where the closure's K_|T| would approach the gadget's size
+//! while paying the Dijkstra sweep on top.
+//!
+//! # Caching and method provenance
+//!
+//! Callers that memoize joins by canonical instance bytes (the core
+//! crate's `SolveCache`) must record *which concrete method* produced each
+//! entry: `Auto` resolves deterministically per instance via
+//! [`resolve_method`], so a cache keyed on instance bytes alone stays
+//! correct under `Auto`, but mixing configured methods across sessions
+//! sharing one cache would otherwise silently serve a join computed under
+//! a different policy. Store the resolved method alongside the entry and
+//! treat a mismatch as a miss.
+//!
 //! The gadget solvers support two representations: the *explicit* one
 //! materializes a true node, a ghost node and a dummy node per edge
 //! (straightforwardly correct), while the *merged* one collapses ghost and
@@ -60,19 +87,57 @@ pub use aapsm_fault::{Budget, BudgetExceeded};
 pub use aapsm_matching::MatchingContext;
 
 /// Which reduction to use for solving a T-join instance.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum TJoinMethod {
     /// Gadget reduction to perfect matching.
     Gadget(GadgetKind),
     /// Edmonds–Johnson shortest-path reduction.
     ShortestPath,
+    /// Per-instance selection between [`TJoinMethod::ShortestPath`] and
+    /// the default gadget by instance shape (see [`select_method`]).
+    Auto,
 }
 
 impl Default for TJoinMethod {
-    /// The paper's proposal: generalized gadgets (with the default group
-    /// size).
+    /// Auto-selection: metric closure for sparse T-sets (the common
+    /// conflict-dual shape), the paper's generalized gadgets otherwise.
     fn default() -> Self {
+        TJoinMethod::Auto
+    }
+}
+
+/// [`TJoinMethod::Auto`] picks the shortest-path reduction iff
+/// `|T|² ≤ CLOSURE_DENSITY_FACTOR · |E|`. At that boundary the closure's
+/// K_|T| matching instance (|T| nodes, dense) is still decisively smaller
+/// than the gadget's Θ(E)-node instance for the cubic Blossom solver,
+/// while beyond it the O(|T|·E log V) Dijkstra sweep stops paying for
+/// itself on dense-T instances.
+pub const CLOSURE_DENSITY_FACTOR: usize = 4;
+
+/// The concrete method [`TJoinMethod::Auto`] picks for `inst`: a pure,
+/// deterministic function of the instance shape (|T| and |E| only), so
+/// caching layers keyed on canonical instance bytes resolve identically on
+/// every lookup.
+///
+/// Never returns [`TJoinMethod::Auto`].
+pub fn select_method(inst: &TJoinInstance) -> TJoinMethod {
+    let t = inst.t_set().iter().filter(|&&b| b).count();
+    let m = inst.edges().len();
+    if t.saturating_mul(t) <= CLOSURE_DENSITY_FACTOR.saturating_mul(m) {
+        TJoinMethod::ShortestPath
+    } else {
         TJoinMethod::Gadget(GadgetKind::default())
+    }
+}
+
+/// Resolves `method` to the concrete reduction used for `inst`:
+/// [`TJoinMethod::Auto`] defers to [`select_method`], anything else is
+/// returned unchanged. Cache layers recording method provenance call this
+/// so an entry's tag never says `Auto`.
+pub fn resolve_method(method: TJoinMethod, inst: &TJoinInstance) -> TJoinMethod {
+    match method {
+        TJoinMethod::Auto => select_method(inst),
+        concrete => concrete,
     }
 }
 
@@ -125,6 +190,7 @@ pub fn solve_budgeted(
             solve_gadget_budgeted(inst, kind, ctx, budget).map(|(join, _)| join)
         }
         TJoinMethod::ShortestPath => solve_shortest_path_budgeted(inst, ctx, budget),
+        TJoinMethod::Auto => solve_budgeted(inst, select_method(inst), ctx, budget),
     }
 }
 
@@ -140,7 +206,50 @@ mod tests {
             TJoinMethod::Gadget(GadgetKind::Generalized { max_group: 4 }),
             TJoinMethod::Gadget(GadgetKind::Generalized { max_group: 8 }),
             TJoinMethod::ShortestPath,
+            TJoinMethod::Auto,
         ]
+    }
+
+    #[test]
+    fn auto_selection_is_shape_driven_and_concrete() {
+        // Sparse T: 2 T-nodes on a 4-edge path → closure.
+        let sparse = TJoinInstance::new(
+            5,
+            vec![(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 4, 1)],
+            vec![true, false, false, false, true],
+        )
+        .unwrap();
+        assert_eq!(select_method(&sparse), TJoinMethod::ShortestPath);
+
+        // Dense T: two disjoint triangles with all 6 nodes in T —
+        // |T|² = 36 > 4·|E| = 24 → gadget.
+        let dense = TJoinInstance::new(
+            6,
+            vec![
+                (0, 1, 1),
+                (1, 2, 1),
+                (2, 0, 1),
+                (3, 4, 1),
+                (4, 5, 1),
+                (5, 3, 1),
+            ],
+            vec![true; 6],
+        )
+        .unwrap();
+        assert_eq!(
+            select_method(&dense),
+            TJoinMethod::Gadget(GadgetKind::default())
+        );
+
+        // resolve_method is the identity on concrete methods and never
+        // returns Auto.
+        for m in all_methods() {
+            let r = resolve_method(m, &sparse);
+            assert_ne!(r, TJoinMethod::Auto);
+            if m != TJoinMethod::Auto {
+                assert_eq!(r, m);
+            }
+        }
     }
 
     #[test]
