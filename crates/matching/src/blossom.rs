@@ -493,6 +493,26 @@ impl Solver {
                 }
                 self.heap.pop();
             }
+            #[cfg(test)]
+            {
+                let mut d_old = INF;
+                for b in (self.n + 1)..=self.n_x {
+                    if self.st[b] == b && self.s[b] == 1 {
+                        d_old = d_old.min(self.lab[b] / 2);
+                    }
+                }
+                for x in 1..=self.n_x {
+                    if self.st[x] == x && self.slack[x] != 0 {
+                        let delta = self.e_delta(self.g_at(self.slack[x], x));
+                        if self.s[x] == -1 {
+                            d_old = d_old.min(delta);
+                        } else if self.s[x] == 0 {
+                            d_old = d_old.min(delta / 2);
+                        }
+                    }
+                }
+                assert_eq!(d, d_old, "lazy heap min diverged from rescan min");
+            }
             for u in 1..=self.n {
                 match self.s[self.st[u]] {
                     0 => {
@@ -694,5 +714,33 @@ mod tests {
         let fast = max_weight_matching(9, &edges);
         let brute = exhaustive::max_weight_matching(9, &edges);
         assert_eq!(fast.weight, brute);
+    }
+}
+
+#[cfg(test)]
+mod stress_review {
+    use super::*;
+    use crate::exhaustive;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn heavy_randomized_vs_brute_force() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(12345);
+        for trial in 0..6000 {
+            let n = rng.gen_range(2..12);
+            let p = rng.gen_range(20u32..95) as f64 / 100.0;
+            let wmax = *[3, 7, 15, 50, 999].get(trial % 5).unwrap();
+            let mut edges = Vec::new();
+            for u in 0..n {
+                for v in u + 1..n {
+                    if rng.gen_bool(p) {
+                        edges.push((u, v, rng.gen_range(1..=wmax)));
+                    }
+                }
+            }
+            let fast = max_weight_matching(n, &edges);
+            let brute = exhaustive::max_weight_matching(n, &edges);
+            assert_eq!(fast.weight, brute, "trial {trial} n={n} edges={edges:?}");
+        }
     }
 }
