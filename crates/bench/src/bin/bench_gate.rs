@@ -295,6 +295,26 @@ fn metrics(root: &Value) -> BTreeMap<String, (f64, Gate)> {
             }
         }
     }
+    if let Some(h) = root.get("hier") {
+        for field in ["flat_ms", "hier_ms"] {
+            if let Some(n) = h.get(field).and_then(Value::num) {
+                out.insert(format!("hier.{field}"), (n, Gate::SmallerBetter));
+            }
+        }
+        // Reuse accounting is behavior, not timing: a drop in
+        // `instances_reused` (or any miss at all on the isolated bench
+        // grid) means the coordinate-free cache keys regressed.
+        for field in [
+            "cells_detected",
+            "instances",
+            "instances_reused",
+            "solve_misses",
+        ] {
+            if let Some(n) = h.get(field).and_then(Value::num) {
+                out.insert(format!("hier.{field}"), (n, Gate::Exact));
+            }
+        }
+    }
     out
 }
 

@@ -25,13 +25,17 @@
 
 use aapsm_core::{
     bipartize_with, build_conflict_graph, build_conflict_graph_par, build_conflict_graph_tiled,
-    detect_conflicts, plan_correction, planarize_graph_par, tjoin_method_census, BipartizeMethod,
-    CorrectionOptions, DetectConfig, GraphKind, RedetectEngine, TJoinMethod, TileConfig,
+    detect_conflicts, detect_hier, plan_correction, planarize_graph_par, tjoin_method_census,
+    BipartizeMethod, CorrectionOptions, DetectConfig, GraphKind, RedetectEngine, TJoinMethod,
+    TileConfig,
 };
 use aapsm_core::{ConflictGraph, PlanarizeOrder};
 use aapsm_geom::Axis;
-use aapsm_layout::synth::scaling_suite;
-use aapsm_layout::{apply_cuts, extract_phase_geometry, extract_phase_geometry_par, DesignRules};
+use aapsm_layout::synth::{scaling_suite, SynthParams};
+use aapsm_layout::{
+    apply_cuts, extract_phase_geometry, extract_phase_geometry_par, Cell, DesignRules, HierLayout,
+    Instance, Layout, Orient, Placement,
+};
 use aapsm_service::{DetectionService, LoadLadder, Request, ResponseKind, ServiceConfig};
 use std::time::Instant;
 
@@ -314,6 +318,26 @@ fn main() {
             (scratch_s, incremental_s, *last.last_stats())
         };
         let (local_scratch_s, local_incremental_s, local_stats) = measure_redetect(1, "local");
+        // Steady-state solve-cache discipline. The old flank-weight
+        // bucketing (`next_power_of_two` of the chip's overlap sum) let
+        // one inserted cut reprice *every* component's cache key — the
+        // wipe showed up as rows_x1 going 0 hits / 33 misses on a
+        // one-conflict round. With the weight pinned to its floor, a
+        // round may only miss on components the cuts actually dirtied: a
+        // handful per inserted grid line, independent of chip size.
+        assert!(
+            local_stats.solve_hits > local_stats.solve_misses,
+            "{}: solve cache went cold on a one-conflict round ({} hits, {} misses) — keys are unstable again",
+            design.name,
+            local_stats.solve_hits,
+            local_stats.solve_misses
+        );
+        assert!(
+            local_stats.solve_misses <= 16,
+            "{}: {} solve-cache misses in a one-conflict round — expected only the cut-dirtied components",
+            design.name,
+            local_stats.solve_misses
+        );
         let (full_scratch_s, full_incremental_s, _) =
             measure_redetect(round0.conflict_count(), "full");
 
@@ -468,6 +492,7 @@ fn main() {
     }
 
     let throughput_json = measure_throughput(&rules, workers);
+    let hier_json = measure_hier(&rules, reps);
 
     for (bench, path, rows, extra) in [
         (
@@ -480,7 +505,7 @@ fn main() {
             "detect_pipeline",
             "BENCH_detect_pipeline.json",
             &pipeline_rows,
-            format!(",\n  \"throughput\": {throughput_json}"),
+            format!(",\n  \"throughput\": {throughput_json},\n  \"hier\": {hier_json}"),
         ),
     ] {
         let json = format!(
@@ -495,6 +520,111 @@ fn main() {
         println!("{json}");
         eprintln!("wrote {path}");
     }
+}
+
+/// Hierarchical detection: a 4×4 grid of one synthesized standard cell
+/// in two placement orientations (upright and rotated-reflected),
+/// instances isolated (farther apart than the interaction radius) so
+/// each conflict-graph component is interior to one instance.
+/// `detect_hier` must answer bit-identically to flattening first, reuse
+/// the primed per-cell solves for every instance, and miss the solve
+/// cache exactly zero times — a miss here means the coordinate-free
+/// cache keys regressed. (The all-eight-orientations coverage lives in
+/// `crates/core/tests/hier_equivalence.rs`; the bench keeps two classes
+/// so the priming cost stays proportional to what the grid reuses.)
+fn measure_hier(rules: &DesignRules, reps: usize) -> String {
+    eprintln!("measuring hierarchical reuse ...");
+    let leaf_layout = aapsm_layout::synth::generate(
+        &SynthParams {
+            rows: 1,
+            gates_per_row: 120,
+            strap_frac: 0.75,
+            jog_frac: 0.08,
+            short_mid_frac: 0.06,
+            seed: 31,
+            ..SynthParams::default()
+        },
+        rules,
+    );
+    let mut leaf = Cell::new("LEAF");
+    leaf.rects = leaf_layout.rects().to_vec();
+    let bbox = Layout::from_rects(leaf.rects.clone())
+        .stats()
+        .bbox
+        .expect("leaf has rects");
+    let pitch = bbox.width().max(bbox.height()) + 8 * rules.interaction_radius();
+    let mut hier = HierLayout::new();
+    let leaf_ix = hier.add_cell(leaf);
+    let mut top = Cell::new("TOP");
+    for r in 0..4usize {
+        for c in 0..4usize {
+            let orient = Orient::all()[((r * 4 + c) % 2) * 5];
+            let obb = orient.try_apply_rect(&bbox).expect("oriented bbox fits");
+            top.instances.push(Instance {
+                cell: leaf_ix,
+                placement: Placement::new(
+                    orient,
+                    c as i64 * pitch - obb.x_lo(),
+                    r as i64 * pitch - obb.y_lo(),
+                ),
+            });
+        }
+    }
+    let top_ix = hier.add_cell(top);
+    hier.top = Some(top_ix);
+
+    let flat = hier.flatten().expect("valid hierarchy");
+    let cfg = DetectConfig {
+        parallelism: 0,
+        ..DetectConfig::default()
+    };
+    let (flat_s, flat_report) = time_best(reps, || {
+        let geom = extract_phase_geometry_par(&flat, rules, 0);
+        detect_conflicts(&geom, &cfg)
+    });
+    let (hier_s, hier_report) = time_best(reps, || {
+        detect_hier(&hier, rules, &cfg).expect("valid hierarchy")
+    });
+    assert_eq!(
+        hier_report.report.conflicts, flat_report.conflicts,
+        "hierarchical detection diverged from the flattened pipeline"
+    );
+    let stats = hier_report.hier;
+    assert!(
+        stats.instances_reused > 0,
+        "no per-cell solve reuse across {} instances: {stats:?}",
+        stats.instances_total
+    );
+    assert_eq!(
+        stats.solve_misses, 0,
+        "isolated instances must all answer from the primed cache: {stats:?}"
+    );
+    eprintln!(
+        "  flat {:.2} ms, hier {:.2} ms ({:.2}x): {} classes primed, {} of {} components reused",
+        flat_s * 1e3,
+        hier_s * 1e3,
+        flat_s / hier_s.max(1e-12),
+        stats.cells_detected,
+        stats.instances_reused,
+        stats.instances_reused + stats.solve_misses,
+    );
+    format!(
+        concat!(
+            "{{\"design\": \"cell_grid_4x4\", \"conflicts\": {}, ",
+            "\"cells_detected\": {}, \"instances\": {}, \"instances_reused\": {}, ",
+            "\"solve_misses\": {}, ",
+            "\"flat_ms\": {:.3}, \"hier_ms\": {:.3}, \"speedup\": {:.3}, ",
+            "\"identical\": true}}"
+        ),
+        flat_report.conflicts.len(),
+        stats.cells_detected,
+        stats.instances_total,
+        stats.instances_reused,
+        stats.solve_misses,
+        flat_s * 1e3,
+        hier_s * 1e3,
+        flat_s / hier_s.max(1e-12),
+    )
 }
 
 /// Service-layer throughput: concurrent editor sessions streaming warm

@@ -76,14 +76,28 @@ impl ConflictGraph {
     }
 }
 
+/// Floor for the flank weight: far above any realistic chip's total
+/// overlap weight (rows_x64 sums to ~4×10⁷, five decades under this),
+/// yet small enough that hundreds of millions of flank edges stay inside
+/// `i64` totals.
+pub(crate) const FLANK_WEIGHT_FLOOR: i64 = 1 << 32;
+
 pub(crate) fn flank_weight_for(geom: &PhaseGeometry) -> i64 {
-    // The dominance requirement is only `> sum of overlap weights`;
-    // rounding the bound up to a power of two keeps the value stable when
-    // a correction round removes or reweights a handful of overlaps, so
-    // unchanged components hash to the same dual T-join instance and the
-    // incremental re-detect's solve cache keeps hitting across rounds.
+    // The dominance requirement is only `> sum of overlap weights`; any
+    // dominating value yields the same optimal T-join (the solution order
+    // is lexicographic in (flank count, overlap weight) once flanks
+    // dominate), so the exact figure is free to choose for stability.
+    // Bucketing the sum to a power of two alone was not stable enough: a
+    // correction round nudging the sum across a bucket boundary flipped
+    // every component's flank edge weight, which is part of the solve
+    // cache key, and every component missed (the rows_x64 steady-state
+    // `solve_misses: 13`). The floor pins the weight to one constant for
+    // every realistic chip — and, equally, makes a cell primed in
+    // isolation hash identically to its in-chip placements, which is what
+    // lets `detect_hier` reuse per-cell results. The power-of-two ramp
+    // only engages past the floor, where dominance must still hold.
     let sum = geom.overlaps.iter().map(|o| o.weight).sum::<i64>();
-    (sum as u64 + 1).next_power_of_two() as i64
+    ((sum as u64 + 1).next_power_of_two() as i64).max(FLANK_WEIGHT_FLOOR)
 }
 
 /// Builds the requested conflict graph.

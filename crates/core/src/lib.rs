@@ -118,6 +118,7 @@ pub mod darkfield;
 mod detect;
 mod flow;
 mod graphs;
+mod hier;
 mod redetect;
 mod shard;
 
@@ -140,6 +141,7 @@ pub use graphs::{
     build_phase_conflict_graph, planarize_graph, planarize_graph_par, ConflictGraph, GraphKind,
     GraphStats,
 };
+pub use hier::{detect_hier, HierDetectReport, HierDetectStats};
 pub use redetect::{RedetectEngine, RedetectStats};
 pub use shard::{
     build_conflict_graph_tiled, build_conflict_graph_tiled_stateful,

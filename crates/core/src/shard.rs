@@ -64,6 +64,22 @@
 //! 8. **Scope.** Only the phase conflict graph is remapped; the
 //!    feature-graph ablation rebuilds from scratch (its conflict-node
 //!    ids depend on same-side overlap ranks that have no stable prefix).
+//!
+//! # Instance-as-tile invariant (hierarchical detection)
+//!
+//! 9. **A placed instance is a tile.** Invariant 5 makes the grouping a
+//!    free variable, so [`crate::detect_hier`] groups constraints by the
+//!    top-level placed instance that owns them (the instance whose flat
+//!    rect range contains the constraint's anchoring feature; boundary
+//!    interactions between instances land in the owner of their `o.a`
+//!    shifter's feature and stitch exactly like any cross-tile halo
+//!    edge). Combined with the translation-invariant planarization order
+//!    (weight then edge index, both per-component stable) and the
+//!    coordinate-free dual-T-join instance key, a cell's **interior**
+//!    components hash identically whether built standalone or inside the
+//!    chip — which is what lets one primed per-cell solve be reused
+//!    across every placement of that cell, while instance-boundary
+//!    components simply miss the cache and solve fresh.
 
 use crate::graphs::{flank_weight_for, ConflictGraph, EdgeConstraint, GraphKind};
 use aapsm_fault::{Budget, BudgetExceeded, FaultSite, Stage};
@@ -830,6 +846,93 @@ fn remap_group(
         bbox,
         graph,
     }
+}
+
+/// Builds the whole conflict graph as a single tile under an **explicit
+/// flank weight**. `detect_hier` primes per-cell solves with the chip's
+/// flank weight so a cell's interior components produce byte-identical
+/// dual-T-join instance keys standalone and in-chip (invariant 9).
+pub(crate) fn build_conflict_graph_with_flank(
+    geom: &PhaseGeometry,
+    kind: GraphKind,
+    flank_weight: i64,
+) -> ConflictGraph {
+    let ids = id_layout(geom, kind);
+    let overlaps: Vec<u32> = (0..geom.overlaps.len() as u32).collect();
+    let features: Vec<u32> = geom
+        .features
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| f.shifters.is_some())
+        .map(|(i, _)| i as u32)
+        .collect();
+    let tile = match build_tile(
+        geom,
+        kind,
+        &ids,
+        flank_weight,
+        &overlaps,
+        &features,
+        &Budget::unlimited(),
+    ) {
+        Ok(t) => t,
+        Err(_) => unreachable!("unlimited budget never trips"),
+    };
+    stitch(geom, kind, &ids, flank_weight, std::iter::once(&tile))
+}
+
+/// Builds the conflict graph with constraints grouped by an arbitrary
+/// feature-ownership function instead of a geometric tile grid — the
+/// instance-as-tile build of invariant 9. `owner_of_feature[f]` assigns
+/// feature `f` (and every constraint anchored on it: its flank edge, and
+/// any overlap whose `a` shifter it owns) to a group in
+/// `0..group_count`. By invariant 5 the stitched result is bit-identical
+/// to [`crate::build_conflict_graph`] for **every** grouping.
+pub(crate) fn build_conflict_graph_grouped(
+    geom: &PhaseGeometry,
+    kind: GraphKind,
+    owner_of_feature: &[u32],
+    group_count: usize,
+    parallelism: usize,
+) -> ConflictGraph {
+    let ids = id_layout(geom, kind);
+    let flank_weight = flank_weight_for(geom);
+    let mut group_overlaps: Vec<Vec<u32>> = vec![Vec::new(); group_count.max(1)];
+    let mut group_features: Vec<Vec<u32>> = vec![Vec::new(); group_count.max(1)];
+    for (oi, o) in geom.overlaps.iter().enumerate() {
+        let owner = owner_of_feature[geom.shifters[o.a].feature] as usize;
+        group_overlaps[owner].push(oi as u32);
+    }
+    for (fi, f) in geom.features.iter().enumerate() {
+        if f.shifters.is_some() {
+            group_features[owner_of_feature[fi] as usize].push(fi as u32);
+        }
+    }
+    let occupied: Vec<usize> = (0..group_overlaps.len())
+        .filter(|&g| !group_overlaps[g].is_empty() || !group_features[g].is_empty())
+        .collect();
+    let workers = resolve_workers(parallelism).min(occupied.len()).max(1);
+    let built: Vec<TileGraph> = aapsm_geom::par_map_indexed(
+        occupied.len(),
+        workers,
+        || (),
+        |(), i| {
+            let g = occupied[i];
+            match build_tile(
+                geom,
+                kind,
+                &ids,
+                flank_weight,
+                &group_overlaps[g],
+                &group_features[g],
+                &Budget::unlimited(),
+            ) {
+                Ok(t) => t,
+                Err(_) => unreachable!("unlimited budget never trips"),
+            }
+        },
+    );
+    stitch(geom, kind, &ids, flank_weight, built.iter())
 }
 
 #[cfg(test)]

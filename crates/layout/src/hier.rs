@@ -1,0 +1,550 @@
+//! Cell/instance hierarchy: unique masters plus placed references.
+//!
+//! Real chips are not flat polygon soup — they are a DAG of cells, each
+//! instantiated many times under a [`Placement`] (translation plus a
+//! 90°-multiple rotation and optional reflection, per GDSII
+//! `SREF`/`AREF`/`STRANS`). A [`HierLayout`] holds the unique [`Cell`]
+//! masters and the reference structure; [`HierLayout::flatten`] expands it
+//! deterministically into a flat [`Layout`] (a cell's own rects first,
+//! then each instance's subtree in declaration order, depth first), and
+//! [`HierLayout::flatten_with_placements`] additionally reports every
+//! placed cell occurrence with its absolute placement and the contiguous
+//! flat-rect range its subtree occupies — the provenance `aapsm-core`
+//! uses to reuse per-cell detection results across placements.
+//!
+//! [`HierLayout::sanitize`] extends the flat sanitization discipline with
+//! the failure modes hierarchy introduces: dangling cell references,
+//! instance-reference cycles, placements that push geometry out of the
+//! representable coordinate range, and expansion blow-ups — each a
+//! structured [`LayoutError`], never a panic or silent truncation.
+
+use crate::layout::{Layout, LayoutError};
+use crate::placement::Placement;
+use crate::rules::DesignRules;
+use aapsm_geom::Rect;
+
+/// A placed reference to another cell.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Instance {
+    /// Index of the referenced cell in [`HierLayout::cells`].
+    pub cell: usize,
+    /// Transform from the referenced cell's coordinates into this cell's.
+    pub placement: Placement,
+}
+
+/// A unique cell master: its own geometry plus placed sub-cells.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Cell {
+    /// Structure name (GDSII `STRNAME`); must be unique per hierarchy for
+    /// stream round-trips.
+    pub name: String,
+    /// The cell's own polysilicon rectangles, in master coordinates.
+    pub rects: Vec<Rect>,
+    /// Placed sub-cells, expanded in order after the own rects.
+    pub instances: Vec<Instance>,
+}
+
+impl Cell {
+    /// Creates an empty cell with the given name.
+    pub fn new(name: impl Into<String>) -> Cell {
+        Cell {
+            name: name.into(),
+            rects: Vec::new(),
+            instances: Vec::new(),
+        }
+    }
+}
+
+/// One placed occurrence of a cell inside a flattened hierarchy.
+///
+/// Produced by [`HierLayout::flatten_with_placements`] in depth-first
+/// pre-order. The occurrence's whole subtree (its own rects and every
+/// nested instance's) occupies the contiguous flat-rect index range
+/// `rect_start..rect_end`; a parent occurrence's range contains its
+/// children's.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PlacedCell {
+    /// Index of the placed cell in [`HierLayout::cells`].
+    pub cell: usize,
+    /// Absolute placement (composition of every placement on the path
+    /// from the top cell).
+    pub placement: Placement,
+    /// Nesting depth: `1` for instances placed directly in the top cell.
+    pub depth: usize,
+    /// First flat-rect index of the occurrence's subtree.
+    pub rect_start: usize,
+    /// One past the last flat-rect index of the occurrence's subtree.
+    pub rect_end: usize,
+}
+
+/// A hierarchical layout: unique cells plus a designated top.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HierLayout {
+    /// The cell table; instances reference cells by index into it.
+    pub cells: Vec<Cell>,
+    /// Index of the top (root) cell; `None` for an empty hierarchy.
+    pub top: Option<usize>,
+}
+
+impl HierLayout {
+    /// Hard cap on the flattened rectangle count: a corrupt or
+    /// adversarial stream (e.g. a byte-flipped `COLROW`) must produce a
+    /// structured error, not an out-of-memory expansion.
+    pub const MAX_FLATTENED_RECTS: u64 = 1 << 24;
+
+    /// Creates an empty hierarchy.
+    pub fn new() -> HierLayout {
+        HierLayout::default()
+    }
+
+    /// Adds a cell and returns its index.
+    pub fn add_cell(&mut self, cell: Cell) -> usize {
+        self.cells.push(cell);
+        self.cells.len() - 1
+    }
+
+    /// Checks reference integrity over **all** cells (not just those
+    /// reachable from the top): every instance must name a cell in the
+    /// table and the reference graph must be a DAG. Returns the cells in
+    /// a topological order (every cell after all cells it instantiates).
+    ///
+    /// # Errors
+    ///
+    /// [`LayoutError::UnknownCell`] on a dangling reference (including an
+    /// out-of-range `top`, reported with `instance = 0`);
+    /// [`LayoutError::InstanceCycle`] when a cell transitively
+    /// instantiates itself.
+    pub fn validate_refs(&self) -> Result<Vec<usize>, LayoutError> {
+        if let Some(top) = self.top {
+            if top >= self.cells.len() {
+                return Err(LayoutError::UnknownCell {
+                    cell: top,
+                    instance: 0,
+                });
+            }
+        }
+        for (ci, cell) in self.cells.iter().enumerate() {
+            for (ii, inst) in cell.instances.iter().enumerate() {
+                if inst.cell >= self.cells.len() {
+                    return Err(LayoutError::UnknownCell {
+                        cell: ci,
+                        instance: ii,
+                    });
+                }
+            }
+        }
+        // Iterative three-color DFS over every cell; gray-hit = cycle.
+        const WHITE: u8 = 0;
+        const GRAY: u8 = 1;
+        const BLACK: u8 = 2;
+        let mut color = vec![WHITE; self.cells.len()];
+        let mut order = Vec::with_capacity(self.cells.len());
+        for root in 0..self.cells.len() {
+            if color[root] != WHITE {
+                continue;
+            }
+            // (cell, next child index to visit)
+            let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
+            color[root] = GRAY;
+            while let Some(&mut (c, ref mut next)) = stack.last_mut() {
+                if let Some(inst) = self.cells[c].instances.get(*next) {
+                    *next += 1;
+                    match color[inst.cell] {
+                        WHITE => {
+                            color[inst.cell] = GRAY;
+                            stack.push((inst.cell, 0));
+                        }
+                        GRAY => return Err(LayoutError::InstanceCycle { cell: inst.cell }),
+                        _ => {}
+                    }
+                } else {
+                    color[c] = BLACK;
+                    order.push(c);
+                    stack.pop();
+                }
+            }
+        }
+        Ok(order)
+    }
+
+    /// The number of rectangles [`Self::flatten`] would produce,
+    /// saturating at `u64::MAX`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Self::validate_refs`] errors.
+    pub fn flattened_len(&self) -> Result<u64, LayoutError> {
+        let order = self.validate_refs()?;
+        let mut counts = vec![0u64; self.cells.len()];
+        for c in order {
+            let mut n = self.cells[c].rects.len() as u64;
+            for inst in &self.cells[c].instances {
+                n = n.saturating_add(counts[inst.cell]);
+            }
+            counts[c] = n;
+        }
+        Ok(self.top.map(|t| counts[t]).unwrap_or(0))
+    }
+
+    /// Flattens the hierarchy into a flat [`Layout`].
+    ///
+    /// Deterministic expansion order: a cell's own rects first, then each
+    /// instance's subtree in declaration order, depth first.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Self::validate_refs`] reports, plus
+    /// [`LayoutError::HierarchyTooLarge`] past
+    /// [`Self::MAX_FLATTENED_RECTS`] and
+    /// [`LayoutError::PlacementOutOfRange`] when a composed placement
+    /// overflows `i64` coordinates.
+    pub fn flatten(&self) -> Result<Layout, LayoutError> {
+        self.flatten_with_placements().map(|(flat, _)| flat)
+    }
+
+    /// [`Self::flatten`], additionally reporting every placed cell
+    /// occurrence ([`PlacedCell`]) in depth-first pre-order. The top cell
+    /// itself is not an occurrence; its own rects occupy the indices not
+    /// covered by any depth-1 occurrence.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Self::flatten`].
+    pub fn flatten_with_placements(&self) -> Result<(Layout, Vec<PlacedCell>), LayoutError> {
+        let total = self.flattened_len()?;
+        if total > Self::MAX_FLATTENED_RECTS {
+            return Err(LayoutError::HierarchyTooLarge { flattened: total });
+        }
+        let mut rects: Vec<Rect> = Vec::with_capacity(total as usize);
+        let mut occs: Vec<PlacedCell> = Vec::new();
+        let Some(top) = self.top else {
+            return Ok((Layout::new(), occs));
+        };
+
+        enum Frame {
+            // via = (parent cell, instance index) for error attribution;
+            // occ = pre-created occurrence slot, None for the top cell.
+            Expand {
+                cell: usize,
+                abs: Placement,
+                via: Option<(usize, usize)>,
+                depth: usize,
+                occ: Option<usize>,
+            },
+            Close {
+                occ: usize,
+            },
+        }
+
+        let mut stack = vec![Frame::Expand {
+            cell: top,
+            abs: Placement::IDENTITY,
+            via: None,
+            depth: 0,
+            occ: None,
+        }];
+        while let Some(frame) = stack.pop() {
+            match frame {
+                Frame::Close { occ } => occs[occ].rect_end = rects.len(),
+                Frame::Expand {
+                    cell,
+                    abs,
+                    via,
+                    depth,
+                    occ,
+                } => {
+                    if let Some(o) = occ {
+                        occs[o].rect_start = rects.len();
+                    }
+                    let master = &self.cells[cell];
+                    for r in &master.rects {
+                        match abs.try_apply_rect(r) {
+                            Some(img) => rects.push(img),
+                            None => {
+                                let (c, i) = via.unwrap_or((cell, 0));
+                                return Err(LayoutError::PlacementOutOfRange {
+                                    cell: c,
+                                    instance: i,
+                                });
+                            }
+                        }
+                    }
+                    if let Some(o) = occ {
+                        stack.push(Frame::Close { occ: o });
+                    }
+                    for (ii, inst) in master.instances.iter().enumerate().rev() {
+                        let Some(child_abs) = abs.try_compose(&inst.placement) else {
+                            return Err(LayoutError::PlacementOutOfRange { cell, instance: ii });
+                        };
+                        let o = occs.len();
+                        occs.push(PlacedCell {
+                            cell: inst.cell,
+                            placement: child_abs,
+                            depth: depth + 1,
+                            rect_start: 0,
+                            rect_end: 0,
+                        });
+                        stack.push(Frame::Expand {
+                            cell: inst.cell,
+                            abs: child_abs,
+                            via: Some((cell, ii)),
+                            depth: depth + 1,
+                            occ: Some(o),
+                        });
+                    }
+                }
+            }
+        }
+        // Occurrence slots were created at push time (reverse child
+        // order); re-emit them in depth-first pre-order by rect_start.
+        occs.sort_by_key(|o| (o.rect_start, std::cmp::Reverse(o.rect_end)));
+        Ok((Layout::from_rects(rects), occs))
+    }
+
+    /// Flattens a single cell's subtree under an explicit placement —
+    /// the per-cell master geometry `aapsm-core` primes its solve cache
+    /// with.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Self::flatten`] (reference errors cover the whole table).
+    pub fn flatten_cell(&self, cell: usize, placement: &Placement) -> Result<Layout, LayoutError> {
+        if cell >= self.cells.len() {
+            return Err(LayoutError::UnknownCell { cell, instance: 0 });
+        }
+        let sub = HierLayout {
+            cells: self.cells.clone(),
+            top: Some(cell),
+        };
+        let (flat, _) = sub.flatten_with_placements()?;
+        let mut rects = Vec::with_capacity(flat.rects().len());
+        for (i, r) in flat.rects().iter().enumerate() {
+            match placement.try_apply_rect(r) {
+                Some(img) => rects.push(img),
+                None => {
+                    return Err(LayoutError::PlacementOutOfRange { cell, instance: i });
+                }
+            }
+        }
+        Ok(Layout::from_rects(rects))
+    }
+
+    /// The hierarchy-aware extension of [`Layout::sanitize`]: reference
+    /// integrity and expansion bounds first (over **all** cells, so a
+    /// dormant cycle in an unreferenced branch still surfaces), then the
+    /// flat discipline on the expanded geometry.
+    ///
+    /// # Errors
+    ///
+    /// The first error found, hierarchy checks before flat ones.
+    pub fn sanitize(&self, rules: &DesignRules) -> Result<(), LayoutError> {
+        let flat = self.flatten()?;
+        flat.sanitize(rules)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::{Orient, Rot};
+
+    fn leaf(name: &str, rects: &[Rect]) -> Cell {
+        Cell {
+            name: name.into(),
+            rects: rects.to_vec(),
+            instances: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn flatten_order_is_rects_then_instances_depth_first() {
+        let mut h = HierLayout::new();
+        let a = h.add_cell(leaf("A", &[Rect::new(0, 0, 10, 10)]));
+        let b = h.add_cell(Cell {
+            name: "B".into(),
+            rects: vec![Rect::new(0, 0, 5, 5)],
+            instances: vec![Instance {
+                cell: a,
+                placement: Placement::at(100, 0),
+            }],
+        });
+        let t = h.add_cell(Cell {
+            name: "T".into(),
+            rects: vec![Rect::new(-50, -50, -40, -40)],
+            instances: vec![
+                Instance {
+                    cell: b,
+                    placement: Placement::at(0, 1000),
+                },
+                Instance {
+                    cell: a,
+                    placement: Placement::at(0, 2000),
+                },
+            ],
+        });
+        h.top = Some(t);
+        let (flat, occs) = h.flatten_with_placements().expect("flattens");
+        assert_eq!(
+            flat.rects(),
+            vec![
+                Rect::new(-50, -50, -40, -40),   // top's own rect
+                Rect::new(0, 1000, 5, 1005),     // B's own rect
+                Rect::new(100, 1000, 110, 1010), // A via B
+                Rect::new(0, 2000, 10, 2010),    // A directly
+            ]
+        );
+        // Three occurrences in pre-order: B@depth1, A@depth2, A@depth1.
+        assert_eq!(occs.len(), 3);
+        assert_eq!((occs[0].cell, occs[0].depth), (b, 1));
+        assert_eq!((occs[0].rect_start, occs[0].rect_end), (1, 3));
+        assert_eq!((occs[1].cell, occs[1].depth), (a, 2));
+        assert_eq!((occs[1].rect_start, occs[1].rect_end), (2, 3));
+        assert_eq!((occs[2].cell, occs[2].depth), (a, 1));
+        assert_eq!((occs[2].rect_start, occs[2].rect_end), (3, 4));
+        assert_eq!(h.flattened_len().expect("valid"), 4);
+    }
+
+    #[test]
+    fn rotated_instance_flattens_through_the_placement() {
+        let mut h = HierLayout::new();
+        let a = h.add_cell(leaf("A", &[Rect::new(2, 1, 10, 4)]));
+        let t = h.add_cell(Cell {
+            name: "T".into(),
+            rects: vec![],
+            instances: vec![Instance {
+                cell: a,
+                placement: Placement::new(Orient::rotated(Rot::R90), 1000, 500),
+            }],
+        });
+        h.top = Some(t);
+        let flat = h.flatten().expect("flattens");
+        assert_eq!(flat.rects(), vec![Rect::new(996, 502, 999, 510)]);
+    }
+
+    #[test]
+    fn cycle_is_a_structured_error_even_when_unreachable() {
+        let mut h = HierLayout::new();
+        let a = h.add_cell(Cell {
+            name: "A".into(),
+            rects: vec![],
+            instances: vec![],
+        });
+        let t = h.add_cell(leaf("T", &[Rect::new(0, 0, 10, 10)]));
+        h.top = Some(t);
+        // Self-loop on A, which the top never references.
+        h.cells[a].instances.push(Instance {
+            cell: a,
+            placement: Placement::IDENTITY,
+        });
+        assert_eq!(
+            h.sanitize(&DesignRules::default()),
+            Err(LayoutError::InstanceCycle { cell: a })
+        );
+    }
+
+    #[test]
+    fn dangling_reference_is_reported() {
+        let mut h = HierLayout::new();
+        let t = h.add_cell(Cell {
+            name: "T".into(),
+            rects: vec![],
+            instances: vec![Instance {
+                cell: 7,
+                placement: Placement::IDENTITY,
+            }],
+        });
+        h.top = Some(t);
+        assert_eq!(
+            h.flatten().map(|_| ()),
+            Err(LayoutError::UnknownCell {
+                cell: t,
+                instance: 0
+            })
+        );
+    }
+
+    #[test]
+    fn out_of_range_placement_is_reported() {
+        let mut h = HierLayout::new();
+        let a = h.add_cell(leaf("A", &[Rect::new(0, 0, 10, 10)]));
+        let t = h.add_cell(Cell {
+            name: "T".into(),
+            rects: vec![],
+            instances: vec![Instance {
+                cell: a,
+                placement: Placement::at(i64::MAX - 2, 0),
+            }],
+        });
+        h.top = Some(t);
+        assert_eq!(
+            h.flatten().map(|_| ()),
+            Err(LayoutError::PlacementOutOfRange {
+                cell: t,
+                instance: 0
+            })
+        );
+    }
+
+    #[test]
+    fn expansion_cap_is_enforced() {
+        // Doubling chain: 40 levels × 2 instances ≈ 2^40 rects.
+        let mut h = HierLayout::new();
+        let mut prev = h.add_cell(leaf("L0", &[Rect::new(0, 0, 1, 1)]));
+        for i in 1..=40 {
+            let c = h.add_cell(Cell {
+                name: format!("L{i}"),
+                rects: vec![],
+                instances: vec![
+                    Instance {
+                        cell: prev,
+                        placement: Placement::at(0, 0),
+                    },
+                    Instance {
+                        cell: prev,
+                        placement: Placement::at(1 << i, 0),
+                    },
+                ],
+            });
+            prev = c;
+        }
+        h.top = Some(prev);
+        match h.flatten() {
+            Err(LayoutError::HierarchyTooLarge { flattened }) => {
+                assert!(flattened > HierLayout::MAX_FLATTENED_RECTS);
+            }
+            other => panic!("expected HierarchyTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn flatten_cell_matches_manual_transform() {
+        let mut h = HierLayout::new();
+        let a = h.add_cell(leaf("A", &[Rect::new(0, 0, 4, 2)]));
+        let b = h.add_cell(Cell {
+            name: "B".into(),
+            rects: vec![Rect::new(10, 10, 12, 20)],
+            instances: vec![Instance {
+                cell: a,
+                placement: Placement::at(0, 30),
+            }],
+        });
+        h.top = Some(b);
+        let p = Placement::new(
+            Orient {
+                rotation: Rot::R180,
+                reflect: false,
+            },
+            100,
+            100,
+        );
+        let sub = h.flatten_cell(b, &p).expect("flattens");
+        let direct: Vec<Rect> = h
+            .flatten()
+            .expect("flattens")
+            .rects()
+            .iter()
+            .map(|r| p.try_apply_rect(r).expect("in range"))
+            .collect();
+        assert_eq!(sub.rects(), direct);
+    }
+}

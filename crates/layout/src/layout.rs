@@ -46,6 +46,35 @@ pub enum LayoutError {
         /// Index of the offending rectangle.
         index: usize,
     },
+    /// An instance references a cell index outside the hierarchy's cell
+    /// table ([`crate::HierLayout`]).
+    UnknownCell {
+        /// Index of the referencing cell.
+        cell: usize,
+        /// Index of the offending instance within that cell.
+        instance: usize,
+    },
+    /// A cell transitively instantiates itself: the hierarchy is not a
+    /// DAG and cannot be flattened.
+    InstanceCycle {
+        /// Index of a cell on the cycle.
+        cell: usize,
+    },
+    /// Applying an instance's placement pushed geometry outside the
+    /// representable coordinate range.
+    PlacementOutOfRange {
+        /// Index of the referencing cell.
+        cell: usize,
+        /// Index of the offending instance within that cell.
+        instance: usize,
+    },
+    /// The fully flattened hierarchy would exceed the expansion cap
+    /// ([`crate::HierLayout::MAX_FLATTENED_RECTS`]) — a defense against
+    /// corrupt or adversarial array references blowing up memory.
+    HierarchyTooLarge {
+        /// The (saturating) flattened rectangle count.
+        flattened: u64,
+    },
 }
 
 impl std::fmt::Display for LayoutError {
@@ -59,6 +88,27 @@ impl std::fmt::Display for LayoutError {
             }
             LayoutError::CoordinateOutOfRange { index } => {
                 write!(f, "rect {index} coordinates too close to the GDS i32 limit")
+            }
+            LayoutError::UnknownCell { cell, instance } => {
+                write!(
+                    f,
+                    "cell {cell} instance {instance} references an unknown cell"
+                )
+            }
+            LayoutError::InstanceCycle { cell } => {
+                write!(f, "cell {cell} transitively instantiates itself")
+            }
+            LayoutError::PlacementOutOfRange { cell, instance } => {
+                write!(
+                    f,
+                    "cell {cell} instance {instance} places geometry outside the coordinate range"
+                )
+            }
+            LayoutError::HierarchyTooLarge { flattened } => {
+                write!(
+                    f,
+                    "hierarchy flattens to {flattened} rects, beyond the expansion cap"
+                )
             }
         }
     }

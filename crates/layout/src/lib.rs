@@ -30,15 +30,18 @@
 
 mod assign;
 pub mod fixtures;
+mod hier;
 pub mod incremental;
 mod io;
 mod layout;
 mod phase_geom;
+mod placement;
 mod rules;
 pub mod synth;
 mod transform;
 
 pub use assign::{check_assignable, AssignabilityWitness, PhaseAssignment};
+pub use hier::{Cell, HierLayout, Instance, PlacedCell};
 pub use incremental::{dirty_regions_for, ExtractDelta, ExtractState};
 pub use io::{parse_layout, write_layout, ParseLayoutError};
 pub use layout::{Layout, LayoutError, LayoutStats, LayoutViolation};
@@ -46,5 +49,6 @@ pub use phase_geom::{
     extract_phase_geometry, extract_phase_geometry_par, DirectConflict, Feature,
     FeatureOrientation, OverlapPair, PhaseGeometry, Shifter, Side,
 };
+pub use placement::{Orient, Placement, Rot};
 pub use rules::DesignRules;
 pub use transform::{apply_cuts, SpaceCut};

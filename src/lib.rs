@@ -54,11 +54,12 @@ pub use aapsm_tjoin as tjoin;
 /// The most common imports for flow users.
 pub mod prelude {
     pub use aapsm_core::{
-        apply_correction, detect_conflicts, plan_correction, run_flow, CorrectionOptions,
-        CorrectionPlan, DetectConfig, FlowConfig, FlowResult, GraphKind,
+        apply_correction, detect_conflicts, detect_hier, plan_correction, run_flow,
+        CorrectionOptions, CorrectionPlan, DetectConfig, FlowConfig, FlowResult, GraphKind,
+        HierDetectReport,
     };
     pub use aapsm_layout::{
-        apply_cuts, check_assignable, extract_phase_geometry, DesignRules, Layout, PhaseGeometry,
-        SpaceCut,
+        apply_cuts, check_assignable, extract_phase_geometry, Cell, DesignRules, HierLayout,
+        Instance, Layout, Orient, PhaseGeometry, Placement, Rot, SpaceCut,
     };
 }
