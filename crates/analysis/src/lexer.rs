@@ -1,0 +1,473 @@
+//! A small but real Rust lexer.
+//!
+//! The analyzer's lints are lexical/structural, so everything downstream
+//! depends on this layer getting the hard token boundaries right:
+//! strings (plain, byte, C, raw with any number of `#`s), character
+//! literals vs. lifetimes (`'a'` vs `'a`), nested block comments, raw
+//! identifiers (`r#type`), and numeric literals that stop *before* a
+//! range operator (`0..n`) or a method call (`1.max(2)`). A comment or
+//! string is one token — its contents can never be mistaken for code,
+//! which is what lets the lints scan for identifiers like `unwrap`
+//! without tripping over prose or patterns that merely *mention* them.
+//!
+//! Anything the lexer cannot classify becomes [`TokenKind::Unknown`]; a
+//! meta-test asserts the workspace's own sources lex with zero unknown
+//! tokens, so an unknown token in practice means a source construct this
+//! module must learn about before the lints can be trusted on it.
+
+/// Classification of one token.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including raw identifiers like `r#type`).
+    Ident,
+    /// A lifetime such as `'a` or `'static` (or a loop label).
+    Lifetime,
+    /// Character or byte-character literal (`'x'`, `b'\n'`).
+    Char,
+    /// Any string literal: `"…"`, `b"…"`, `c"…"`, `r"…"`, `r#"…"#`, …
+    Str,
+    /// Numeric literal, including suffixes (`1_000u64`, `0xff`, `1.5e-3`).
+    Num,
+    /// `// …` comment (doc comments included).
+    LineComment,
+    /// `/* … */` comment, nesting handled.
+    BlockComment,
+    /// A single punctuation character (`{`, `:`, `#`, …).
+    Punct,
+    /// A character the lexer does not understand — see the module docs.
+    Unknown,
+}
+
+/// One lexed token: classification plus byte span and 1-based start line.
+#[derive(Clone, Copy, Debug)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// 1-based line of `start`.
+    pub line: u32,
+}
+
+impl Token {
+    /// The token's text within `src` (the string it was lexed from).
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+struct Cursor<'a> {
+    src: &'a str,
+    chars: Vec<(usize, char)>,
+    /// Index into `chars`.
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Cursor<'a> {
+        Cursor {
+            src,
+            chars: src.char_indices().collect(),
+            pos: 0,
+            line: 1,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).map(|&(_, c)| c)
+    }
+
+    fn offset(&self) -> usize {
+        self.chars
+            .get(self.pos)
+            .map_or(self.src.len(), |&(off, _)| off)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        if c == '\n' {
+            self.line += 1;
+        }
+        self.pos += 1;
+        Some(c)
+    }
+
+    /// Consumes characters while `pred` holds.
+    fn eat_while(&mut self, pred: impl Fn(char) -> bool) {
+        while self.peek(0).is_some_and(&pred) {
+            self.bump();
+        }
+    }
+
+    /// Consumes an ident starting at the current position (which must be
+    /// an ident-start char) and returns its text.
+    fn eat_ident(&mut self) -> &'a str {
+        let start = self.offset();
+        self.bump();
+        self.eat_while(is_ident_continue);
+        &self.src[start..self.offset()]
+    }
+
+    /// Consumes the body of a double-quoted string with escapes; the
+    /// opening `"` has already been consumed.
+    fn eat_quoted(&mut self) {
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => return,
+                _ => {}
+            }
+        }
+    }
+
+    /// Consumes a raw-string body `"…"` terminated by `"` + `hashes`
+    /// `#`s; the opening quote has already been consumed.
+    fn eat_raw_quoted(&mut self, hashes: usize) {
+        while let Some(c) = self.bump() {
+            if c == '"' && (0..hashes).all(|i| self.peek(i) == Some('#')) {
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// Lexes `src` into its full token stream, comments included.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor::new(src);
+    let mut out = Vec::new();
+    while let Some(c) = cur.peek(0) {
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        let start = cur.offset();
+        let line = cur.line;
+        let kind = lex_one(&mut cur, c);
+        out.push(Token {
+            kind,
+            start,
+            end: cur.offset(),
+            line,
+        });
+    }
+    out
+}
+
+fn lex_one(cur: &mut Cursor<'_>, c: char) -> TokenKind {
+    match c {
+        '/' if cur.peek(1) == Some('/') => {
+            cur.eat_while(|c| c != '\n');
+            TokenKind::LineComment
+        }
+        '/' if cur.peek(1) == Some('*') => {
+            cur.bump();
+            cur.bump();
+            let mut depth = 1usize;
+            while depth > 0 {
+                match (cur.bump(), cur.peek(0)) {
+                    (Some('/'), Some('*')) => {
+                        cur.bump();
+                        depth += 1;
+                    }
+                    (Some('*'), Some('/')) => {
+                        cur.bump();
+                        depth -= 1;
+                    }
+                    (None, _) => break,
+                    _ => {}
+                }
+            }
+            TokenKind::BlockComment
+        }
+        '"' => {
+            cur.bump();
+            cur.eat_quoted();
+            TokenKind::Str
+        }
+        '\'' => lex_quote(cur),
+        c if c.is_ascii_digit() => lex_number(cur),
+        c if is_ident_start(c) => lex_ident_or_prefixed(cur),
+        c if c.is_ascii() => {
+            cur.bump();
+            TokenKind::Punct
+        }
+        _ => {
+            cur.bump();
+            TokenKind::Unknown
+        }
+    }
+}
+
+/// `'` starts either a lifetime/label (`'a`, `'static`) or a character
+/// literal (`'a'`, `'\n'`, `'{'`). The discriminator: an ident after the
+/// quote is a char literal iff a closing quote follows it.
+fn lex_quote(cur: &mut Cursor<'_>) -> TokenKind {
+    cur.bump(); // the opening '
+    match cur.peek(0) {
+        Some('\\') => {
+            // Escaped char literal: consume escape payload up to the
+            // closing quote (handles '\'', '\u{1F600}').
+            cur.bump();
+            cur.bump();
+            while let Some(c) = cur.peek(0) {
+                cur.bump();
+                if c == '\'' {
+                    break;
+                }
+            }
+            TokenKind::Char
+        }
+        Some(c) if is_ident_start(c) => {
+            let mut ahead = 1;
+            while cur.peek(ahead).is_some_and(is_ident_continue) {
+                ahead += 1;
+            }
+            if cur.peek(ahead) == Some('\'') {
+                for _ in 0..=ahead {
+                    cur.bump();
+                }
+                TokenKind::Char
+            } else {
+                cur.eat_while(is_ident_continue);
+                TokenKind::Lifetime
+            }
+        }
+        Some(_) => {
+            // Punctuation or digit char literal: '{', '0'.
+            cur.bump();
+            if cur.peek(0) == Some('\'') {
+                cur.bump();
+            }
+            TokenKind::Char
+        }
+        None => TokenKind::Unknown,
+    }
+}
+
+fn lex_number(cur: &mut Cursor<'_>) -> TokenKind {
+    if cur.peek(0) == Some('0') && matches!(cur.peek(1), Some('x' | 'o' | 'b')) {
+        cur.bump();
+        cur.bump();
+        cur.eat_while(|c| c.is_ascii_hexdigit() || c == '_');
+    } else {
+        cur.eat_while(|c| c.is_ascii_digit() || c == '_');
+        // A fractional part — but `0..n` is a range and `1.max(2)` is a
+        // method call, so only consume the dot when what follows can
+        // only continue a float (a digit, or nothing ident-like: `1.;`).
+        if cur.peek(0) == Some('.') {
+            let after = cur.peek(1);
+            let float_dot = match after {
+                Some(c) => c.is_ascii_digit(),
+                None => true,
+            };
+            let bare_dot = after.is_some_and(|c| !is_ident_start(c) && c != '.' && c != '"');
+            if float_dot || bare_dot {
+                cur.bump();
+                cur.eat_while(|c| c.is_ascii_digit() || c == '_');
+            }
+        }
+        if matches!(cur.peek(0), Some('e' | 'E'))
+            && (cur.peek(1).is_some_and(|c| c.is_ascii_digit())
+                || (matches!(cur.peek(1), Some('+' | '-'))
+                    && cur.peek(2).is_some_and(|c| c.is_ascii_digit())))
+        {
+            cur.bump();
+            cur.bump();
+            cur.eat_while(|c| c.is_ascii_digit() || c == '_');
+        }
+    }
+    // Type suffix (`u64`, `f32`, `usize`).
+    cur.eat_while(is_ident_continue);
+    TokenKind::Num
+}
+
+/// An ident, unless it is one of the literal prefixes (`r`, `b`, `br`,
+/// `c`, `cr`) glued to a quote — or `r#` introducing a raw identifier.
+fn lex_ident_or_prefixed(cur: &mut Cursor<'_>) -> TokenKind {
+    let ident = cur.eat_ident();
+    let raw_capable = matches!(ident, "r" | "br" | "cr");
+    match cur.peek(0) {
+        Some('"') if raw_capable || matches!(ident, "b" | "c") => {
+            cur.bump();
+            if raw_capable {
+                cur.eat_raw_quoted(0);
+            } else {
+                cur.eat_quoted();
+            }
+            TokenKind::Str
+        }
+        Some('\'') if ident == "b" => {
+            lex_quote(cur);
+            TokenKind::Char
+        }
+        Some('#') if raw_capable => {
+            let mut hashes = 0;
+            while cur.peek(hashes) == Some('#') {
+                hashes += 1;
+            }
+            if cur.peek(hashes) == Some('"') {
+                for _ in 0..=hashes {
+                    cur.bump();
+                }
+                cur.eat_raw_quoted(hashes);
+                TokenKind::Str
+            } else if ident == "r" && hashes == 1 && cur.peek(1).is_some_and(is_ident_start) {
+                // Raw identifier `r#type`.
+                cur.bump();
+                cur.eat_ident();
+                TokenKind::Ident
+            } else {
+                TokenKind::Ident
+            }
+        }
+        _ => TokenKind::Ident,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).iter().map(|t| t.kind).collect()
+    }
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).iter().map(|t| t.text(src).to_string()).collect()
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_are_one_token() {
+        let src = r####"let s = r#"contains "quotes" and unwrap()"# ;"####;
+        let toks = lex(src);
+        let strs: Vec<_> = toks.iter().filter(|t| t.kind == TokenKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert!(strs[0].text(src).contains("unwrap()"));
+        // The unwrap inside the raw string must not surface as an Ident.
+        assert!(!toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && t.text(src) == "unwrap"));
+    }
+
+    #[test]
+    fn raw_string_two_hashes_swallows_single_hash_terminator() {
+        let src = r###"r##"inner "# still inside"## x"###;
+        let toks = lex(src);
+        assert_eq!(toks[0].kind, TokenKind::Str);
+        assert!(toks[0].text(src).ends_with(r###""##"###));
+        assert_eq!(toks[1].text(src), "x");
+    }
+
+    #[test]
+    fn byte_and_c_string_prefixes() {
+        for src in ["b\"bytes\"", "c\"cstr\"", "br\"raw\"", "cr#\"raw\"#"] {
+            let toks = lex(src);
+            assert_eq!(toks.len(), 1, "{src} should be one token");
+            assert_eq!(toks[0].kind, TokenKind::Str, "{src}");
+        }
+        assert_eq!(kinds("b'x'"), vec![TokenKind::Char]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ still comment */ code";
+        let toks = lex(src);
+        assert_eq!(toks[0].kind, TokenKind::BlockComment);
+        assert!(toks[0].text(src).ends_with("still comment */"));
+        assert_eq!(toks[1].text(src), "code");
+    }
+
+    #[test]
+    fn char_literal_vs_lifetime() {
+        assert_eq!(kinds("'a'"), vec![TokenKind::Char]);
+        assert_eq!(
+            kinds("&'a str"),
+            vec![TokenKind::Punct, TokenKind::Lifetime, TokenKind::Ident]
+        );
+        assert_eq!(kinds("'static"), vec![TokenKind::Lifetime]);
+        assert_eq!(kinds(r"'\n'"), vec![TokenKind::Char]);
+        assert_eq!(kinds(r"'\u{1F600}'"), vec![TokenKind::Char]);
+        assert_eq!(kinds("'{'"), vec![TokenKind::Char]);
+        // A labeled loop: label, colon, keyword.
+        assert_eq!(
+            kinds("'outer: loop"),
+            vec![TokenKind::Lifetime, TokenKind::Punct, TokenKind::Ident]
+        );
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let src = "r#type r#fn plain";
+        assert_eq!(
+            kinds(src),
+            vec![TokenKind::Ident, TokenKind::Ident, TokenKind::Ident]
+        );
+        assert_eq!(texts(src)[0], "r#type");
+    }
+
+    #[test]
+    fn numbers_stop_before_ranges_and_method_calls() {
+        assert_eq!(
+            texts("0..n"),
+            vec!["0", ".", ".", "n"],
+            "range dots are not a fraction"
+        );
+        assert_eq!(
+            texts("1.max(2)"),
+            vec!["1", ".", "max", "(", "2", ")"],
+            "method-call dot is not a fraction"
+        );
+        assert_eq!(texts("1.5e-3"), vec!["1.5e-3"]);
+        assert_eq!(texts("0xff_u32 1_000u64"), vec!["0xff_u32", "1_000u64"]);
+        assert_eq!(kinds("1.5e-3"), vec![TokenKind::Num]);
+    }
+
+    #[test]
+    fn string_contents_never_leak_idents() {
+        let src = r#"let msg = "call unwrap() or expect() here"; other"#;
+        let idents: Vec<_> = lex(src)
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text(src).to_string())
+            .collect();
+        assert_eq!(idents, vec!["let", "msg", "other"]);
+    }
+
+    #[test]
+    fn line_numbers_advance_through_multiline_tokens() {
+        let src = "a\n/* one\ntwo */\nb";
+        let toks = lex(src);
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 4, "line count resumes after the comment");
+    }
+
+    #[test]
+    fn tokens_are_ordered_and_nonoverlapping() {
+        let src = r##"fn f<'a>(x: &'a str) -> u32 { x.len() as u32 + 0xff } // tail"##;
+        let toks = lex(src);
+        let mut prev_end = 0;
+        for t in &toks {
+            assert!(t.start >= prev_end, "tokens overlap at {}", t.start);
+            assert!(t.end <= src.len());
+            assert!(t.start < t.end);
+            prev_end = t.end;
+        }
+        assert!(!toks.iter().any(|t| t.kind == TokenKind::Unknown));
+    }
+}

@@ -1,0 +1,62 @@
+//! **L1 — budget discipline.** Every loop in a `*_budgeted` function
+//! must charge or check its `Budget`, directly or by delegating to
+//! another `*_budgeted` function. This is the PR 8 bug class made
+//! structurally impossible: `solve_shortest_path_budgeted` shipped with
+//! a Dijkstra phase whose heap loop never touched the budget, so a
+//! deadline could not interrupt the dominant cost of the solve.
+//!
+//! A loop satisfies the lint when its body (nested code included)
+//! contains a call to `charge(…)`, `check(…)`, or any `*_budgeted`
+//! function. Loops that are provably tiny (bounded preambles, fixed
+//! small iteration counts) are suppressed per line with a reason — the
+//! justification is part of the contract, not an escape hatch.
+
+use crate::lexer::TokenKind;
+use crate::scanner::SourceFile;
+use crate::{Finding, Lint};
+
+/// Whether the code tokens of `span` contain a budget charge/check or a
+/// delegation to another budgeted function.
+fn span_touches_budget(file: &SourceFile, span: (usize, usize)) -> bool {
+    let range = file.code_in_span(span);
+    for ci in range.clone() {
+        let tok = &file.tokens[file.code[ci]];
+        if tok.kind != TokenKind::Ident {
+            continue;
+        }
+        let text = tok.text(&file.text);
+        let next_is_call =
+            ci + 1 < file.code.len() && file.tokens[file.code[ci + 1]].text(&file.text) == "(";
+        if next_is_call && (text == "charge" || text == "check" || text.ends_with("_budgeted")) {
+            return true;
+        }
+    }
+    false
+}
+
+pub fn run(file: &SourceFile, out: &mut Vec<Finding>) {
+    for f in &file.fns {
+        if !f.name.ends_with("_budgeted") {
+            continue;
+        }
+        let Some(body) = f.body else { continue };
+        if file.in_test(body.0) {
+            continue;
+        }
+        for lp in &f.loops {
+            if span_touches_budget(file, lp.body) {
+                continue;
+            }
+            out.push(Finding {
+                path: file.path.clone(),
+                line: lp.line,
+                lint: Lint::L1,
+                message: format!(
+                    "loop in `{}` neither charges nor checks its Budget — a deadline \
+                     or work cap cannot interrupt it (the PR 8 Dijkstra bug class)",
+                    f.name
+                ),
+            });
+        }
+    }
+}

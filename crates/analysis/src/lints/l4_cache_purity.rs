@@ -1,0 +1,184 @@
+//! **L4 — cache-key purity.** `SolveCache` keys are canonical instance
+//! bytes: equal keys *are* equal instances, and a hit is served
+//! unconditionally. That is only sound if key construction is a pure
+//! function of the instance — no wall clock, no randomness (the PR 9
+//! flank-weight bug was exactly a key input that depended on unrelated
+//! state). This lint walks the workspace call graph from the
+//! key-construction roots and reports any reachable clock or randomness
+//! source.
+//!
+//! Roots: every non-test lib function whose *signature* mentions
+//! `InstanceKey` (the key type — constructors, lookups, commits), plus
+//! `flank_weight_for` (the one weight that feeds key bytes from outside
+//! the instance). Call edges are resolved by callee name across all lib
+//! sources — deliberately conservative: a name collision can only
+//! widen the reachable set, never hide a source.
+//!
+//! Banned reachable tokens: `Instant::now`, `SystemTime`, `thread_rng`,
+//! `from_entropy`, `random`, `gen_range`, `gen_bool`.
+
+use crate::lexer::TokenKind;
+use crate::lints::is_lib_code;
+use crate::scanner::{FnItem, SourceFile};
+use crate::{Finding, Lint};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Identifier spelled in key-type position that makes a fn a root.
+const KEY_TYPE: &str = "InstanceKey";
+/// Extra root functions, by name.
+const ROOT_FNS: &[&str] = &["flank_weight_for"];
+/// Identifiers that taint a function.
+const BANNED: &[&str] = &[
+    "thread_rng",
+    "from_entropy",
+    "random",
+    "gen_range",
+    "gen_bool",
+];
+
+struct Node<'a> {
+    file: &'a SourceFile,
+    item: &'a FnItem,
+    callees: HashSet<String>,
+    /// `Some((line, what))` when the body touches a banned source.
+    taint: Option<(u32, String)>,
+    is_root: bool,
+}
+
+fn signature_mentions_key(file: &SourceFile, item: &FnItem) -> bool {
+    let sig_end = item.body.map_or(usize::MAX, |(s, _)| s);
+    file.code_in_span((item.attrs_start, sig_end)).any(|ci| {
+        let tok = &file.tokens[file.code[ci]];
+        tok.kind == TokenKind::Ident && tok.text(&file.text) == KEY_TYPE
+    })
+}
+
+fn inspect<'a>(file: &'a SourceFile, item: &'a FnItem) -> Node<'a> {
+    let mut callees = HashSet::new();
+    let mut taint = None;
+    if let Some(body) = item.body {
+        let range = file.code_in_span(body);
+        let code = &file.code;
+        for ci in range {
+            let tok = &file.tokens[code[ci]];
+            if tok.kind != TokenKind::Ident {
+                continue;
+            }
+            let text = tok.text(&file.text);
+            if taint.is_none() {
+                if BANNED.contains(&text) {
+                    taint = Some((tok.line, format!("`{text}`")));
+                } else if text == "SystemTime" {
+                    taint = Some((tok.line, "`SystemTime`".to_string()));
+                } else if text == "Instant"
+                    && ci + 3 < code.len()
+                    && file.tokens[code[ci + 1]].text(&file.text) == ":"
+                    && file.tokens[code[ci + 2]].text(&file.text) == ":"
+                    && file.tokens[code[ci + 3]].text(&file.text) == "now"
+                {
+                    taint = Some((tok.line, "`Instant::now`".to_string()));
+                }
+            }
+            let is_call = ci + 1 < code.len() && file.tokens[code[ci + 1]].text(&file.text) == "(";
+            if is_call
+                && !matches!(
+                    text,
+                    "if" | "while" | "for" | "match" | "return" | "in" | "move"
+                )
+            {
+                callees.insert(text.to_string());
+            }
+        }
+    }
+    let is_root = ROOT_FNS.contains(&item.name.as_str()) || signature_mentions_key(file, item);
+    Node {
+        file,
+        item,
+        callees,
+        taint,
+        is_root,
+    }
+}
+
+pub fn run(files: &[SourceFile], out: &mut Vec<Finding>) {
+    let mut nodes: Vec<Node<'_>> = Vec::new();
+    for file in files {
+        if !is_lib_code(&file.path) {
+            continue;
+        }
+        for item in &file.fns {
+            if item.body.is_some_and(|(s, _)| file.in_test(s)) {
+                continue;
+            }
+            nodes.push(inspect(file, item));
+        }
+    }
+    // Fail closed: if the scan covers `crates/core` (where the key type
+    // lives) but the root heuristic matched nothing, the lint has gone
+    // blind — report that instead of passing vacuously.
+    if nodes.iter().all(|n| !n.is_root) && files.iter().any(|f| f.path.starts_with("crates/core/"))
+    {
+        out.push(Finding {
+            path: "crates/core/src/bipartize.rs".to_string(),
+            line: 1,
+            lint: Lint::L4,
+            message: format!(
+                "no SolveCache key-construction roots found (no lib fn signature \
+                 mentions `{KEY_TYPE}` and none is named {ROOT_FNS:?}) — update the \
+                 root heuristic in l4_cache_purity.rs"
+            ),
+        });
+        return;
+    }
+    let mut by_name: HashMap<&str, Vec<usize>> = HashMap::new();
+    for (i, n) in nodes.iter().enumerate() {
+        by_name.entry(n.item.name.as_str()).or_default().push(i);
+    }
+
+    // BFS from the roots; remember one parent per visited node so the
+    // finding can show a concrete call path.
+    let mut parent: HashMap<usize, Option<usize>> = HashMap::new();
+    let mut queue = VecDeque::new();
+    for (i, n) in nodes.iter().enumerate() {
+        if n.is_root {
+            parent.insert(i, None);
+            queue.push_back(i);
+        }
+    }
+    let mut reported: HashSet<usize> = HashSet::new();
+    while let Some(i) = queue.pop_front() {
+        if let Some((line, what)) = &nodes[i].taint {
+            if reported.insert(i) {
+                let mut chain = vec![nodes[i].item.name.clone()];
+                let mut cur = i;
+                while let Some(&Some(p)) = parent.get(&cur) {
+                    chain.push(nodes[p].item.name.clone());
+                    cur = p;
+                }
+                chain.reverse();
+                out.push(Finding {
+                    path: nodes[i].file.path.clone(),
+                    line: *line,
+                    lint: Lint::L4,
+                    message: format!(
+                        "{what} is reachable from SolveCache key construction \
+                         (via {}) — keys must stay a pure function of the \
+                         canonical instance bytes",
+                        chain.join(" → ")
+                    ),
+                });
+            }
+        }
+        let callee_names: Vec<String> = nodes[i].callees.iter().cloned().collect();
+        for name in callee_names {
+            if let Some(targets) = by_name.get(name.as_str()) {
+                for &t in targets {
+                    if let std::collections::hash_map::Entry::Vacant(e) = parent.entry(t) {
+                        e.insert(Some(i));
+                        queue.push_back(t);
+                    }
+                }
+            }
+        }
+    }
+}

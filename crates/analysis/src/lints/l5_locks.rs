@@ -1,0 +1,51 @@
+//! **L5 — lock discipline in `crates/service`.** A worker panic must
+//! never leave the service wedged on a poisoned mutex, so every
+//! `.lock()` flows through the poison-recovering helper
+//! (`lock()` in `service.rs`, which ends in
+//! `unwrap_or_else(PoisonError::into_inner)`) — never a bare
+//! `.lock().unwrap()`, which would convert one crashed request into a
+//! permanently dead service.
+//!
+//! Mechanically: a `.lock(` call in service lib code is accepted only on
+//! a line that also recovers from `PoisonError`; everything else is a
+//! finding. (The helper is total — callers have no reason to touch
+//! `Mutex::lock` directly.)
+
+use crate::lexer::TokenKind;
+use crate::scanner::SourceFile;
+use crate::{Finding, Lint};
+
+pub fn run(file: &SourceFile, out: &mut Vec<Finding>) {
+    if !file.path.starts_with("crates/service/src/") {
+        return;
+    }
+    let code = &file.code;
+    let text_at = |ci: usize| file.tokens[code[ci]].text(&file.text);
+    for ci in 1..code.len() {
+        let tok = &file.tokens[code[ci]];
+        if tok.kind != TokenKind::Ident
+            || tok.text(&file.text) != "lock"
+            || text_at(ci - 1) != "."
+            || ci + 1 >= code.len()
+            || text_at(ci + 1) != "("
+            || file.in_test(tok.start)
+        {
+            continue;
+        }
+        let recovers = file
+            .code
+            .iter()
+            .map(|&i| &file.tokens[i])
+            .any(|t| t.line == tok.line && t.text(&file.text) == "PoisonError");
+        if !recovers {
+            out.push(Finding {
+                path: file.path.clone(),
+                line: tok.line,
+                lint: Lint::L5,
+                message: "`.lock()` outside the poison-recovering helper — use \
+                          `lock(&mutex)` so a panicking holder cannot wedge the service"
+                    .to_string(),
+            });
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! CLI for the workspace invariant analyzer.
+//!
+//! ```text
+//! aapsm-analysis --workspace     # analyze the enclosing cargo workspace
+//! aapsm-analysis --list          # print the lint catalog
+//! aapsm-analysis <dir-or-root>   # analyze an explicit workspace root
+//! ```
+//!
+//! Findings print as `file:line [Lx] message`; the process exits 1 when
+//! any unsuppressed finding remains, 2 on usage/I/O errors.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list") {
+        for lint in aapsm_analysis::Lint::all() {
+            println!("{}  {}", lint.code(), lint.describe());
+        }
+        return ExitCode::SUCCESS;
+    }
+    let root: Option<PathBuf> = match args.iter().find(|a| !a.starts_with("--")) {
+        Some(path) => Some(PathBuf::from(path)),
+        None if args.iter().any(|a| a == "--workspace") => std::env::current_dir()
+            .ok()
+            .and_then(|d| aapsm_analysis::find_workspace_root(&d)),
+        None => None,
+    };
+    let Some(root) = root else {
+        eprintln!("usage: aapsm-analysis --workspace | aapsm-analysis <workspace-root> | --list");
+        return ExitCode::from(2);
+    };
+    match aapsm_analysis::analyze_workspace(&root) {
+        Ok(report) => {
+            for f in &report.findings {
+                println!("{f}");
+            }
+            if report.findings.is_empty() {
+                eprintln!(
+                    "aapsm-analysis: {} files analyzed, no findings",
+                    report.files
+                );
+                ExitCode::SUCCESS
+            } else {
+                eprintln!(
+                    "aapsm-analysis: {} files analyzed, {} finding(s)",
+                    report.files,
+                    report.findings.len()
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("aapsm-analysis: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

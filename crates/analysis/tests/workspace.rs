@@ -1,0 +1,89 @@
+//! Meta-tests over the real workspace tree: the lexer must understand
+//! every construct the workspace actually uses, and the tree itself must
+//! stay lint-clean (this is the same gate CI runs via the binary).
+
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    aapsm_analysis::find_workspace_root(&manifest).expect("analysis crate lives in the workspace")
+}
+
+#[test]
+fn every_workspace_file_lexes_with_zero_unknown_tokens() {
+    let root = workspace_root();
+    let paths = aapsm_analysis::collect_workspace_files(&root).expect("walk workspace");
+    assert!(
+        paths.len() > 50,
+        "workspace walk looks wrong: only {} files",
+        paths.len()
+    );
+    let mut bad = Vec::new();
+    for path in &paths {
+        let text = std::fs::read_to_string(path).expect("read source");
+        for tok in aapsm_analysis::lexer::lex(&text) {
+            if tok.kind == aapsm_analysis::lexer::TokenKind::Unknown {
+                bad.push(format!(
+                    "{}:{} unknown token `{}`",
+                    path.display(),
+                    tok.line,
+                    tok.text(&text)
+                ));
+            }
+        }
+    }
+    assert!(
+        bad.is_empty(),
+        "the lexer must learn these constructs before the lints can be \
+         trusted:\n{}",
+        bad.join("\n")
+    );
+}
+
+#[test]
+fn lexed_tokens_cover_only_source_bytes_in_order() {
+    // Structural sanity on real sources: spans are ordered, disjoint,
+    // in-bounds, and the gaps between them are pure whitespace.
+    let root = workspace_root();
+    let paths = aapsm_analysis::collect_workspace_files(&root).expect("walk workspace");
+    for path in &paths {
+        let text = std::fs::read_to_string(path).expect("read source");
+        let mut prev_end = 0usize;
+        for tok in aapsm_analysis::lexer::lex(&text) {
+            assert!(
+                tok.start >= prev_end,
+                "{}: overlapping tokens",
+                path.display()
+            );
+            assert!(tok.end <= text.len());
+            assert!(
+                text[prev_end..tok.start].chars().all(char::is_whitespace),
+                "{}: dropped non-whitespace bytes before offset {}",
+                path.display(),
+                tok.start
+            );
+            prev_end = tok.end;
+        }
+        assert!(
+            text[prev_end..].chars().all(char::is_whitespace),
+            "{}: dropped non-whitespace trailing bytes",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn the_workspace_tree_is_lint_clean() {
+    let report = aapsm_analysis::analyze_workspace(&workspace_root()).expect("analyze workspace");
+    assert!(
+        report.files > 50,
+        "workspace walk looks wrong: only {} files",
+        report.files
+    );
+    let shown: Vec<String> = report.findings.iter().map(|f| f.to_string()).collect();
+    assert!(
+        shown.is_empty(),
+        "the tree must stay analyzer-clean:\n{}",
+        shown.join("\n")
+    );
+}

@@ -654,12 +654,14 @@ fn measure_throughput(rules: &DesignRules, workers: usize) -> String {
         .collect();
 
     let t0 = Instant::now();
+    // lint: allow(L3) — bench harness load generator; a worker panic must fail the whole run
     let mut latencies: Vec<f64> = std::thread::scope(|scope| {
         let handles: Vec<_> = ids
             .iter()
             .map(|&id| {
                 let service = &service;
                 let baseline = &baseline;
+                // lint: allow(L3) — bench harness load generator; a worker panic must fail the whole run
                 scope.spawn(move || {
                     let mut lat = Vec::with_capacity(PER_SESSION);
                     for _ in 0..PER_SESSION {

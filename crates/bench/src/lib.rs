@@ -6,6 +6,7 @@
 //! criterion benches cover the runtime claims and the ablations listed in
 //! DESIGN.md. This library holds the shared plumbing: design preparation
 //! and measurement helpers.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use aapsm_core::{
     detect_conflicts, detect_greedy, DetectConfig, DetectReport, GadgetKind, GraphKind, GreedyKind,

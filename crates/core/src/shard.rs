@@ -560,9 +560,11 @@ pub fn build_conflict_graph_tiled_stateful_budgeted(
     let mut tile_overlaps: Vec<Vec<u32>> = vec![Vec::new(); tiling.tile_count()];
     let mut tile_features: Vec<Vec<u32>> = vec![Vec::new(); tiling.tile_count()];
     for (oi, o) in geom.overlaps.iter().enumerate() {
+        budget.charge(Stage::GraphBuild, 1)?;
         tile_overlaps[tiling.tile_of(overlap_anchor(geom, o))].push(oi as u32);
     }
     for (fi, f) in geom.features.iter().enumerate() {
+        budget.charge(Stage::GraphBuild, 1)?;
         if f.shifters.is_some() {
             tile_features[tiling.tile_of(f.rect.center())].push(fi as u32);
         }
@@ -608,6 +610,7 @@ pub fn build_conflict_graph_tiled_stateful_budgeted(
         })
         .collect();
     for (slot, tg) in occupied.into_iter().zip(built) {
+        budget.charge(Stage::GraphBuild, 1)?;
         groups[slot].graph = tg;
     }
     Ok((

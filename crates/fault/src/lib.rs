@@ -37,6 +37,7 @@
 //! whole workspace tests against these hooks: *every injected fault
 //! yields either a bit-identical complete result or a truthfully flagged
 //! degraded/error result — never a silently wrong one.*
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};

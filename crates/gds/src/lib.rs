@@ -54,6 +54,7 @@
 //! assert!(read.skipped_records.is_empty());
 //! # Ok::<(), aapsm_gds::GdsError>(())
 //! ```
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use aapsm_geom::{Point, Rect};
 use aapsm_layout::{Cell, HierLayout, Instance, Layout, Orient, Placement, Rot};
@@ -263,6 +264,8 @@ fn push_boundary(out: &mut Vec<u8>, r: &Rect) -> Result<(), GdsError> {
 ///
 /// Panics if any coordinate exceeds the GDSII 32-bit range (use
 /// [`try_write_gds`] for a fallible version).
+// Invariant, not an error path: panicking here is this wrapper's documented contract.
+#[allow(clippy::expect_used)]
 pub fn write_gds(layout: &Layout, cell_name: &str) -> Vec<u8> {
     try_write_gds(layout, cell_name).expect("layout coordinates fit the gds range")
 }
@@ -293,6 +296,8 @@ pub fn try_write_gds(layout: &Layout, cell_name: &str) -> Result<Vec<u8>, GdsErr
 /// # Panics
 ///
 /// Panics where [`try_write_gds_hier`] errors.
+// Invariant, not an error path: panicking here is this wrapper's documented contract.
+#[allow(clippy::expect_used)]
 pub fn write_gds_hier(hier: &HierLayout, lib_name: &str) -> Vec<u8> {
     try_write_gds_hier(hier, lib_name).expect("hierarchy is stream-representable")
 }
@@ -865,7 +870,10 @@ fn rect_from_boundary(pts: &[(i64, i64)], index: usize) -> Result<Rect, GdsError
     };
     let xs: Vec<i64> = core.iter().map(|p| p.0).collect();
     let ys: Vec<i64> = core.iter().map(|p| p.1).collect();
+    // Invariant, not an error path: `core` holds exactly four corner points here.
+    #[allow(clippy::unwrap_used)]
     let (x_lo, x_hi) = (*xs.iter().min().unwrap(), *xs.iter().max().unwrap());
+    #[allow(clippy::unwrap_used)] // Invariant: same four-point `core` as above.
     let (y_lo, y_hi) = (*ys.iter().min().unwrap(), *ys.iter().max().unwrap());
     if x_lo == x_hi || y_lo == y_hi {
         return Err(err());

@@ -109,6 +109,10 @@ pub fn resolve_workers(parallelism: usize) -> usize {
 ///
 /// Propagates panics from `f` that recur on the retry, and any panic
 /// from `init()`.
+// Invariant, not an error path: the expects assert index-coverage of the
+// batching (every slot filled exactly once) and deliberately re-raise
+// worker panics per the documented # Panics contract.
+#[allow(clippy::expect_used)]
 pub fn par_map_indexed<T, S, I, F>(count: usize, workers: usize, init: I, f: F) -> Vec<T>
 where
     T: Send,
@@ -297,7 +301,10 @@ impl GridIndex {
         let (ox_lo, oy_lo, ox_hi, oy_hi) = old_range;
         for cx in ox_lo..=ox_hi {
             for cy in oy_lo..=oy_hi {
+                // Invariant, not an error path: insert populated every cell of `old_range`.
+                #[allow(clippy::expect_used)]
                 let cell = self.cells.get_mut(&(cx, cy)).expect("inserted cell exists");
+                #[allow(clippy::expect_used)] // Invariant: same insert-time coverage as above.
                 let at = cell
                     .iter()
                     .position(|&i| i == id)

@@ -30,6 +30,7 @@
 //! let t = Segment::new(Point::new(0, 10), Point::new(10, 0));
 //! assert!(s.crosses(&t)); // proper interior crossing
 //! ```
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod dirty;
 pub mod fxhash;

@@ -132,6 +132,8 @@ fn extract_odd_cycle(
         let mut nodes = vec![n];
         let mut edges = Vec::new();
         while let Some(p) = parent_node[n.index()] {
+            // Invariant, not an error path: BFS sets parent_edge with parent_node.
+            #[allow(clippy::expect_used)]
             edges.push(parent_edge[n.index()].expect("parent edge set with parent node"));
             n = p;
             nodes.push(n);

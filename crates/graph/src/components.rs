@@ -148,6 +148,9 @@ pub fn biconnected_components(g: &EmbeddedGraph) -> Vec<Vec<EdgeId>> {
                 let parent_edge = frame.parent_edge;
                 stack.pop();
                 if let Some(pe) = parent_edge {
+                    // Invariant, not an error path: a frame with a parent edge
+                    // sits above its parent's frame on the DFS stack.
+                    #[allow(clippy::expect_used)]
                     let parent = stack.last().expect("parent frame exists").node;
                     low[parent.index()] = low[parent.index()].min(low[u.index()]);
                     if low[u.index()] >= disc[parent.index()] {

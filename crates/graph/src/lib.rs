@@ -31,6 +31,7 @@
 //! g.add_edge(c, a, 1);
 //! assert!(aapsm_graph::two_color(&g).is_err());
 //! ```
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod bipartite;
 mod components;

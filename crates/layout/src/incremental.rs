@@ -257,6 +257,9 @@ impl ExtractState {
         }
         let mut kept_directs: Vec<crate::DirectConflict> = Vec::new();
         for d in &self.geom.direct_conflicts {
+            // Invariant, not an error path: direct conflicts are only ever
+            // recorded against critical features, which carry shifters.
+            #[allow(clippy::expect_used)]
             let (lo, hi) = self.geom.features[d.feature]
                 .shifters
                 .expect("direct conflicts come from critical features");

@@ -27,6 +27,7 @@
 //! let geom = extract_phase_geometry(&layout, &rules);
 //! assert!(check_assignable(&geom).is_err());
 //! ```
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod assign;
 pub mod fixtures;

@@ -78,7 +78,11 @@ impl ShiftTable {
         for (pos, width) in at {
             total += width;
             if positions.last() == Some(&pos) {
-                *prefix.last_mut().expect("same length") = total;
+                // Invariant, not an error path: prefix grows in lockstep with
+                // positions, so a matched last() implies a last_mut().
+                #[allow(clippy::expect_used)]
+                let last = prefix.last_mut().expect("same length");
+                *last = total;
             } else {
                 positions.push(pos);
                 prefix.push(total);

@@ -250,6 +250,9 @@ impl Solver {
     }
 
     fn get_pr(&mut self, b: usize, xr: usize) -> usize {
+        // Invariant, not an error path: callers pass xr straight out of
+        // blossom b's flower list.
+        #[allow(clippy::expect_used)]
         let pr = self.flower[b]
             .iter()
             .position(|&x| x == xr)

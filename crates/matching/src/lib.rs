@@ -41,6 +41,7 @@
 //! assert_eq!(m.weight, 2); // pairs (1,2) and (3,0)
 //! assert_eq!(m.mate[1], Some(2));
 //! ```
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod blossom;
 pub mod exhaustive;
@@ -273,6 +274,9 @@ fn min_weight_perfect_matching_impl(
     if !m.is_perfect() {
         return Ok(None);
     }
+    // Invariant, not an error path: the solver only matches pairs that came
+    // from the input edge list, so the min() below always sees a candidate.
+    #[allow(clippy::expect_used)]
     let weight = m
         .pairs()
         .iter()

@@ -19,6 +19,7 @@
 //! let svg = render_layout(&layout, Some(&geom), None, &RenderOptions::default());
 //! assert!(svg.starts_with("<svg"));
 //! ```
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use aapsm_core::{Conflict, ConflictGraph, ConstraintKind};
 use aapsm_geom::Rect;

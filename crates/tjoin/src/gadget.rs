@@ -46,7 +46,7 @@
 //! ghost+dummy form.
 
 use crate::{TJoin, TJoinError, TJoinInstance};
-use aapsm_fault::Budget;
+use aapsm_fault::{Budget, Stage};
 use aapsm_matching::MatchingContext;
 
 /// Gadget decomposition policy.
@@ -158,6 +158,7 @@ pub fn solve_gadget_budgeted(
     let mut assigned_to: Vec<usize> = edges.iter().map(|&(u, v, _)| u.min(v)).collect();
     let mut defect = vec![false; n];
     for (v, d) in defect.iter_mut().enumerate() {
+        budget.charge(Stage::Matching, 1)?;
         let a = inst
             .incident(v)
             .iter()
@@ -178,6 +179,7 @@ pub fn solve_gadget_budgeted(
         while let Some(u) = queue.pop_front() {
             order.push(u);
             for &ei in inst.incident(u) {
+                budget.charge(Stage::Matching, 1)?;
                 let (a, b, _) = edges[ei];
                 let w = if a == u { b } else { a };
                 if !visited[w] {
@@ -190,6 +192,7 @@ pub fn solve_gadget_budgeted(
     }
     let mut extra_at: Vec<bool> = vec![false; n];
     for &v in order.iter().rev() {
+        budget.charge(Stage::Matching, 1)?;
         if !defect[v] {
             continue;
         }
@@ -218,6 +221,7 @@ pub fn solve_gadget_budgeted(
     let mut bundle: std::collections::HashMap<(usize, usize), usize> =
         std::collections::HashMap::new();
     for &(u, v, _) in edges {
+        budget.charge(Stage::Matching, 1)?;
         *bundle.entry((u.min(v), u.max(v))).or_default() += 1;
     }
     let explicit: Vec<bool> = edges
@@ -234,6 +238,7 @@ pub fn solve_gadget_budgeted(
     let mut ghost_node = vec![usize::MAX; m];
     let mut dummy_node = vec![usize::MAX; m];
     for e in 0..m {
+        budget.charge(Stage::Matching, 1)?;
         true_node[e] = new_node(NodeMeta::True(e), &mut meta);
         if explicit[e] {
             ghost_node[e] = new_node(NodeMeta::Ghost(e), &mut meta);
@@ -242,6 +247,7 @@ pub fn solve_gadget_budgeted(
     }
     let mut extra_node = vec![usize::MAX; n];
     for v in 0..n {
+        budget.charge(Stage::Matching, 1)?;
         if extra_at[v] {
             extra_node[v] = new_node(NodeMeta::Extra(v), &mut meta);
         }
@@ -250,6 +256,7 @@ pub fn solve_gadget_budgeted(
     let mut medges: Vec<(usize, usize, i64)> = Vec::new();
     // Dummy paths for explicit edges.
     for e in 0..m {
+        budget.charge(Stage::Matching, 1)?;
         if explicit[e] {
             medges.push((true_node[e], dummy_node[e], 0));
             medges.push((dummy_node[e], ghost_node[e], 0));
@@ -261,6 +268,7 @@ pub fn solve_gadget_budgeted(
         // Members: (matching node, cost in this gadget's context).
         let mut members: Vec<(usize, i64)> = Vec::new();
         for &ei in inst.incident(v) {
+            budget.charge(Stage::Matching, 1)?;
             let (_, _, w) = edges[ei];
             if assigned_to[ei] == v {
                 members.push((true_node[ei], 0));
@@ -281,6 +289,7 @@ pub fn solve_gadget_budgeted(
         for group in &groups {
             for (i, &(x, cx)) in group.iter().enumerate() {
                 for &(y, cy) in &group[i + 1..] {
+                    budget.charge(Stage::Matching, 1)?;
                     medges.push((x, y, cx + cy));
                 }
             }
@@ -292,9 +301,11 @@ pub fn solve_gadget_budgeted(
             let q = new_node(NodeMeta::Divide(v), &mut meta);
             medges.push((p, q, 0));
             for &(x, cx) in groups[j] {
+                budget.charge(Stage::Matching, 1)?;
                 medges.push((p, x, cx));
             }
             for &(y, cy) in groups[j + 1] {
+                budget.charge(Stage::Matching, 1)?;
                 medges.push((q, y, cy));
             }
             if let Some(pq) = prev_q {
@@ -334,6 +345,7 @@ pub fn solve_gadget_budgeted(
     };
     let mut in_join = vec![false; m];
     for e in 0..m {
+        budget.charge(Stage::Matching, 1)?;
         if explicit[e] {
             // Ghost matched inward (anything but its dummy) means e is in
             // the join.

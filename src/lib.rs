@@ -38,6 +38,7 @@
 //! assert!(result.verified);
 //! # Ok::<(), aapsm::core::FlowError>(())
 //! ```
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub use aapsm_core as core;
 pub use aapsm_cover as cover;
